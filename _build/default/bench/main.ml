@@ -1,0 +1,280 @@
+(* Benchmark / reproduction harness.
+
+   Modes:
+     main.exe                 — regenerate every table and figure (E1..E15)
+                                at the default scale, then run the Bechamel
+                                kernel benchmarks.
+     main.exe tables          — only the tables/figures.
+     main.exe kernels         — only the Bechamel micro-benchmarks.
+     main.exe table1|fig2a|fig2b|lowerbound|audit|randomized|releases|openshop
+                              — a single experiment.
+   Scale is chosen with "--scale quick|default|large". *)
+
+open Bechamel
+open Toolkit
+
+let scale = ref Experiments.Config.Default
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ---------- paper tables and figures ---------- *)
+
+let blocks_cache : Experiments.Harness.block list option ref = ref None
+
+let get_blocks cfg =
+  match !blocks_cache with
+  | Some b -> b
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    Printf.printf
+      "[building blocks: %d interval-LP solves + 12 simulations each...]\n%!"
+      (2 * List.length cfg.Experiments.Config.filters);
+    let b = Experiments.Harness.all_blocks cfg in
+    Printf.printf "[blocks ready in %.1fs]\n%!" (Unix.gettimeofday () -. t0);
+    blocks_cache := Some b;
+    b
+
+let run_table1 cfg =
+  section
+    "E1 - Table 1 (normalized TWCT, 3 orders x 4 cases x filters x weights)";
+  print_string (Experiments.Exp_table1.render (get_blocks cfg))
+
+let run_fig2a cfg =
+  section "E2 - Figure 2a (grouping / backfilling vs base case)";
+  print_string (Experiments.Exp_fig2a.render (get_blocks cfg))
+
+let run_fig2b cfg =
+  section "E3 - Figure 2b (ordering comparison, case (d))";
+  print_string (Experiments.Exp_fig2b.render (get_blocks cfg))
+
+let run_lower_bound cfg =
+  section "E4 - LP-EXP lower bound (paper: ratio 0.9447)";
+  print_string
+    (Experiments.Exp_lower_bound.render (Experiments.Exp_lower_bound.run cfg))
+
+let run_audit cfg =
+  section "E5 - theory audit (Lemma 2, Lemma 3, Proposition 1, Theorem 1)";
+  print_string (Experiments.Exp_audit.render (get_blocks cfg))
+
+let run_randomized cfg =
+  section "E6 - randomized vs deterministic grouping";
+  print_string (Experiments.Exp_randomized.render cfg (get_blocks cfg))
+
+let run_releases cfg =
+  section "E7 - release-date study (extension)";
+  print_string
+    (Experiments.Exp_releases.render (Experiments.Exp_releases.run cfg))
+
+(* Concurrent open shop cross-check: diagonal coflows vs the dedicated
+   primal-dual algorithm (an ablation of the matching machinery). *)
+let run_openshop cfg =
+  section "E8 - concurrent open shop cross-check (Appendix A)";
+  let st = Random.State.make [| cfg.Experiments.Config.seed; 0x05 |] in
+  let machines = 10 and jobs = 40 in
+  let job id =
+    { Openshop.id;
+      weight = float_of_int (1 + Random.State.int st 9);
+      release = 0;
+      processing =
+        Array.init machines (fun _ ->
+            if Random.State.float st 1.0 < 0.4 then Random.State.int st 20
+            else 0);
+    }
+  in
+  let shop = Openshop.make ~machines (List.init jobs job) in
+  let pd = Openshop.primal_dual_order shop in
+  let lp = Openshop.lp_order shop in
+  let inst = Openshop.to_coflow_instance shop in
+  let coflow_run =
+    Core.Scheduler.run ~case:Core.Scheduler.Group_backfill inst lp
+  in
+  let rows =
+    [ [ "primal-dual (2-approx) permutation";
+        Experiments.Report.f2 (Openshop.twct shop pd);
+      ];
+      [ "LP-ordered permutation"; Experiments.Report.f2 (Openshop.twct shop lp) ];
+      [ "LP-ordered coflow schedule (case d)";
+        Experiments.Report.f2 coflow_run.Core.Scheduler.twct;
+      ];
+      [ "single-machine WSPT lower bound";
+        Experiments.Report.f2 (Openshop.sum_load_lower_bound shop);
+      ];
+    ]
+  in
+  print_string
+    (Experiments.Report.table
+       ~title:
+         (Printf.sprintf "Diagonal-coflow equivalence, %d machines x %d jobs"
+            machines jobs)
+       ~header:[ "algorithm"; "TWCT" ] rows)
+
+let run_orderings cfg =
+  section "E10 - ordering portfolio (incl. primal-dual and Varys-style \
+           baselines)";
+  print_string (Experiments.Exp_orderings.render (get_blocks cfg))
+
+let run_lp_grid cfg =
+  section "E11 - LP interval-grid ablation (interval- vs time-indexed)";
+  print_string (Experiments.Exp_lp_grid.render cfg)
+
+let run_online cfg =
+  section "E12 - online vs offline under arrivals";
+  print_string (Experiments.Exp_online.render cfg)
+
+let run_robust cfg =
+  section "E13 - demand-uncertainty study";
+  print_string (Experiments.Exp_robust.render cfg)
+
+let run_ablation cfg =
+  section "E9 - scheduling-stage ablation (grouping / backfilling / work \
+           conservation)";
+  print_string (Experiments.Exp_ablation.render (get_blocks cfg))
+
+let run_dag cfg =
+  section "E14 - precedence-constrained coflow DAGs";
+  print_string (Experiments.Exp_dag.render cfg)
+
+let run_fabric cfg =
+  section "E15 - oversubscribed fabric (non-blocking assumption relaxed)";
+  print_string (Experiments.Exp_fabric.render cfg)
+
+let all_experiments =
+  [ ("table1", run_table1);
+    ("fig2a", run_fig2a);
+    ("fig2b", run_fig2b);
+    ("lowerbound", run_lower_bound);
+    ("audit", run_audit);
+    ("randomized", run_randomized);
+    ("releases", run_releases);
+    ("openshop", run_openshop);
+    ("ablation", run_ablation);
+    ("orderings", run_orderings);
+    ("lpgrid", run_lp_grid);
+    ("online", run_online);
+    ("robust", run_robust);
+    ("dag", run_dag);
+    ("fabric", run_fabric);
+  ]
+
+let run_tables cfg = List.iter (fun (_, f) -> f cfg) all_experiments
+
+(* ---------- Bechamel kernel benchmarks ---------- *)
+
+(* Pre-generated inputs so the staged closures only measure the kernel. *)
+let kernel_tests () =
+  let st = Random.State.make [| 7 |] in
+  let bvn_input = Matrix.Mat.random ~density:0.4 ~max_entry:20 st 32 in
+  let matching_graph =
+    Matching.Bipartite.of_support (fun _ _ -> Random.State.bool st) 96
+  in
+  let lp_inst =
+    Workload.Fb_like.generate ~ports:8 ~coflows:24 (Random.State.make [| 8 |])
+  in
+  let sched_inst =
+    Workload.Fb_like.generate ~ports:16 ~coflows:48 (Random.State.make [| 9 |])
+  in
+  let sched_order = Core.Ordering.by_load_over_weight sched_inst in
+  let tiny_cfg = Experiments.Config.of_scale Experiments.Config.Quick in
+  let tiny_cfg =
+    { tiny_cfg with
+      Experiments.Config.ports = 8;
+      coflows = 30;
+      filters = [ 4 ];
+    }
+  in
+  Test.make_grouped ~name:"kernels"
+    [ Test.make ~name:"E1 pipeline (micro block: LP + 12 schedules)"
+        (Staged.stage (fun () ->
+             ignore
+               (Experiments.Harness.block tiny_cfg ~filter:4
+                  ~weighting:Experiments.Harness.Random)));
+      Test.make ~name:"bvn_decomposition_32x32"
+        (Staged.stage (fun () -> ignore (Core.Bvn.schedule bvn_input)));
+      Test.make ~name:"hopcroft_karp_96"
+        (Staged.stage (fun () ->
+             ignore
+               (Matching.Bipartite.max_matching_hopcroft_karp matching_graph)));
+      Test.make ~name:"interval_lp_8x24"
+        (Staged.stage (fun () -> ignore (Core.Lp_relax.solve_interval lp_inst)));
+      Test.make ~name:"grouped_schedule_16x48"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Scheduler.run ~case:Core.Scheduler.Group_backfill
+                  sched_inst sched_order)));
+      Test.make ~name:"greedy_baseline_16x48"
+        (Staged.stage (fun () ->
+             ignore (Core.Baselines.greedy sched_inst sched_order)));
+    ]
+
+let run_kernels () =
+  section "Kernel micro-benchmarks (Bechamel, monotonic clock)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 2.0) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (kernel_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let ns =
+        match Analyze.OLS.estimates result with
+        | Some (est :: _) -> est
+        | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square result with Some r -> r | None -> nan
+      in
+      rows := (name, ns, r2) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  print_string
+    (Experiments.Report.table ~header:[ "kernel"; "time / run"; "r^2" ]
+       (List.map
+          (fun (name, ns, r2) ->
+            let time =
+              if Float.is_nan ns then "n/a"
+              else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+              else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+              else Printf.sprintf "%.0f ns" ns
+            in
+            [ name; time; Printf.sprintf "%.3f" r2 ])
+          rows))
+
+(* ---------- entry point ---------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse modes = function
+    | "--scale" :: s :: rest ->
+      (match Experiments.Config.scale_of_string s with
+      | Some sc -> scale := sc
+      | None ->
+        Printf.eprintf "unknown scale %S\n" s;
+        exit 2);
+      parse modes rest
+    | m :: rest -> parse (m :: modes) rest
+    | [] -> List.rev modes
+  in
+  let modes = parse [] args in
+  let cfg = Experiments.Config.of_scale !scale in
+  Printf.printf "scale: %s\n" (Format.asprintf "%a" Experiments.Config.pp cfg);
+  match modes with
+  | [] ->
+    run_tables cfg;
+    run_kernels ()
+  | modes ->
+    List.iter
+      (fun mode ->
+        match mode with
+        | "tables" -> run_tables cfg
+        | "kernels" -> run_kernels ()
+        | m -> (
+          match List.assoc_opt m all_experiments with
+          | Some f -> f cfg
+          | None ->
+            Printf.eprintf "unknown mode %S\n" m;
+            exit 2))
+      modes

@@ -1,0 +1,141 @@
+(* Run one scheduling algorithm on a coflow trace file and report per-coflow
+   completion times and the total weighted completion time.
+
+   Usage: coflow_sim TRACE [--order ha|hrho|hsize|hlp] [--case a|b|c|d]
+                     [--baseline fifo|rr|mwm|varys] [--verbose]
+                     [--record FILE] [--audit] *)
+
+open Cmdliner
+open Workload
+open Core
+
+let run_sim trace_path order_name case_name baseline verbose record_path
+    audit =
+  let inst = Trace.load trace_path in
+  Format.printf "loaded %a@." Instance.pp_summary inst;
+  let audit_order = ref None in
+  let result, label =
+    match baseline with
+    | Some "fifo" -> (Baselines.fifo inst, "FIFO greedy")
+    | Some "rr" -> (Baselines.round_robin inst, "round robin")
+    | Some "mwm" -> (Baselines.max_weight inst, "MaxWeight matching")
+    | Some "varys" -> (Baselines.sebf_madd inst, "SEBF + MADD (Varys-style)")
+    | Some other ->
+      Format.eprintf "unknown baseline %S (use fifo | rr | mwm | varys)@."
+        other;
+      exit 2
+    | None ->
+      let order =
+        match order_name with
+        | "ha" -> Ordering.arrival inst
+        | "hrho" -> Ordering.by_load_over_weight inst
+        | "hsize" -> Ordering.by_total_size inst
+        | "hlp" ->
+          Format.printf "solving the interval-indexed LP relaxation...@.";
+          Ordering.by_lp (Lp_relax.solve_interval inst)
+        | other ->
+          Format.eprintf "unknown order %S (use ha | hrho | hsize | hlp)@."
+            other;
+          exit 2
+      in
+      let case =
+        match case_name with
+        | "a" -> Scheduler.Base
+        | "b" -> Scheduler.Backfill
+        | "c" -> Scheduler.Group
+        | "d" -> Scheduler.Group_backfill
+        | other ->
+          Format.eprintf "unknown case %S (use a | b | c | d)@." other;
+          exit 2
+      in
+      audit_order := Some order;
+      (match record_path with
+      | None -> ()
+      | Some path ->
+        (* run once more through the recorder so the exact schedule can be
+           audited offline *)
+        let groups =
+          match case with
+          | Scheduler.Base | Scheduler.Backfill -> Grouping.singletons order
+          | Scheduler.Group | Scheduler.Group_backfill ->
+            Grouping.deterministic inst order
+        in
+        let backfill =
+          match case with
+          | Scheduler.Backfill | Scheduler.Group_backfill -> true
+          | _ -> false
+        in
+        let sim =
+          Switchsim.Simulator.create ~ports:(Instance.ports inst)
+            (Instance.demands inst)
+        in
+        let recording =
+          Switchsim.Recorder.record sim
+            ~policy:(Scheduler.policy ~backfill inst groups)
+        in
+        Switchsim.Recorder.save path recording;
+        Format.printf "recorded schedule written to %s (replayable)@." path);
+      ( Scheduler.run ~case inst order,
+        Printf.sprintf "%s / case (%s)" order_name case_name )
+  in
+  Format.printf "algorithm: %s@." label;
+  Format.printf "total weighted completion time: %.2f@."
+    result.Scheduler.twct;
+  Format.printf "makespan: %d slots, utilization %.1f%%, %d matchings@."
+    result.Scheduler.slots
+    (100.0 *. result.Scheduler.utilization)
+    result.Scheduler.matchings;
+  if audit then begin
+    (match !audit_order with
+    | None ->
+      Format.printf "audit: Lemma 2 / Proposition 1 need an ordering-based                      run (not a baseline)@."
+    | Some order ->
+      (match Verify.lemma2_prefix_bound inst order result.Scheduler.completion with
+      | Ok () -> Format.printf "audit: Lemma 2 prefix bounds hold@."
+      | Error m -> Format.printf "audit: %s@." m);
+      (match
+         Verify.proposition1_grouped_bound inst
+           (Grouping.deterministic inst order)
+           result.Scheduler.completion
+       with
+      | Ok () -> Format.printf "audit: group-level Proposition 1 holds@."
+      | Error m -> Format.printf "audit: %s@." m))
+  end;
+  if verbose then begin
+    Format.printf "@.per-coflow completion times:@.";
+    Array.iteri
+      (fun k c ->
+        let cf = Instance.coflow inst k in
+        Format.printf "  coflow %3d (w=%.0f, release=%d): C=%d@."
+          cf.Instance.id cf.Instance.weight cf.Instance.release c)
+      result.Scheduler.completion
+  end;
+  0
+
+let trace_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE")
+
+let order_arg =
+  Arg.(value & opt string "hlp" & info [ "order" ] ~docv:"ORDER")
+
+let case_arg = Arg.(value & opt string "d" & info [ "case" ] ~docv:"CASE")
+
+let baseline_arg =
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"NAME")
+
+let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ])
+
+let record_arg =
+  Arg.(value & opt (some string) None & info [ "record" ] ~docv:"FILE")
+
+let audit_arg = Arg.(value & flag & info [ "audit" ])
+
+let cmd =
+  let doc = "Schedule a coflow trace through the switch simulator" in
+  Cmd.v
+    (Cmd.info "coflow-sim" ~doc)
+    Term.(
+      const run_sim $ trace_arg $ order_arg $ case_arg $ baseline_arg
+      $ verbose_arg $ record_arg $ audit_arg)
+
+let () = exit (Cmd.eval' cmd)

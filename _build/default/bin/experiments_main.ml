@@ -1,0 +1,145 @@
+(* Regenerate every table and figure of the paper's evaluation section.
+
+   Usage:  experiments_main [--scale quick|default|large] [--only E1,E2,...]
+           [--csv DIR]
+
+   Experiment ids: E1 table1, E2 fig2a, E3 fig2b, E4 lowerbound, E5 audit,
+   E6 randomized, E7 releases, E8 openshop is bench-only, E9 ablation,
+   E10 orderings, E11 lpgrid, E12 online, E13 robust, E14 dag, E15 fabric. *)
+
+open Cmdliner
+
+let run_all scale only csv_dir =
+  let cfg = Experiments.Config.of_scale scale in
+  let wants tag = match only with [] -> true | l -> List.mem tag l in
+  Format.printf "configuration: %a@.@." Experiments.Config.pp cfg;
+  let need_blocks =
+    List.exists wants [ "E1"; "E2"; "E3"; "E5"; "E6"; "E9"; "E10" ]
+  in
+  let blocks =
+    if need_blocks then begin
+      Format.printf
+        "building (filter x weighting) blocks — this solves the interval LP \
+         %d times...@."
+        (2 * List.length cfg.Experiments.Config.filters);
+      let t0 = Unix.gettimeofday () in
+      let blocks = Experiments.Harness.all_blocks cfg in
+      Format.printf "blocks ready in %.1fs@.@." (Unix.gettimeofday () -. t0);
+      blocks
+    end
+    else []
+  in
+  let save name content =
+    match csv_dir with
+    | None -> ()
+    | Some dir ->
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      Format.printf "(wrote %s)@." path
+  in
+  if wants "E1" then begin
+    print_string (Experiments.Exp_table1.render blocks);
+    save "table1.csv" (Experiments.Exp_table1.csv blocks);
+    print_newline ()
+  end;
+  if wants "E2" then begin
+    print_string (Experiments.Exp_fig2a.render blocks);
+    save "fig2a.csv" (Experiments.Exp_fig2a.csv blocks);
+    print_newline ()
+  end;
+  if wants "E3" then begin
+    print_string (Experiments.Exp_fig2b.render blocks);
+    save "fig2b.csv" (Experiments.Exp_fig2b.csv blocks);
+    print_newline ()
+  end;
+  if wants "E4" then begin
+    print_string (Experiments.Exp_lower_bound.render
+                    (Experiments.Exp_lower_bound.run cfg));
+    print_newline ()
+  end;
+  if wants "E5" then begin
+    print_string (Experiments.Exp_audit.render blocks);
+    print_newline ()
+  end;
+  if wants "E6" then begin
+    print_string (Experiments.Exp_randomized.render cfg blocks);
+    print_newline ()
+  end;
+  if wants "E7" then begin
+    print_string (Experiments.Exp_releases.render
+                    (Experiments.Exp_releases.run cfg));
+    print_newline ()
+  end;
+  if wants "E9" then begin
+    print_string (Experiments.Exp_ablation.render blocks);
+    print_newline ()
+  end;
+  if wants "E10" then begin
+    print_string (Experiments.Exp_orderings.render blocks);
+    print_newline ()
+  end;
+  if wants "E11" then begin
+    print_string (Experiments.Exp_lp_grid.render cfg);
+    print_newline ()
+  end;
+  if wants "E12" then begin
+    print_string (Experiments.Exp_online.render cfg);
+    print_newline ()
+  end;
+  if wants "E13" then begin
+    print_string (Experiments.Exp_robust.render cfg);
+    print_newline ()
+  end;
+  if wants "E14" then begin
+    print_string (Experiments.Exp_dag.render cfg);
+    print_newline ()
+  end;
+  if wants "E15" then begin
+    print_string (Experiments.Exp_fabric.render cfg);
+    print_newline ()
+  end;
+  0
+
+let scale_conv =
+  let parse s =
+    match Experiments.Config.scale_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown scale %S" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+      | Experiments.Config.Quick -> "quick"
+      | Experiments.Config.Default -> "default"
+      | Experiments.Config.Large -> "large")
+  in
+  Arg.conv (parse, print)
+
+let scale_arg =
+  Arg.(
+    value
+    & opt scale_conv Experiments.Config.Default
+    & info [ "scale" ] ~docv:"SCALE" ~doc:"quick | default | large")
+
+let only_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "only" ] ~docv:"IDS"
+        ~doc:"Comma-separated experiment ids (E1..E15); default all")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "csv" ] ~docv:"DIR" ~doc:"Also write CSV outputs to DIR")
+
+let cmd =
+  let doc = "Regenerate the paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "coflow-experiments" ~doc)
+    Term.(const run_all $ scale_arg $ only_arg $ csv_arg)
+
+let () = exit (Cmd.eval' cmd)

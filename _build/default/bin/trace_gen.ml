@@ -1,0 +1,60 @@
+(* Generate a synthetic coflow trace file.
+
+   Usage: trace_gen OUT [--kind fb|uniform|mapreduce] [--ports N]
+                    [--coflows N] [--seed N] [--mean-gap N] [--stats] *)
+
+open Cmdliner
+open Workload
+
+let generate out kind ports coflows seed mean_gap stats =
+  let st = Random.State.make [| seed |] in
+  let inst =
+    match kind with
+    | "fb" ->
+      if mean_gap > 0 then
+        Fb_like.generate_with_arrivals ~mean_gap ~ports ~coflows st
+      else Fb_like.generate ~ports ~coflows st
+    | "uniform" -> Synthetic.uniform ~ports ~coflows st
+    | "mapreduce" ->
+      Synthetic.mapreduce_instance ~arrival_spacing:mean_gap ~ports ~coflows
+        st
+    | other ->
+      Format.eprintf "unknown kind %S (use fb | uniform | mapreduce)@." other;
+      exit 2
+  in
+  Trace.save out inst;
+  Format.printf "wrote %s: %a@." out Instance.pp_summary inst;
+  if stats then begin
+    Format.printf "@.%a@." Stats.pp (Stats.summarize inst);
+    Format.printf "@.width histogram (M0 <= bound: count):@.";
+    List.iter
+      (fun (bound, count) ->
+        if bound = max_int then Format.printf "  rest: %d@." count
+        else Format.printf "  <= %4d: %d@." bound count)
+      (Stats.width_histogram inst)
+  end;
+  0
+
+let out_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT")
+
+let kind_arg = Arg.(value & opt string "fb" & info [ "kind" ] ~docv:"KIND")
+
+let ports_arg = Arg.(value & opt int 24 & info [ "ports" ] ~docv:"N")
+
+let coflows_arg = Arg.(value & opt int 100 & info [ "coflows" ] ~docv:"N")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N")
+
+let gap_arg = Arg.(value & opt int 0 & info [ "mean-gap" ] ~docv:"N")
+
+let stats_arg = Arg.(value & flag & info [ "stats" ])
+
+let cmd =
+  let doc = "Generate a synthetic coflow trace" in
+  Cmd.v
+    (Cmd.info "coflow-trace-gen" ~doc)
+    Term.(
+      const generate $ out_arg $ kind_arg $ ports_arg $ coflows_arg $ seed_arg
+      $ gap_arg $ stats_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/dag_pipeline.ml: Array Core Dag Dag_scheduler Format List Mat Matrix Random String Synthetic Workload

@@ -1,0 +1,1 @@
+examples/dag_pipeline.mli:

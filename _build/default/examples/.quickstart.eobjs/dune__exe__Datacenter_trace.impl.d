@@ -1,0 +1,1 @@
+examples/datacenter_trace.ml: Core Fb_like Filename Format Instance List Lp_relax Ordering Random Scheduler Sys Trace Verify Weights Workload

@@ -1,0 +1,1 @@
+examples/mapreduce_shuffle.ml: Array Baselines Core Format Instance List Lp_relax Ordering Random Scheduler Synthetic Workload

@@ -1,0 +1,1 @@
+examples/online_arrivals.ml: Array Baselines Core Fb_like Format Grouping Instance List Lp_relax Ordering Random Randomized Scheduler Verify Workload

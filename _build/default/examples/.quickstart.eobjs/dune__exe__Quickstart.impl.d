@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bvn Coflow Core Format Instance List Lp_relax Mat Matching Matrix Ordering Scheduler Workload

@@ -1,0 +1,68 @@
+(* Datacenter-trace workflow: generate a Facebook-like trace, persist it in
+   the text trace format, reload it, filter sparse coflows the way the paper
+   does (M0 thresholds), and run the full algorithm portfolio.
+
+   Run with:  dune exec examples/datacenter_trace.exe *)
+
+open Workload
+open Core
+
+let () =
+  let ports = 20 and coflows = 150 in
+  let st = Random.State.make [| 99 |] in
+  let inst = Fb_like.generate ~ports ~coflows st in
+
+  (* persist + reload through the trace format, as a user pipeline would *)
+  let path = Filename.temp_file "fb_like" ".trace" in
+  Trace.save path inst;
+  let inst = Trace.load path in
+  Sys.remove path;
+  Format.printf "trace: %a@." Instance.pp_summary inst;
+
+  (* the paper filters out sparse coflows before evaluating *)
+  let filtered = Instance.filter_m0 inst 30 in
+  let n = Instance.num_coflows filtered in
+  Format.printf "after M0 >= 30 filtering: %d coflows@.@." n;
+
+  (* random-permutation weights, as in the paper's second weighting *)
+  let wst = Random.State.make [| 100 |] in
+  let filtered = Instance.with_weights filtered (Weights.random_permutation wst n) in
+
+  Format.printf "solving the interval-indexed LP (%d intervals)...@."
+    (Lp_relax.interval_count filtered);
+  let lp = Lp_relax.solve_interval filtered in
+
+  let runs =
+    [ ("H_A,   base case (a)", Ordering.arrival filtered, Scheduler.Base);
+      ("H_A,   group+backfill (d)", Ordering.arrival filtered,
+       Scheduler.Group_backfill);
+      ("H_rho, group+backfill (d)", Ordering.by_load_over_weight filtered,
+       Scheduler.Group_backfill);
+      ("H_LP,  grouping only (c) — the paper's Algorithm 2",
+       Ordering.by_lp lp, Scheduler.Group);
+      ("H_LP,  group+backfill (d)", Ordering.by_lp lp,
+       Scheduler.Group_backfill);
+    ]
+  in
+  Format.printf "@.%-52s %12s %12s@." "algorithm" "TWCT" "vs LP bound";
+  List.iter
+    (fun (name, order, case) ->
+      let r = Scheduler.run ~case filtered order in
+      Format.printf "%-52s %12.0f %11.2fx@." name r.Scheduler.twct
+        (r.Scheduler.twct /. lp.Lp_relax.lower_bound))
+    runs;
+
+  (* the guarantees of §3 hold on this schedule — check them live *)
+  let order = Ordering.by_lp lp in
+  let r = Scheduler.run ~case:Scheduler.Group filtered order in
+  (match Verify.proposition1_bound filtered order r.Scheduler.completion with
+  | Ok () -> Format.printf "@.Proposition 1 (C_k <= max r + 4 V_k): holds@."
+  | Error m -> Format.printf "@.Proposition 1 VIOLATED: %s@." m);
+  (match Verify.lemma3_lp_bound filtered lp with
+  | Ok () -> Format.printf "Lemma 3 (V_k <= 16/3 cbar_k): holds@."
+  | Error m -> Format.printf "Lemma 3 VIOLATED: %s@." m);
+  Format.printf
+    "Theorem 1 guarantee: ratio <= %.2f; measured upper bound on the ratio: \
+     %.2f@."
+    (Verify.deterministic_ratio_limit ~with_releases:false)
+    (Verify.theorem1_ratio filtered lp ~twct:r.Scheduler.twct)

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Float Instance List Mat Matching Matrix Ordering Scheduler Simulator Switchsim Workload

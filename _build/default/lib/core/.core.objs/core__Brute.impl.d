@@ -1,0 +1,1 @@
+lib/core/brute.ml: Array Baselines Instance List Mat Matrix Ordering Scheduler Workload

@@ -1,0 +1,1 @@
+lib/core/bvn.ml: Array Bipartite List Mat Matching Matrix

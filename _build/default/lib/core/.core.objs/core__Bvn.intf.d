@@ -1,0 +1,1 @@
+lib/core/bvn.mli: Matching Matrix

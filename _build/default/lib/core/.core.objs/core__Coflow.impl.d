@@ -1,0 +1,1 @@
+lib/core/coflow.ml: Array Mat Matrix

@@ -1,0 +1,1 @@
+lib/core/counterexample.ml: Array Instance Mat Matrix Workload

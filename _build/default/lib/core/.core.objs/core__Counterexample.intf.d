@@ -1,0 +1,1 @@
+lib/core/counterexample.mli: Matrix Workload

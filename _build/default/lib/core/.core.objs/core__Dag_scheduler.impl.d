@@ -1,0 +1,1 @@
+lib/core/dag_scheduler.ml: Array Dag List Mat Matrix Simulator Switchsim Workload

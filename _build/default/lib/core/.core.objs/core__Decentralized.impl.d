@@ -1,0 +1,1 @@
+lib/core/decentralized.ml: Array Instance List Scheduler Simulator Switchsim Workload

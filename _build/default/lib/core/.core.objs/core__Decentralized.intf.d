@@ -1,0 +1,1 @@
+lib/core/decentralized.mli: Scheduler Workload

@@ -1,0 +1,1 @@
+lib/core/grouping.ml: Array Coflow Format Instance List Random Workload

@@ -1,0 +1,1 @@
+lib/core/lp_relax.ml: Array Float Instance List Lp Mat Matrix Printf Workload

@@ -1,0 +1,1 @@
+lib/core/online.ml: Array Instance List Mat Matrix Scheduler Simulator Switchsim Workload

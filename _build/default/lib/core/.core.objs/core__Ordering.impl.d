@@ -1,0 +1,1 @@
+lib/core/ordering.ml: Array Coflow Format Instance Lp_relax Matrix Workload

@@ -1,0 +1,1 @@
+lib/core/primal_dual.ml: Array Float Instance Mat Matrix Workload

@@ -1,0 +1,1 @@
+lib/core/primal_dual.mli: Ordering Workload

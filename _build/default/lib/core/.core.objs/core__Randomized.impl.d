@@ -1,0 +1,1 @@
+lib/core/randomized.ml: Array Grouping Scheduler

@@ -1,0 +1,1 @@
+lib/core/randomized.mli: Ordering Random Scheduler Workload

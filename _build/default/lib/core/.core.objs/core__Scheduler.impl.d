@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Array Bvn Grouping Instance List Mat Matrix Simulator Switchsim Workload

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Coflow Grouping Instance Lp_relax Printf Workload

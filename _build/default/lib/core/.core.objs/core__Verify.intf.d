@@ -1,0 +1,1 @@
+lib/core/verify.mli: Grouping Lp_relax Ordering Workload

@@ -1,0 +1,14 @@
+(** Exact minimum total weighted completion time by branch-and-bound over
+    per-slot matchings.
+
+    Exponential, of course — the problem is strongly NP-hard (Lemma 5) —
+    so this is strictly a test oracle.  Practical limits: [m <= 3] ports and
+    around a dozen total data units.  The search branches over which coflow
+    each port pair serves, prunes with the per-coflow load lower bound
+    [C_k >= max (t, r_k) + rho (remaining_k)], and is seeded with the
+    deterministic algorithm's schedule as an incumbent. *)
+
+val optimal_twct : ?max_nodes:int -> Workload.Instance.t -> float
+(** @raise Invalid_argument if the instance is too big ([ports > 4] or more
+    than [24] total units) or [Failure] if [max_nodes] (default
+    [20_000_000]) search nodes are exhausted. *)

@@ -1,0 +1,33 @@
+(** Algorithm 1 of the paper: the integer Birkhoff–von Neumann
+    decomposition.
+
+    Any non-negative integer matrix [D] can be processed in exactly
+    [rho (D)] slots using matchings (Lemma 4): augment [D] to a matrix whose
+    every row and column sums to [rho (D)], then peel off perfect matchings
+    of the support.  At most [2m - 1] augmentation steps and at most [m^2]
+    distinct matchings are needed, so the schedule description is
+    polynomial even when [rho (D)] is huge. *)
+
+type schedule = (Matching.Bipartite.matching * int) list
+(** Matchings with multiplicities: play each matching for its slot count, in
+    order.  Durations are positive; total duration is [rho] of the input. *)
+
+val augment : Matrix.Mat.t -> Matrix.Mat.t
+(** Step 1: a matrix [D'] with [D <= D'] entrywise and every row and column
+    of [D'] summing to [rho (D)].  The input is not modified. *)
+
+val decompose : Matrix.Mat.t -> schedule
+(** Step 2: decompose a doubly-balanced matrix into weighted permutation
+    matrices.  @raise Invalid_argument if some row or column sum differs
+    from [rho]. *)
+
+val schedule : Matrix.Mat.t -> schedule
+(** [augment] followed by [decompose]: the full Algorithm 1. *)
+
+val duration : schedule -> int
+
+val matchings_used : schedule -> int
+
+val restore : int -> schedule -> Matrix.Mat.t
+(** [restore m s] rebuilds the (augmented) matrix the schedule clears —
+    [sum q_u * Pi_u] — for verification. *)

@@ -1,0 +1,26 @@
+open Matrix
+open Workload
+
+let coflow_1 =
+  Mat.of_arrays [| [| 9; 0; 9 |]; [| 0; 9; 0 |]; [| 9; 0; 9 |] |]
+
+let coflow_2 =
+  Mat.of_arrays [| [| 1; 10; 1 |]; [| 10; 1; 10 |]; [| 1; 10; 1 |] |]
+
+let instance () =
+  Instance.make ~ports:3
+    [ { Instance.id = 0; release = 0; weight = 1.0; demand = coflow_1 };
+      { Instance.id = 1; release = 0; weight = 1.0; demand = coflow_2 };
+    ]
+
+let v = [| 18; 30 |]
+
+let residual_infeasible () =
+  let t1 = v.(0) and t2 = v.(1) in
+  let budget = t2 - t1 in
+  (* If coflow 1 finishes at t1, ports 0 and 2 (both sides) are saturated by
+     coflow 1 until t1, so none of coflow 2's demand touching those ports
+     has moved.  Row 1 of coflow 2 then still carries its full off-diagonal
+     demand, which must clear through input 1 within [budget] slots. *)
+  let residual_row1 = Mat.get coflow_2 1 0 + Mat.get coflow_2 1 2 in
+  residual_row1 > budget

@@ -1,0 +1,26 @@
+(** The Appendix-B counterexample: the prefix lower bounds [V_k] of Lemma 2
+    cannot all be tight simultaneously.
+
+    Two coflows on a 3x3 switch with [V_1 = 18] and [V_2 = 30]: finishing
+    coflow 1 by slot 18 forces inputs/outputs 1 and 3 to work exclusively on
+    it, and finishing everything by slot 30 then requires clearing a
+    leftover matrix whose off-diagonal row sums exceed the remaining
+    budget — a contradiction the paper derives as
+    [d~21 + d~23 = 20 > 12]. *)
+
+val coflow_1 : Matrix.Mat.t
+
+val coflow_2 : Matrix.Mat.t
+
+val instance : unit -> Workload.Instance.t
+(** Both coflows, release 0, unit weights. *)
+
+val v : int array
+(** The cumulative loads [| 18; 30 |]. *)
+
+val residual_infeasible : unit -> bool
+(** Re-derives the paper's contradiction numerically: assuming coflow 1
+    monopolises ports 0 and 2 until slot 18, the residual of coflow 2 on
+    those ports cannot fit in the remaining [t2 - t1 = 12] slots.  Always
+    [true]; exposed so the test suite executes the argument rather than
+    trusting the comment. *)

@@ -1,0 +1,96 @@
+open Workload
+open Switchsim
+
+type local_rule = Local_sebf | Local_fifo
+
+let rule_name = function
+  | Local_sebf -> "decentralized local-SEBF"
+  | Local_fifo -> "decentralized local-FIFO"
+
+let all_rules = [ Local_sebf; Local_fifo ]
+
+(* Priority of serving coflow k on ingress i toward egress j, from purely
+   local information: the smaller the better. *)
+let local_priority rule sim weights k i =
+  match rule with
+  | Local_sebf ->
+    let local_load = ref 0 in
+    for j = 0 to Simulator.ports sim - 1 do
+      local_load := !local_load + Simulator.remaining_at sim k i j
+    done;
+    float_of_int !local_load /. weights.(k)
+  | Local_fifo -> float_of_int (Simulator.release_time sim k)
+
+let decide rule weights rounds sim =
+  let m = Simulator.ports sim in
+  let n = Simulator.num_coflows sim in
+  let src_matched = Array.make m false in
+  let dst_matched = Array.make m false in
+  let transfers = ref [] in
+  (* Each ingress port's candidate list: (priority, egress, coflow), best
+     first, built once per slot from local state. *)
+  let candidates =
+    Array.init m (fun i ->
+        let cands = ref [] in
+        for k = 0 to n - 1 do
+          if Simulator.released sim k && not (Simulator.is_complete sim k)
+          then begin
+            let prio = local_priority rule sim weights k i in
+            for j = 0 to m - 1 do
+              if Simulator.remaining_at sim k i j > 0 then
+                cands := (prio, j, k) :: !cands
+            done
+          end
+        done;
+        List.sort compare !cands)
+  in
+  let remaining_choices = Array.map (fun c -> ref c) candidates in
+  for _round = 1 to rounds do
+    (* request phase: every unmatched ingress proposes its best feasible
+       egress *)
+    let requests = Array.make m [] in
+    Array.iteri
+      (fun i choices ->
+        if not src_matched.(i) then begin
+          let rec first = function
+            | [] -> ()
+            | (prio, j, k) :: rest ->
+              if dst_matched.(j) then begin
+                choices := rest;
+                first rest
+              end
+              else requests.(j) <- (prio, i, k) :: requests.(j)
+          in
+          first !choices
+        end)
+      remaining_choices;
+    (* grant phase: every egress accepts its best request *)
+    Array.iteri
+      (fun j reqs ->
+        if (not dst_matched.(j)) && reqs <> [] then begin
+          let _, i, k = List.fold_left min (List.hd reqs) (List.tl reqs) in
+          src_matched.(i) <- true;
+          dst_matched.(j) <- true;
+          transfers := { Simulator.src = i; dst = j; coflow = k } :: !transfers
+        end)
+      requests
+  done;
+  !transfers
+
+let run ?(rounds = 3) rule inst =
+  if rounds <= 0 then invalid_arg "Decentralized.run: rounds must be positive";
+  let sim =
+    Simulator.create ~ports:(Instance.ports inst) (Instance.demands inst)
+  in
+  let weights = Instance.weights inst in
+  Simulator.run sim ~policy:(decide rule weights rounds);
+  let n = Instance.num_coflows inst in
+  let completion =
+    Array.init n (fun k -> Simulator.completion_time_exn sim k)
+  in
+  { Scheduler.completion;
+    twct = Scheduler.twct_of_completions inst completion;
+    slots = Simulator.now sim;
+    utilization = Simulator.utilization sim;
+    matchings = 0;
+  }

@@ -1,0 +1,30 @@
+(** Decentralized scheduling (the paper's conclusion: "we would also like to
+    remove the centralized control and develop distributed algorithms").
+
+    A request/grant protocol in the spirit of input-queued switch
+    arbitration (iSLIP-like), with coflow priorities instead of queue
+    occupancy:
+
+    + every ingress port looks only at {e its own} outstanding demand,
+      ranks it by a local rule, and requests its best egress;
+    + every egress port grants the best-priority request it received;
+    + ingress ports that lost arbitration retry their next choice, for a
+      fixed number of rounds.
+
+    No port ever sees the global demand matrix, so this is implementable
+    with O(1)-size control messages per slot.  No approximation guarantee
+    is claimed; experiment E13 measures the price of decentralization. *)
+
+type local_rule =
+  | Local_sebf  (** rank by the coflow's remaining demand {e on this port} /
+                    weight — the information a NIC actually has *)
+  | Local_fifo  (** rank by release date *)
+
+val rule_name : local_rule -> string
+
+val all_rules : local_rule list
+
+val run :
+  ?rounds:int -> local_rule -> Workload.Instance.t -> Scheduler.result
+(** [rounds] (default [3]) is the number of request/grant iterations per
+    slot. *)

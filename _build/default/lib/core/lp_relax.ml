@@ -1,0 +1,227 @@
+open Matrix
+open Workload
+
+type result = {
+  cbar : float array;
+  order : int array;
+  lower_bound : float;
+  iterations : int;
+  values : (int * int * float) list;
+}
+
+exception Too_large of string
+
+let interval_count inst =
+  let t = max 1 (Instance.horizon inst) in
+  (* smallest L with 2^(L-1) >= t *)
+  let rec search l cap = if cap >= t then l else search (l + 1) (2 * cap) in
+  search 1 1
+
+(* Sort working indices by cbar, breaking ties by index so the order is
+   deterministic (the paper's order (15) is any nondecreasing order). *)
+let order_of_cbar cbar =
+  let idx = Array.init (Array.length cbar) (fun k -> k) in
+  Array.sort
+    (fun a b ->
+      match Float.compare cbar.(a) cbar.(b) with 0 -> compare a b | c -> c)
+    idx;
+  idx
+
+let trivial_result n =
+  { cbar = Array.make n 0.0;
+    order = Array.init n (fun k -> k);
+    lower_bound = 0.0;
+    iterations = 0;
+    values = [];
+  }
+
+(* Shared builder for both relaxations.
+
+   [taus] are the right endpoints tau_1 < ... < tau_L (tau_0 = 0 implicit);
+   [obj_at] selects the objective coefficient of the variable "coflow k
+   completes at grid point l": the interval LP uses the left endpoint
+   tau_(l-1), LP-EXP the right endpoint tau_l. *)
+let solve_on_grid ~solver ~taus ~obj_at inst =
+  let n = Instance.num_coflows inst in
+  let m = Instance.ports inst in
+  let coflows = Instance.coflows inst in
+  let big_l = Array.length taus in
+  let tau l = taus.(l - 1) in
+  (* per-coflow port loads and the earliest grid index at which the coflow
+     can possibly complete (constraint (13)) *)
+  let row_load = Array.map (fun c -> Mat.row_sums c.Instance.demand) coflows in
+  let col_load = Array.map (fun c -> Mat.col_sums c.Instance.demand) coflows in
+  let first_l =
+    Array.map
+      (fun c ->
+        let bound = c.Instance.release + Mat.load c.Instance.demand in
+        let rec find l =
+          if l > big_l then
+            invalid_arg "Lp_relax: grid too short for some coflow"
+          else if tau l >= bound then l
+          else find (l + 1)
+        in
+        find 1)
+      coflows
+  in
+  let model = Lp.Model.create ~name:"coflow-relaxation" () in
+  (* variables x[k][l], l in [first_l.(k) .. L] *)
+  let vars = Array.make n [||] in
+  for k = 0 to n - 1 do
+    vars.(k) <-
+      Array.init
+        (big_l - first_l.(k) + 1)
+        (fun off ->
+          Lp.Model.add_var
+            ~name:(Printf.sprintf "x_%d_%d" k (first_l.(k) + off))
+            model)
+  done;
+  let var k l =
+    if l < first_l.(k) then None else Some vars.(k).(l - first_l.(k))
+  in
+  (* load rows: for side `In i` / `Out j` and grid point l, the cumulative
+     work of coflows allowed to finish by l must fit in tau_l.  Rows where
+     the full side load already fits are omitted (always satisfied). *)
+  let basis_rows = ref [] in
+  let add_load_rows side_load label =
+    for p = 0 to m - 1 do
+      let total = ref 0 in
+      for k = 0 to n - 1 do
+        total := !total + side_load.(k).(p)
+      done;
+      if !total > 0 then
+        for l = 1 to big_l do
+          if tau l < !total then begin
+            let expr = ref [] in
+            for k = 0 to n - 1 do
+              let w = side_load.(k).(p) in
+              if w > 0 then
+                for l' = first_l.(k) to l do
+                  match var k l' with
+                  | Some v -> expr := (float_of_int w, v) :: !expr
+                  | None -> ()
+                done
+            done;
+            if !expr <> [] then begin
+              ignore
+                (Lp.Model.add_constraint
+                   ~name:(Printf.sprintf "%s_%d_%d" label p l)
+                   model !expr Lp.Model.Le
+                   (float_of_int (tau l)));
+              basis_rows := -1 :: !basis_rows
+            end
+          end
+        done
+    done
+  in
+  add_load_rows row_load "in";
+  add_load_rows col_load "out";
+  (* assignment rows: sum_l x[k][l] = 1; crash basis puts x[k][L] basic *)
+  for k = 0 to n - 1 do
+    let expr = Array.to_list (Array.map (fun v -> (1.0, v)) vars.(k)) in
+    ignore
+      (Lp.Model.add_constraint ~name:(Printf.sprintf "assign_%d" k) model expr
+         Lp.Model.Eq 1.0);
+    basis_rows := (vars.(k).(big_l - first_l.(k)) :> int) :: !basis_rows
+  done;
+  let obj_coeff l =
+    match obj_at with
+    | `Left -> if l = 1 then 0.0 else float_of_int (tau (l - 1))
+    | `Right -> float_of_int (tau l)
+  in
+  let objective = ref [] in
+  for k = 0 to n - 1 do
+    let w = coflows.(k).Instance.weight in
+    for l = first_l.(k) to big_l do
+      match var k l with
+      | Some v -> objective := (w *. obj_coeff l, v) :: !objective
+      | None -> ()
+    done
+  done;
+  Lp.Model.minimize model !objective;
+  let warm_basis = Array.of_list (List.rev !basis_rows) in
+  let solution =
+    match solver with
+    | `Revised -> Lp.Revised_simplex.solve ~warm_basis model
+    | `Dense -> Lp.Dense_simplex.solve model
+  in
+  (match solution.Lp.Solution.status with
+  | Lp.Solution.Optimal -> ()
+  | s ->
+    failwith
+      (Printf.sprintf "Lp_relax: solver returned %s"
+         (Lp.Solution.status_to_string s)));
+  let value v = Lp.Solution.value solution v in
+  let cbar =
+    Array.init n (fun k ->
+        let acc = ref 0.0 in
+        for l = first_l.(k) to big_l do
+          match var k l with
+          | Some v -> acc := !acc +. (obj_coeff l *. value v)
+          | None -> ()
+        done;
+        !acc)
+  in
+  let values = ref [] in
+  for k = n - 1 downto 0 do
+    for l = big_l downto first_l.(k) do
+      match var k l with
+      | Some v ->
+        let x = value v in
+        if x > 1e-9 then values := (k, l, x) :: !values
+      | None -> ()
+    done
+  done;
+  { cbar;
+    order = order_of_cbar cbar;
+    lower_bound = solution.Lp.Solution.objective;
+    iterations = solution.Lp.Solution.iterations;
+    values = !values;
+  }
+
+let solve_interval ?(solver = `Revised) inst =
+  let n = Instance.num_coflows inst in
+  if n = 0 || Instance.total_units inst = 0 then trivial_result n
+  else begin
+    let big_l = interval_count inst in
+    let taus = Array.init big_l (fun i -> 1 lsl i) in
+    (* taus.(l-1) = 2^(l-1) = tau_l *)
+    solve_on_grid ~solver ~taus ~obj_at:`Left inst
+  end
+
+let solve_interval_base ?(solver = `Revised) ~base inst =
+  if base <= 1.0 then
+    invalid_arg "Lp_relax.solve_interval_base: base must exceed 1";
+  let n = Instance.num_coflows inst in
+  if n = 0 || Instance.total_units inst = 0 then trivial_result n
+  else begin
+    let t = max 1 (Instance.horizon inst) in
+    let rec build acc point raw =
+      if point >= t then List.rev (point :: acc)
+      else begin
+        let raw = raw *. base in
+        (* the epsilon keeps near-integer powers (e.g. (sqrt 2)^2k) from
+           rounding up, so grids of nested bases stay set-nested *)
+        let next = int_of_float (Float.ceil (raw -. 1e-9)) in
+        let next = if next <= point then point + 1 else next in
+        build (point :: acc) next raw
+      end
+    in
+    let taus = Array.of_list (build [] 1 1.0) in
+    solve_on_grid ~solver ~taus ~obj_at:`Left inst
+  end
+
+let solve_time_indexed ?(solver = `Revised) ?(max_vars = 100_000) inst =
+  let n = Instance.num_coflows inst in
+  if n = 0 || Instance.total_units inst = 0 then trivial_result n
+  else begin
+    let t = Instance.horizon inst in
+    if n * t > max_vars then
+      raise
+        (Too_large
+           (Printf.sprintf
+              "LP-EXP would need %d variables (n=%d, T=%d) > max_vars=%d" (n * t)
+              n t max_vars));
+    let taus = Array.init t (fun i -> i + 1) in
+    solve_on_grid ~solver ~taus ~obj_at:`Right inst
+  end

@@ -1,0 +1,58 @@
+(** The paper's linear-programming relaxations (§2.1).
+
+    Both relaxations drop the per-slot matching constraints and keep only
+    aggregate load constraints per port and time point; both are solved with
+    the in-repo simplex.  The optimal value of either is a lower bound on
+    the optimal total weighted completion time (Lemma 1), and the
+    "approximated completion times" [C-bar_k] extracted from the optimal
+    solution drive the [H_LP] coflow order (Eq. 14–15).
+
+    - [solve_interval] is the polynomial-sized (LP): completion intervals
+      [(tau_(l-1), tau_l]] with [tau_l = 2^(l-1)], objective coefficient
+      [tau_(l-1)] (left endpoints).
+    - [solve_time_indexed] is (LP-EXP): one variable per coflow and time
+      slot, objective coefficient [t].  Exponential-sized in general — the
+      paper solved it for a single configuration only; same here (guarded by
+      [max_vars]). *)
+
+type result = {
+  cbar : float array;  (** approximated completion time per working index *)
+  order : int array;
+      (** working indices sorted by [cbar], ties by index — the order (15) *)
+  lower_bound : float;
+      (** optimal LP objective: a certified lower bound on
+          [sum w_k C_k (OPT)] *)
+  iterations : int;  (** simplex pivots spent *)
+  values : (int * int * float) list;
+      (** non-zero [(k, l, x)] assignments, for audits *)
+}
+
+exception Too_large of string
+(** Raised (by [solve_time_indexed]) when the formulation would exceed
+    [max_vars] variables. *)
+
+val solve_interval :
+  ?solver:[ `Revised | `Dense ] -> Workload.Instance.t -> result
+(** Build and solve (LP).  [`Revised] (default) warm-starts from the crash
+    basis "every coflow completes in the last interval", which is always
+    primal feasible, so phase 1 is skipped.  @raise Failure if the simplex
+    hits its iteration budget. *)
+
+val solve_interval_base :
+  ?solver:[ `Revised | `Dense ] -> base:float -> Workload.Instance.t -> result
+(** Generalised grid [tau_l = ceil (base^(l-1))] (duplicates skipped).
+    [base = 2.0] is exactly {!solve_interval}; bases closer to 1 make the
+    relaxation tighter and larger, quantifying the paper's open question of
+    how much the geometric coarsening costs.  As [base -> 1] the program
+    converges to (LP-EXP).  @raise Invalid_argument unless [base > 1]. *)
+
+val solve_time_indexed :
+  ?solver:[ `Revised | `Dense ] ->
+  ?max_vars:int ->
+  Workload.Instance.t ->
+  result
+(** Build and solve (LP-EXP); [max_vars] defaults to [100_000]. *)
+
+val interval_count : Workload.Instance.t -> int
+(** The [L] used by [solve_interval]: smallest [L] with
+    [2^(L-1) >= T], where [T] is the naive horizon. *)

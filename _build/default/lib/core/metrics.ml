@@ -1,0 +1,48 @@
+open Workload
+
+let total_weighted_completion ~weights completion =
+  if Array.length weights < Array.length completion then
+    invalid_arg "Metrics: weight vector too short";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k c -> acc := !acc +. (weights.(k) *. float_of_int c))
+    completion;
+  !acc
+
+let total_weighted_flow ~weights ~releases completion =
+  if
+    Array.length weights < Array.length completion
+    || Array.length releases < Array.length completion
+  then invalid_arg "Metrics: vector length mismatch";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k c ->
+      if c < releases.(k) then
+        invalid_arg "Metrics.total_weighted_flow: completion before release";
+      acc := !acc +. (weights.(k) *. float_of_int (c - releases.(k))))
+    completion;
+  !acc
+
+let mean cs =
+  if Array.length cs = 0 then invalid_arg "Metrics.mean: empty";
+  float_of_int (Array.fold_left ( + ) 0 cs) /. float_of_int (Array.length cs)
+
+let percentile p cs =
+  let n = Array.length cs in
+  if n = 0 then invalid_arg "Metrics.percentile: empty";
+  if p < 0.0 || p > 1.0 then invalid_arg "Metrics.percentile: p out of range";
+  let sorted = Array.copy cs in
+  Array.sort compare sorted;
+  let rank = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+  sorted.(rank)
+
+let max_completion cs = Array.fold_left max 0 cs
+
+let slowdowns inst completion =
+  Array.mapi
+    (fun k c ->
+      let cf = Instance.coflow inst k in
+      let rho = Matrix.Mat.load cf.Instance.demand in
+      if rho = 0 then 1.0
+      else float_of_int (c - cf.Instance.release) /. float_of_int rho)
+    completion

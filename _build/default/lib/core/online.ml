@@ -1,0 +1,66 @@
+open Matrix
+open Workload
+open Switchsim
+
+type rule = Weighted_bottleneck | Weighted_remaining | Arrival_order
+
+let rule_name = function
+  | Weighted_bottleneck -> "online weighted bottleneck (SEBF/w)"
+  | Weighted_remaining -> "online weighted remaining (SRPT/w)"
+  | Arrival_order -> "online FCFS"
+
+let all_rules = [ Weighted_bottleneck; Weighted_remaining; Arrival_order ]
+
+(* The simulator does not carry weights; policies capture them when built
+   through [run].  For the bare [policy] accessor, weights default to 1. *)
+let keyed_priority rule sim weights =
+  let n = Simulator.num_coflows sim in
+  let alive = ref [] in
+  for k = n - 1 downto 0 do
+    if Simulator.released sim k && not (Simulator.is_complete sim k) then
+      alive := k :: !alive
+  done;
+  let key k =
+    let w = match weights with Some w -> w.(k) | None -> 1.0 in
+    match rule with
+    | Weighted_bottleneck ->
+      (float_of_int (Mat.load (Simulator.remaining sim k)) /. w, k)
+    | Weighted_remaining ->
+      (float_of_int (Simulator.remaining_total sim k) /. w, k)
+    | Arrival_order -> (float_of_int (Simulator.release_time sim k), k)
+  in
+  List.map key !alive |> List.sort compare |> List.map snd
+
+let decide rule weights sim =
+  let m = Simulator.ports sim in
+  let src_used = Array.make m false and dst_used = Array.make m false in
+  let transfers = ref [] in
+  List.iter
+    (fun k ->
+      Simulator.iter_remaining sim k (fun i j _ ->
+          if not (src_used.(i) || dst_used.(j)) then begin
+            src_used.(i) <- true;
+            dst_used.(j) <- true;
+            transfers := { Simulator.src = i; dst = j; coflow = k } :: !transfers
+          end))
+    (keyed_priority rule sim weights);
+  !transfers
+
+let policy rule sim = decide rule None sim
+
+let run rule inst =
+  let sim =
+    Simulator.create ~ports:(Instance.ports inst) (Instance.demands inst)
+  in
+  let weights = Some (Instance.weights inst) in
+  Simulator.run sim ~policy:(decide rule weights);
+  let n = Instance.num_coflows inst in
+  let completion =
+    Array.init n (fun k -> Simulator.completion_time_exn sim k)
+  in
+  { Scheduler.completion;
+    twct = Scheduler.twct_of_completions inst completion;
+    slots = Simulator.now sim;
+    utilization = Simulator.utilization sim;
+    matchings = 0;
+  }

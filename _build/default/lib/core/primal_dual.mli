@@ -1,0 +1,22 @@
+(** LP-free combinatorial ordering via a primal-dual residual-weight rule —
+    the "much simpler algorithm, possibly a primal-dual based algorithm"
+    the paper's conclusion asks for.
+
+    The rule generalises the Mastrolilli et al. concurrent-open-shop
+    algorithm to coupled port resources: build the permutation from last to
+    first; at each step pick the port (ingress or egress) with the largest
+    total remaining load, charge every remaining coflow's residual weight at
+    the rate of its load on that port, and place last the coflow whose
+    residual weight hits zero first.  Ahmadi, Khuller, Purohit and Yang
+    later proved this exact scheme is a constant-factor approximation for
+    coflows; here it serves as the LP-free comparator to [H_LP].
+
+    Runs in [O (n * (n + m^2))] and needs no simplex at all. *)
+
+val order : Workload.Instance.t -> Ordering.t
+(** The primal-dual permutation (most-urgent coflow first). *)
+
+val order_with_duals : Workload.Instance.t -> Ordering.t * float array
+(** Also returns the final residual weights (zero for every coflow chosen
+    by a charging step; positive only for coflows placed by the
+    zero-load fallback), useful for tests. *)

@@ -1,0 +1,17 @@
+let run ?(backfill = false) st inst order =
+  let t0 = Grouping.draw_t0 st in
+  let groups = Grouping.randomized ~a:Grouping.golden_a ~t0 inst order in
+  Scheduler.run_grouped ~backfill inst groups
+
+let expected_twct ?(backfill = false) ?(samples = 25) st inst order =
+  if samples <= 0 then invalid_arg "Randomized.expected_twct: samples <= 0";
+  let draws =
+    Array.init samples (fun _ ->
+        (run ~backfill st inst order).Scheduler.twct)
+  in
+  let n = float_of_int samples in
+  let mean = Array.fold_left ( +. ) 0.0 draws /. n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 draws /. n
+  in
+  (mean, sqrt var)

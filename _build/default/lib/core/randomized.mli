@@ -1,0 +1,27 @@
+(** The randomized approximation algorithm (§3.2): identical to the
+    deterministic Algorithm 2 except that the grouping classes are bounded
+    by randomly shifted points [tau'_l = T0 * a^(l-1)] with
+    [a = 1 + sqrt 2] and [T0 ~ Unif [1, a]].
+
+    In expectation this improves the ratio from [67/3 ~ 22.33] to
+    [9 + 16 * sqrt 2 / 3 ~ 16.54] ([8 + 16 * sqrt 2 / 3] without release
+    dates). *)
+
+val run :
+  ?backfill:bool ->
+  Random.State.t ->
+  Workload.Instance.t ->
+  Ordering.t ->
+  Scheduler.result
+(** One random draw of the interval shift, then the usual grouped
+    schedule. *)
+
+val expected_twct :
+  ?backfill:bool ->
+  ?samples:int ->
+  Random.State.t ->
+  Workload.Instance.t ->
+  Ordering.t ->
+  float * float
+(** Monte-Carlo estimate [(mean, standard deviation)] of the total weighted
+    completion time over [samples] (default [25]) independent draws. *)

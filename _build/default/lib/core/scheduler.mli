@@ -1,0 +1,68 @@
+(** The scheduling stage: turn an ordered (and possibly grouped) list of
+    coflows into actual per-slot matchings, executed and validated by
+    {!Switchsim.Simulator}.
+
+    The four cases evaluated in §4 of the paper:
+
+    - {b (a) base}: clear each coflow on its own with Algorithm 1, strictly
+      in order;
+    - {b (b) backfilling}: as (a), but when a matched port pair has no
+      remaining demand from the current coflow, a data unit from the first
+      subsequent coflow with demand on the same pair is sent instead;
+    - {b (c) grouping}: Algorithm 2 — coflows in the same geometric load
+      class are consolidated and cleared as one aggregated coflow;
+    - {b (d) grouping + backfilling}: both.
+
+    With the [H_LP] order, case (c) is exactly the paper's deterministic
+    approximation algorithm (Theorem 1). *)
+
+type case = Base | Backfill | Group | Group_backfill
+
+val all_cases : case list
+
+val case_name : case -> string
+(** ["a" | "b" | "c" | "d"]. *)
+
+type result = {
+  completion : int array;  (** completion slot per working index *)
+  twct : float;  (** total weighted completion time *)
+  slots : int;  (** schedule length (makespan) *)
+  utilization : float;
+  matchings : int;  (** distinct BvN matchings computed *)
+}
+
+val policy :
+  ?backfill:bool ->
+  ?aggressive:bool ->
+  Workload.Instance.t ->
+  Grouping.t ->
+  Switchsim.Simulator.t ->
+  Switchsim.Simulator.transfer list
+(** The slot policy: partially apply on an instance and grouping, hand the
+    closure to {!Switchsim.Simulator.run}.  The closure is stateful — use
+    one per simulation.  Groups are activated in order once all their
+    members are released; while the next group is gated by a release date, a
+    backfilling policy serves released later coflows greedily and a
+    non-backfilling policy idles, matching the sequential discipline of
+    Algorithm 2. *)
+
+val run : ?case:case -> Workload.Instance.t -> Ordering.t -> result
+(** Build the grouping for [case] (default [Group], the paper's algorithm),
+    simulate to completion, return measured statistics. *)
+
+val run_grouped :
+  ?backfill:bool ->
+  ?aggressive:bool ->
+  Workload.Instance.t ->
+  Grouping.t ->
+  result
+(** Like {!run} but with an explicit (e.g. randomized) grouping.
+
+    [aggressive] enables a work-conserving extension beyond the paper's
+    backfilling (an ablation this repo adds): after the BvN matching claims
+    its port pairs, all still-idle ports are matched greedily against the
+    remaining demand in priority order.  The paper's backfilling only reuses
+    the {e matched} pairs, which can leave ports idle when the augmented
+    matrix has no counterpart demand downstream. *)
+
+val twct_of_completions : Workload.Instance.t -> int array -> float

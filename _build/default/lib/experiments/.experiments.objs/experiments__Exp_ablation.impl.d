@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Core Grouping Harness List Ordering Report Scheduler

@@ -1,0 +1,1 @@
+lib/experiments/exp_audit.ml: Core Harness List Ordering Report Scheduler Verify

@@ -1,0 +1,1 @@
+lib/experiments/exp_audit.mli: Harness

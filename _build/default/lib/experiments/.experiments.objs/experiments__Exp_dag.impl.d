@@ -1,0 +1,1 @@
+lib/experiments/exp_dag.ml: Config Core Dag Dag_scheduler List Random Report Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_fabric.ml: Config Core Harness Instance List Ordering Random Report Switchsim Weights Workload

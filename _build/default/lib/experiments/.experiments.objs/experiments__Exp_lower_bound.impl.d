@@ -1,0 +1,1 @@
+lib/experiments/exp_lower_bound.ml: Config Core Fb_like Grouping Instance Lp_relax Ordering Random Report Scheduler Weights Workload

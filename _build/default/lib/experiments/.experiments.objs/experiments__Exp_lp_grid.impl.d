@@ -1,0 +1,1 @@
+lib/experiments/exp_lp_grid.ml: Config Core Harness Instance List Lp_relax Ordering Random Report Scheduler Unix Weights Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_lp_grid.mli: Config

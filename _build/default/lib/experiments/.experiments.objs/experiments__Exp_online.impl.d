@@ -1,0 +1,1 @@
+lib/experiments/exp_online.ml: Config Core Decentralized Fb_like Instance List Lp_relax Metrics Online Ordering Primal_dual Printf Random Report Scheduler Weights Workload

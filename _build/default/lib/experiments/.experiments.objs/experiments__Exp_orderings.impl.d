@@ -1,0 +1,1 @@
+lib/experiments/exp_orderings.ml: Baselines Core Harness List Lp_relax Ordering Primal_dual Printf Report Scheduler

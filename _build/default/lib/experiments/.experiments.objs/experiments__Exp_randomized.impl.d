@@ -1,0 +1,1 @@
+lib/experiments/exp_randomized.ml: Config Core Harness List Ordering Random Randomized Report Scheduler

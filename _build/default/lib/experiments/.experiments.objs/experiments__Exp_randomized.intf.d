@@ -1,0 +1,1 @@
+lib/experiments/exp_randomized.mli: Config Harness

@@ -1,0 +1,1 @@
+lib/experiments/exp_releases.ml: Baselines Config Core Fb_like Grouping Instance List Lp_relax Ordering Printf Random Report Scheduler Verify Weights Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_robust.ml: Array Config Core Float Grouping Harness Instance List Lp_relax Mat Matrix Ordering Random Report Scheduler Weights Workload

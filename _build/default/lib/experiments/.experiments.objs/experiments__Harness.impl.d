@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Config Core Fb_like Instance List Lp_relax Ordering Printf Random Scheduler Weights Workload

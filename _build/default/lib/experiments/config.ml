@@ -1,0 +1,59 @@
+type scale = Quick | Default | Large
+
+type t = {
+  ports : int;
+  coflows : int;
+  seed : int;
+  filters : int list;
+  lpexp_ports : int;
+  lpexp_coflows : int;
+  randomized_samples : int;
+  release_mean_gap : int;
+}
+
+let of_scale = function
+  | Quick ->
+    { ports = 12;
+      coflows = 80;
+      seed = 20150613; (* SPAA'15 *)
+      filters = [ 12; 8; 4 ];
+      lpexp_ports = 6;
+      lpexp_coflows = 12;
+      randomized_samples = 10;
+      release_mean_gap = 30;
+    }
+  | Default ->
+    { ports = 24;
+      coflows = 280;
+      seed = 20150613;
+      filters = [ 50; 40; 30 ];
+      lpexp_ports = 8;
+      lpexp_coflows = 24;
+      randomized_samples = 25;
+      release_mean_gap = 60;
+    }
+  | Large ->
+    { ports = 40;
+      coflows = 480;
+      seed = 20150613;
+      filters = [ 50; 40; 30 ];
+      lpexp_ports = 9;
+      lpexp_coflows = 28;
+      randomized_samples = 25;
+      release_mean_gap = 100;
+    }
+
+let default = of_scale Default
+
+let scale_of_string = function
+  | "quick" -> Some Quick
+  | "default" -> Some Default
+  | "large" -> Some Large
+  | _ -> None
+
+let pp ppf c =
+  Format.fprintf ppf
+    "ports=%d coflows=%d seed=%d filters=[%s] lpexp=%dx%d samples=%d" c.ports
+    c.coflows c.seed
+    (String.concat ";" (List.map string_of_int c.filters))
+    c.lpexp_ports c.lpexp_coflows c.randomized_samples

@@ -1,0 +1,27 @@
+(** Experiment configuration.
+
+    The paper's trace has 150 ports and ~500+ coflows; our default scale is
+    smaller so that the six LP solves behind Table 1 finish in seconds on a
+    laptop, and a [Large] scale is provided for closer-to-paper runs.  All
+    randomness flows from [seed]. *)
+
+type scale = Quick | Default | Large
+
+type t = {
+  ports : int;
+  coflows : int;  (** generated before filtering *)
+  seed : int;
+  filters : int list;  (** M0 thresholds, mirroring the paper's 50/40/30 *)
+  lpexp_ports : int;  (** scale of the LP-EXP lower-bound experiment *)
+  lpexp_coflows : int;
+  randomized_samples : int;
+  release_mean_gap : int;  (** inter-arrival mean for the release study *)
+}
+
+val of_scale : scale -> t
+
+val default : t
+
+val scale_of_string : string -> scale option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+(** E9 — ablation of the scheduling-stage design choices (this repo's
+    addition; DESIGN.md calls these out):
+
+    - {b grouping} (case (c) vs (a)) — the paper's central device;
+    - {b backfilling} (case (d) vs (c)) — reuse of matched pairs only;
+    - {b work conservation} (case (d) + greedy rematch of idle ports) — one
+      step beyond the paper, to quantify how much the restriction of
+      backfilling to already-matched pairs costs. *)
+
+type row = {
+  filter : int;
+  weighting : Harness.weighting;
+  base : float;  (** case (a), H_LP *)
+  grouped : float;  (** case (c) *)
+  backfilled : float;  (** case (d) *)
+  work_conserving : float;  (** case (d) + aggressive fill *)
+}
+
+val rows : Harness.block list -> row list
+
+val render : Harness.block list -> string

@@ -1,0 +1,94 @@
+open Core
+
+type block_audit = {
+  filter : int;
+  weighting : Harness.weighting;
+  lemma2_ok : bool;
+  lemma3_ok : bool;
+  prop1_ok : bool;
+  det_ratio : float;
+  best_ratio : float;
+  limit : float;
+}
+
+let order_of_entry block entry =
+  match entry.Harness.order_name with
+  | "HA" -> Ordering.arrival block.Harness.instance
+  | "Hrho" -> Ordering.by_load_over_weight block.Harness.instance
+  | "HLP" -> Ordering.by_lp block.Harness.lp
+  | other -> invalid_arg ("Exp_audit: unknown order " ^ other)
+
+let audit_block (b : Harness.block) =
+  let inst = b.Harness.instance in
+  let lemma2_ok =
+    List.for_all
+      (fun e ->
+        Verify.lemma2_prefix_bound inst (order_of_entry b e)
+          e.Harness.result.Scheduler.completion
+        = Ok ())
+      b.Harness.entries
+  in
+  let lemma3_ok = Verify.lemma3_lp_bound inst b.Harness.lp = Ok () in
+  let prop1_ok =
+    List.for_all
+      (fun case ->
+        let e = Harness.find b ~order:"HLP" case in
+        Verify.proposition1_bound inst
+          (Ordering.by_lp b.Harness.lp)
+          e.Harness.result.Scheduler.completion
+        = Ok ())
+      [ Scheduler.Group; Scheduler.Group_backfill ]
+  in
+  let det_ratio = Harness.lp_ratio b ~order:"HLP" Scheduler.Group in
+  let best_ratio =
+    List.fold_left
+      (fun acc e ->
+        min acc
+          (Harness.lp_ratio b ~order:e.Harness.order_name e.Harness.case))
+      infinity b.Harness.entries
+  in
+  { filter = b.Harness.filter;
+    weighting = b.Harness.weighting;
+    lemma2_ok;
+    lemma3_ok;
+    prop1_ok;
+    det_ratio;
+    best_ratio;
+    limit = Verify.deterministic_ratio_limit ~with_releases:false;
+  }
+
+let audit blocks = List.map audit_block blocks
+
+let all_pass audits =
+  List.for_all
+    (fun a ->
+      a.lemma2_ok && a.lemma3_ok && a.prop1_ok
+      && a.det_ratio <= a.limit +. 1e-9)
+    audits
+
+let render blocks =
+  let audits = audit blocks in
+  let mark b = if b then "ok" else "VIOLATED" in
+  let rows =
+    List.map
+      (fun a ->
+        [ string_of_int a.filter;
+          Harness.weighting_name a.weighting;
+          mark a.lemma2_ok;
+          mark a.lemma3_ok;
+          mark a.prop1_ok;
+          Report.f2 a.det_ratio;
+          Report.f2 a.best_ratio;
+          Report.f2 a.limit;
+        ])
+      audits
+  in
+  Report.table
+    ~title:
+      "Theory audit: paper inequalities on the experiment workload (ratios \
+       are vs the certified LP lower bound)"
+    ~header:
+      [ "M0 >="; "weights"; "Lemma2"; "Lemma3"; "Prop1"; "det ratio";
+        "best ratio"; "limit 64/3";
+      ]
+    rows

@@ -1,0 +1,24 @@
+(** E5 — theory audit: check the paper's inequalities on the actual
+    experiment workload (not just the unit-test micro instances).
+
+    For every (filter, weighting) block: Lemma 2 on all 12 schedules,
+    Lemma 3 on the LP solution, Proposition 1 on the grouped H_LP
+    schedules, and the Theorem 1 ratio of the deterministic algorithm
+    against the certified LP lower bound. *)
+
+type block_audit = {
+  filter : int;
+  weighting : Harness.weighting;
+  lemma2_ok : bool;
+  lemma3_ok : bool;
+  prop1_ok : bool;
+  det_ratio : float;  (** TWCT(HLP, case c) / LP bound *)
+  best_ratio : float;  (** min over all 12 algorithms of TWCT / LP bound *)
+  limit : float;  (** 64/3 for the release-free workload *)
+}
+
+val audit : Harness.block list -> block_audit list
+
+val all_pass : block_audit list -> bool
+
+val render : Harness.block list -> string

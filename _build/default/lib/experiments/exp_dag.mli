@@ -1,0 +1,18 @@
+(** E14 — precedence constraints (the paper's §5: "the addition of other
+    realistic constraints, such as precedence constraints").
+
+    Multi-stage jobs whose stages are coflows connected by dependencies;
+    a stage's release date is endogenous (its predecessors' completion).
+    Compares the dynamic priorities of {!Core.Dag_scheduler} on stage-level
+    TWCT, job (sink) completion and makespan. *)
+
+type row = {
+  priority : string;
+  stage_twct : float;
+  sink_completion_sum : int;
+  makespan : int;
+}
+
+val run : Config.t -> row list
+
+val render : Config.t -> string

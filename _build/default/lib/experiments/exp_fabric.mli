@@ -1,0 +1,21 @@
+(** E15 — oversubscribed fabric (relaxing the paper's non-blocking
+    assumption).
+
+    The Facebook cluster behind the paper's trace had a 10:1 core-to-rack
+    oversubscription; the model (and this repo's other experiments) assume
+    a non-blocking core.  This experiment sweeps the core capacity from
+    non-blocking down to 10:1 and measures how much the coflow schedule
+    degrades, using the capacity-aware greedy policy under the [H_rho]
+    priority. *)
+
+type row = {
+  label : string;
+  core_capacity : int;
+  twct : float;
+  makespan : int;
+  utilization : float;
+}
+
+val run : Config.t -> row list
+
+val render : Config.t -> string

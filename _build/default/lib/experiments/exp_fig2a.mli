@@ -1,0 +1,19 @@
+(** E2 — Figure 2a: for each ordering, the TWCT of cases (b), (c), (d) as a
+    percentage of the base case (a).  The paper reports this for the
+    [M0 >= 50] filter with random weights and finds grouping (up to ~27%
+    reduction) dominating backfilling (up to ~9%). *)
+
+type series = {
+  order_name : string;
+  percentages : (Core.Scheduler.case * float) list;
+      (** TWCT(case) / TWCT(case a), cases (a)–(d); case (a) is 1.0 *)
+}
+
+val series_of_block : Harness.block -> series list
+
+val pick_block : Harness.block list -> Harness.block
+(** The paper's configuration: largest filter with random weights. *)
+
+val render : Harness.block list -> string
+
+val csv : Harness.block list -> string

@@ -1,0 +1,16 @@
+(** E3 — Figure 2b: cross-ordering comparison in the best scheduling case
+    (d), both weightings, on the largest filter.  The paper's headline:
+    [H_rho] and [H_LP] beat [H_A] by up to ~8x and track each other within
+    a few percent. *)
+
+type point = {
+  order_name : string;
+  weighting : Harness.weighting;
+  normalized : float;  (** vs (H_LP, case d) of the same block *)
+}
+
+val points : Harness.block list -> point list
+
+val render : Harness.block list -> string
+
+val csv : Harness.block list -> string

@@ -1,0 +1,22 @@
+(** E4 — the LP-EXP lower-bound experiment (§4.2).
+
+    The paper solves the exponential time-indexed relaxation once (random
+    weights, [M0 >= 50]) and reports [LP-EXP / TWCT (H_LP) = 0.9447],
+    concluding the LP-ordered heuristic is near-optimal.  LP-EXP is
+    time-indexed, so like the paper we only run it at a reduced scale. *)
+
+type result = {
+  n : int;
+  ports : int;
+  lp_bound : float;  (** interval-indexed (LP) optimum *)
+  lpexp_bound : float;  (** time-indexed (LP-EXP) optimum, >= lp_bound *)
+  twct_hlp : float;  (** H_LP with grouping+backfilling *)
+  ratio : float;  (** lpexp_bound / twct_hlp, the paper's 0.9447 analogue *)
+  twct_aggressive : float;
+      (** this repo's work-conserving ablation on top of case (d) *)
+  ratio_aggressive : float;
+}
+
+val run : Config.t -> result
+
+val render : result -> string

@@ -1,0 +1,24 @@
+(** E11 — interval-granularity ablation (the paper's §4.3 asks to
+    "systematically measure the benefit of the time-indexed versus the
+    interval-indexed linear program"; this experiment does so).
+
+    For a sweep of grid bases [a], solve the generalised interval relaxation
+    with points [ceil (a^(l-1))], and report: size of the LP, simplex
+    effort, the lower bound it certifies, and the TWCT of the grouped
+    schedule driven by its ordering.  Base 2 is the paper's (LP); as
+    [a -> 1] the program converges to (LP-EXP). *)
+
+type row = {
+  base : float;
+  intervals : int;
+  iterations : int;
+  solve_seconds : float;
+  lower_bound : float;
+  twct : float;  (** case (d) schedule under the resulting order *)
+}
+
+val run : ?bases:float list -> Config.t -> row list
+(** Default bases: [1.2; 1.5; 2.0; 3.0; 4.0].  Uses the largest-filter
+    random-weights workload of the configuration. *)
+
+val render : ?bases:float list -> Config.t -> string

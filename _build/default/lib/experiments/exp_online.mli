@@ -1,0 +1,19 @@
+(** E12 — online vs offline under arrivals: how much is the offline LP
+    order worth when coflows stream in?  Compares the paper's offline
+    Algorithm 2 (which knows the whole instance up front) against the
+    non-clairvoyant online rules of {!Core.Online} and the
+    request/grant decentralized schedulers of {!Core.Decentralized} on the
+    release-date workload, reporting both the weighted completion objective
+    and the weighted flow time the paper's conclusion highlights. *)
+
+type row = {
+  algo : string;
+  twct : float;
+  twft : float;  (** total weighted flow time, [sum w (C - r)] *)
+  makespan : int;
+}
+
+val run : Config.t -> row list * float
+(** Rows plus the interval-LP lower bound on the offline TWCT. *)
+
+val render : Config.t -> string

@@ -1,0 +1,53 @@
+open Core
+
+type row = { algo : string; twct : float; slots : int; lp_ratio : float }
+
+let run (b : Harness.block) =
+  let inst = b.Harness.instance in
+  let bound = b.Harness.lp.Lp_relax.lower_bound in
+  let ratio v = if bound > 0.0 then v /. bound else infinity in
+  let of_result name (r : Scheduler.result) =
+    { algo = name;
+      twct = r.Scheduler.twct;
+      slots = r.Scheduler.slots;
+      lp_ratio = ratio r.Scheduler.twct;
+    }
+  in
+  let case_d order = Scheduler.run ~case:Scheduler.Group_backfill inst order in
+  [ of_result "H_A (trace order)" (case_d (Ordering.arrival inst));
+    of_result "H_size (bytes/weight)" (case_d (Ordering.by_total_size inst));
+    of_result "H_rho (load/weight)"
+      (case_d (Ordering.by_load_over_weight inst));
+    of_result "H_pd (primal-dual, LP-free)" (case_d (Primal_dual.order inst));
+    of_result "H_LP (interval LP)" (case_d (Ordering.by_lp b.Harness.lp));
+    of_result "SEBF + MADD (Varys-style, rate-based)"
+      (Baselines.sebf_madd inst);
+    of_result "MaxWeight matching (switch-theoretic)"
+      (Baselines.max_weight inst);
+    of_result "FIFO greedy" (Baselines.fifo inst);
+  ]
+
+let render blocks =
+  let max_filter =
+    List.fold_left (fun acc b -> max acc b.Harness.filter) 0 blocks
+  in
+  let b =
+    List.find
+      (fun b ->
+        b.Harness.filter = max_filter && b.Harness.weighting = Harness.Random)
+      blocks
+  in
+  let rows = run b in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Ordering portfolio under grouping+backfilling (M0 >= %d, random \
+          weights); ratios vs the LP lower bound"
+         max_filter)
+    ~header:[ "algorithm"; "TWCT"; "makespan"; "TWCT / LP bound" ]
+    (List.map
+       (fun r ->
+         [ r.algo; Report.f2 r.twct; string_of_int r.slots;
+           Report.f2 r.lp_ratio;
+         ])
+       rows)

@@ -1,0 +1,17 @@
+(** E6 — randomized vs deterministic grouping (the comparison the paper
+    defers to future work, §4.3): Monte-Carlo mean of the randomized
+    algorithm of §3.2 against the deterministic Algorithm 2, both under the
+    [H_LP] order with backfilling. *)
+
+type result = {
+  filter : int;
+  weighting : Harness.weighting;
+  deterministic : float;
+  randomized_mean : float;
+  randomized_std : float;
+  samples : int;
+}
+
+val run : Config.t -> Harness.block list -> result list
+
+val render : Config.t -> Harness.block list -> string

@@ -1,0 +1,27 @@
+(** E7 — release-date study.  The paper's algorithms handle release dates
+    (that is what the 67/3 analysis covers) but its evaluation sets all
+    releases to zero; this extension staggers arrivals and compares the
+    orderings and baselines under the grouped+backfilled discipline, plus
+    FIFO-style baselines, and audits Proposition 1 with releases. *)
+
+type row = {
+  algo : string;
+  twct : float;
+  slots : int;
+  lp_ratio : float;
+}
+
+type result = {
+  n : int;
+  mean_gap : int;
+  lp_bound : float;
+  rows : row list;
+  prop1_literal_ok : bool;
+      (** the paper's per-coflow Proposition 1 — expected to fail with
+          arrivals (see {!Core.Verify.proposition1_bound}) *)
+  prop1_grouped_ok : bool;  (** the corrected group-level bound *)
+}
+
+val run : Config.t -> result
+
+val render : result -> string

@@ -1,0 +1,24 @@
+(** E13 — sensitivity to demand uncertainty (the paper's conclusion: "in
+    applications the D matrices may have uncertainty, and it would be
+    interesting to design algorithms to deal with this uncertainty").
+
+    The scheduler is given {e estimated} demand matrices — every entry
+    multiplied by an independent noise factor — to compute its ordering and
+    grouping, while the simulator charges the {e true} demands.  Backfilling
+    naturally absorbs estimation error (the BvN schedule is recomputed from
+    true remaining demand at group activation; only the order/classes are
+    stale), so the measured degradation isolates the ordering stage's
+    sensitivity. *)
+
+type row = {
+  noise : float;  (** entries scaled by [Unif [1/(1+noise), 1+noise]] *)
+  twct_hrho : float;
+  twct_hlp : float;
+  degradation_hrho : float;  (** vs the noise-free run *)
+  degradation_hlp : float;
+}
+
+val run : ?noise_levels:float list -> Config.t -> row list
+(** Default noise levels: [0.0; 0.5; 1.0; 3.0]. *)
+
+val render : ?noise_levels:float list -> Config.t -> string

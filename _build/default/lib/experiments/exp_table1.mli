@@ -1,0 +1,16 @@
+(** E1 — Table 1 of the paper: normalized total weighted completion times
+    for 3 orderings x 4 scheduling cases x 3 filters x 2 weightings, each
+    block normalized by its (H_LP, case (d)) value. *)
+
+type row = {
+  filter : int;
+  case : Core.Scheduler.case;
+  equal_w : (string * float) list;  (** normalized TWCT per order *)
+  random_w : (string * float) list;
+}
+
+val rows : Harness.block list -> row list
+
+val render : Harness.block list -> string
+
+val csv : Harness.block list -> string

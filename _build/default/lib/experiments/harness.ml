@@ -1,0 +1,81 @@
+open Workload
+open Core
+
+type weighting = Equal | Random
+
+let weighting_name = function Equal -> "equal" | Random -> "random"
+
+type entry = {
+  order_name : string;
+  case : Scheduler.case;
+  result : Scheduler.result;
+}
+
+type block = {
+  filter : int;
+  weighting : weighting;
+  instance : Instance.t;
+  lp : Lp_relax.result;
+  entries : entry list;
+}
+
+let order_names = [ "HA"; "Hrho"; "HLP" ]
+
+let base_instance (cfg : Config.t) =
+  let st = Random.State.make [| cfg.Config.seed |] in
+  Fb_like.generate ~ports:cfg.Config.ports ~coflows:cfg.Config.coflows st
+
+let block cfg ~filter ~weighting =
+  let inst = Instance.filter_m0 (base_instance cfg) filter in
+  let n = Instance.num_coflows inst in
+  if n = 0 then
+    invalid_arg
+      (Printf.sprintf "Harness.block: filter M0>=%d removed every coflow"
+         filter);
+  let inst =
+    match weighting with
+    | Equal -> Instance.with_weights inst (Weights.equal n)
+    | Random ->
+      (* weight seed depends on the filter so blocks are independent yet
+         reproducible *)
+      let st = Random.State.make [| cfg.Config.seed; filter; 0xBEEF |] in
+      Instance.with_weights inst (Weights.random_permutation st n)
+  in
+  let lp = Lp_relax.solve_interval inst in
+  let orders =
+    [ ("HA", Ordering.arrival inst);
+      ("Hrho", Ordering.by_load_over_weight inst);
+      ("HLP", Ordering.by_lp lp);
+    ]
+  in
+  let entries =
+    List.concat_map
+      (fun (order_name, order) ->
+        List.map
+          (fun case ->
+            { order_name; case; result = Scheduler.run ~case inst order })
+          Scheduler.all_cases)
+      orders
+  in
+  { filter; weighting; instance = inst; lp; entries }
+
+let all_blocks cfg =
+  List.concat_map
+    (fun filter ->
+      List.map (fun weighting -> block cfg ~filter ~weighting) [ Equal; Random ])
+    cfg.Config.filters
+
+let find b ~order case =
+  List.find
+    (fun e -> e.order_name = order && e.case = case)
+    b.entries
+
+let twct b ~order case = (find b ~order case).result.Scheduler.twct
+
+let normalized b entry =
+  let base = twct b ~order:"HLP" Scheduler.Group_backfill in
+  entry.result.Scheduler.twct /. base
+
+let lp_ratio b ~order case =
+  let bound = b.lp.Lp_relax.lower_bound in
+  if bound <= 0.0 then infinity else twct b ~order case /. bound

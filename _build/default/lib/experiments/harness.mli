@@ -1,0 +1,47 @@
+(** Shared computation behind Table 1 and Figures 2a/2b: for each
+    (M0-filter, weighting) block, run all 12 algorithms — {H_A, H_rho, H_LP}
+    x {(a), (b), (c), (d)} — on the filtered fb-like trace and keep the LP
+    relaxation around for lower bounds and audits. *)
+
+type weighting = Equal | Random
+
+val weighting_name : weighting -> string
+
+type entry = {
+  order_name : string;  (** "HA" | "Hrho" | "HLP" *)
+  case : Core.Scheduler.case;
+  result : Core.Scheduler.result;
+}
+
+type block = {
+  filter : int;
+  weighting : weighting;
+  instance : Workload.Instance.t;  (** filtered + weighted *)
+  lp : Core.Lp_relax.result;
+  entries : entry list;  (** all 12 combinations *)
+}
+
+val order_names : string list
+
+val base_instance : Config.t -> Workload.Instance.t
+(** The unfiltered fb-like trace for this configuration (deterministic in
+    the seed). *)
+
+val block : Config.t -> filter:int -> weighting:weighting -> block
+
+val all_blocks : Config.t -> block list
+(** Every (filter, weighting) combination of the configuration; this is
+    where the six LP solves happen. *)
+
+val find : block -> order:string -> Core.Scheduler.case -> entry
+(** @raise Not_found if absent. *)
+
+val twct : block -> order:string -> Core.Scheduler.case -> float
+
+val normalized : block -> entry -> float
+(** Entry TWCT divided by the block's (H_LP, case (d)) TWCT — the
+    normalization used in the paper's Table 1. *)
+
+val lp_ratio : block -> order:string -> Core.Scheduler.case -> float
+(** TWCT over the LP lower bound (an upper bound on the true approximation
+    ratio). *)

@@ -1,0 +1,57 @@
+let table ?title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> cols then
+        invalid_arg "Report.table: ragged rows")
+    rows;
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun c cell -> widths.(c) <- max widths.(c) (String.length cell)))
+    all;
+  let b = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+    Buffer.add_string b t;
+    Buffer.add_char b '\n'
+  | None -> ());
+  let pad c s = s ^ String.make (widths.(c) - String.length s) ' ' in
+  let render_row row =
+    Buffer.add_string b "| ";
+    List.iteri
+      (fun c cell ->
+        if c > 0 then Buffer.add_string b " | ";
+        Buffer.add_string b (pad c cell))
+      row;
+    Buffer.add_string b " |\n"
+  in
+  let rule () =
+    Buffer.add_char b '+';
+    Array.iter
+      (fun w -> Buffer.add_string b (String.make (w + 2) '-');
+        Buffer.add_char b '+')
+      widths;
+    Buffer.add_char b '\n'
+  in
+  rule ();
+  render_row header;
+  rule ();
+  List.iter render_row rows;
+  rule ();
+  Buffer.contents b
+
+let csv ~header rows =
+  let quote cell =
+    if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') cell then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+    else cell
+  in
+  let line row = String.concat "," (List.map quote row) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let f2 x = Printf.sprintf "%.2f" x
+
+let f4 x = Printf.sprintf "%.4f" x
+
+let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)

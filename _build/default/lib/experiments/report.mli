@@ -1,0 +1,15 @@
+(** Plain-text table rendering and CSV output for the experiment
+    harness. *)
+
+val table : ?title:string -> header:string list -> string list list -> string
+(** Fixed-width ASCII table; columns sized to fit the widest cell. *)
+
+val csv : header:string list -> string list list -> string
+
+val f2 : float -> string
+(** Two-decimal rendering used across the tables. *)
+
+val f4 : float -> string
+
+val pct : float -> string
+(** Percentage with two decimals, e.g. [72.81%]. *)

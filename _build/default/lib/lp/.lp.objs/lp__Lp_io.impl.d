@@ -1,0 +1,1 @@
+lib/lp/lp_io.ml: Buffer Float Fun Hashtbl List Model Option Printf String

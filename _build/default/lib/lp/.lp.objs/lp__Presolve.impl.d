@@ -1,0 +1,1 @@
+lib/lp/presolve.ml: Array Dense_simplex Float Hashtbl List Model Printf Revised_simplex Solution

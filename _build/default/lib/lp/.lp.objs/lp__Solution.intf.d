@@ -1,0 +1,1 @@
+lib/lp/solution.mli: Format Model

@@ -1,0 +1,1 @@
+lib/lp/std_form.mli: Model

@@ -1,0 +1,11 @@
+(** Two-phase full-tableau primal simplex.
+
+    A deliberately simple reference implementation: Bland's pivoting rule
+    throughout (no cycling, ever), the entire tableau kept dense.  Intended
+    for small models and as the oracle that {!Revised_simplex} is tested
+    against; do not feed it the full interval-indexed relaxation of a large
+    trace. *)
+
+val solve : ?max_iterations:int -> Model.t -> Solution.t
+(** [solve m] runs both phases.  [max_iterations] (default [100_000]) bounds
+    the total number of pivots across the two phases. *)

@@ -1,0 +1,117 @@
+type var = int
+
+type sense = Le | Ge | Eq
+
+type term = float * var
+
+type expr = term list
+
+type row = { r_expr : expr; r_sense : sense; r_rhs : float; r_name : string }
+
+type t = {
+  m_name : string;
+  mutable vars : string list; (* reversed names *)
+  mutable nvars : int;
+  mutable rows : row list; (* reversed *)
+  mutable nrows : int;
+  mutable obj_dir : [ `Minimize | `Maximize ];
+  mutable obj : expr;
+  mutable obj_const : float;
+}
+
+let create ?(name = "lp") () =
+  { m_name = name;
+    vars = [];
+    nvars = 0;
+    rows = [];
+    nrows = 0;
+    obj_dir = `Minimize;
+    obj = [];
+    obj_const = 0.0;
+  }
+
+let name m = m.m_name
+
+let add_var ?name m =
+  let id = m.nvars in
+  let vname = match name with Some n -> n | None -> Printf.sprintf "x%d" id in
+  m.vars <- vname :: m.vars;
+  m.nvars <- id + 1;
+  id
+
+let add_vars m n = Array.init n (fun _ -> add_var m)
+
+let var_of_int m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Model.var_of_int: out of range";
+  i
+
+let var_name m v =
+  if v < 0 || v >= m.nvars then invalid_arg "Model.var_name: out of range";
+  List.nth m.vars (m.nvars - 1 - v)
+
+let num_vars m = m.nvars
+
+let check_expr m e =
+  List.iter
+    (fun (c, v) ->
+      if v < 0 || v >= m.nvars then
+        invalid_arg "Model: expression references unknown variable";
+      if Float.is_nan c || Float.abs c = infinity then
+        invalid_arg "Model: non-finite coefficient")
+    e
+
+let add_constraint ?name m e s b =
+  check_expr m e;
+  if Float.is_nan b then invalid_arg "Model: NaN right-hand side";
+  let id = m.nrows in
+  let rname = match name with Some n -> n | None -> Printf.sprintf "c%d" id in
+  m.rows <- { r_expr = e; r_sense = s; r_rhs = b; r_name = rname } :: m.rows;
+  m.nrows <- id + 1;
+  id
+
+let num_constraints m = m.nrows
+
+let constraint_row m i =
+  if i < 0 || i >= m.nrows then
+    invalid_arg "Model.constraint_row: out of range";
+  let r = List.nth m.rows (m.nrows - 1 - i) in
+  (r.r_expr, r.r_sense, r.r_rhs)
+
+let minimize m ?(constant = 0.0) e =
+  check_expr m e;
+  m.obj_dir <- `Minimize;
+  m.obj <- e;
+  m.obj_const <- constant
+
+let maximize m ?(constant = 0.0) e =
+  check_expr m e;
+  m.obj_dir <- `Maximize;
+  m.obj <- e;
+  m.obj_const <- constant
+
+let objective m = (m.obj_dir, m.obj, m.obj_const)
+
+let eval e x = List.fold_left (fun acc (c, v) -> acc +. (c *. x.(v))) 0.0 e
+
+let pp_expr names ppf e =
+  if e = [] then Format.fprintf ppf "0"
+  else
+    List.iteri
+      (fun k (c, v) ->
+        if k > 0 then Format.fprintf ppf " + ";
+        Format.fprintf ppf "%g %s" c names.(v))
+      e
+
+let pp ppf m =
+  let names = Array.make m.nvars "" in
+  List.iteri (fun k n -> names.(m.nvars - 1 - k) <- n) m.vars;
+  let dir = match m.obj_dir with `Minimize -> "min" | `Maximize -> "max" in
+  Format.fprintf ppf "@[<v>%s: %a" dir (pp_expr names) m.obj;
+  if m.obj_const <> 0.0 then Format.fprintf ppf " + %g" m.obj_const;
+  List.iter
+    (fun r ->
+      let s = match r.r_sense with Le -> "<=" | Ge -> ">=" | Eq -> "=" in
+      Format.fprintf ppf "@,%s: %a %s %g" r.r_name (pp_expr names) r.r_expr s
+        r.r_rhs)
+    (List.rev m.rows);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,63 @@
+(** Linear-program modeling layer.
+
+    A model owns a set of non-negative decision variables, a list of linear
+    constraints and one linear objective.  All variables are implicitly
+    bounded below by [0] (every LP in this project — the interval-indexed
+    relaxation, LP-EXP, and the open-shop relaxations — is naturally posed
+    over non-negative variables); upper bounds are expressed as ordinary
+    constraints.
+
+    Models are write-once containers: build, then hand to a solver
+    ({!Dense_simplex} or {!Revised_simplex}). *)
+
+type t
+
+type var = private int
+(** Variable handle, dense from [0]. *)
+
+type sense = Le | Ge | Eq
+
+type term = float * var
+
+type expr = term list
+(** Sparse linear expression [sum coeff * var].  Duplicate variables are
+    allowed and are summed. *)
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val add_var : ?name:string -> t -> var
+(** Fresh non-negative variable. *)
+
+val add_vars : t -> int -> var array
+
+val var_of_int : t -> int -> var
+(** Recover a handle from its index.  @raise Invalid_argument if out of
+    range. *)
+
+val var_name : t -> var -> string
+
+val num_vars : t -> int
+
+val add_constraint : ?name:string -> t -> expr -> sense -> float -> int
+(** [add_constraint m e s b] posts [e s b] and returns the row index. *)
+
+val num_constraints : t -> int
+
+val constraint_row : t -> int -> expr * sense * float
+
+val minimize : t -> ?constant:float -> expr -> unit
+
+val maximize : t -> ?constant:float -> expr -> unit
+
+val objective : t -> [ `Minimize | `Maximize ] * expr * float
+(** Direction, expression and additive constant; minimizing the zero
+    objective when unset. *)
+
+val eval : expr -> float array -> float
+(** [eval e x] evaluates the expression at the point [x] indexed by
+    variable. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump of the whole program (for debugging and tests). *)

@@ -1,0 +1,541 @@
+let src = Logs.Src.create "lp.revised" ~doc:"Revised simplex"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type warm_basis = int array
+
+let feas_tol = 1e-7
+let opt_tol = 1e-7
+let pivot_tol = 1e-8
+
+(* Column numbering: [0 .. ncols-1] structural, [ncols + r] slack/surplus of
+   row [r] (absent for equality rows), [ncols + nrows + r] artificial of row
+   [r]. *)
+
+type problem = {
+  nrows : int;
+  ncols : int;
+  col_rows : int array array; (* structural columns, rows normalised *)
+  col_vals : float array array;
+  rhs : float array; (* all >= 0 after normalisation *)
+  slack_sign : float array; (* +1 (Le), -1 (Ge), 0 (Eq) per row *)
+  obj : float array; (* structural minimisation costs *)
+  flipped : bool array; (* rows negated during normalisation *)
+}
+
+let normalise (std : Std_form.t) =
+  let nrows = std.Std_form.nrows and ncols = std.Std_form.ncols in
+  let flip = Array.make nrows false in
+  let rhs = Array.copy std.Std_form.rhs in
+  let slack_sign = Array.make nrows 0.0 in
+  for r = 0 to nrows - 1 do
+    if rhs.(r) < 0.0 then begin
+      flip.(r) <- true;
+      rhs.(r) <- -.rhs.(r)
+    end;
+    let sense = std.Std_form.senses.(r) in
+    let sign =
+      match sense with
+      | Std_form.Le -> 1.0
+      | Std_form.Ge -> -1.0
+      | Std_form.Eq -> 0.0
+    in
+    slack_sign.(r) <- (if flip.(r) then -.sign else sign)
+  done;
+  let col_rows = Array.map Array.copy std.Std_form.col_rows in
+  let col_vals = Array.map Array.copy std.Std_form.col_vals in
+  Array.iteri
+    (fun c rows ->
+      Array.iteri
+        (fun k r -> if flip.(r) then col_vals.(c).(k) <- -.col_vals.(c).(k))
+        rows)
+    col_rows;
+  { nrows;
+    ncols;
+    col_rows;
+    col_vals;
+    rhs;
+    slack_sign;
+    obj = Array.copy std.Std_form.obj;
+    flipped = flip;
+  }
+
+(* Sparse representation of an arbitrary (structural / slack / artificial)
+   column. *)
+let column p c =
+  if c < p.ncols then (p.col_rows.(c), p.col_vals.(c))
+  else if c < p.ncols + p.nrows then begin
+    let r = c - p.ncols in
+    ([| r |], [| p.slack_sign.(r) |])
+  end
+  else begin
+    let r = c - p.ncols - p.nrows in
+    ([| r |], [| 1.0 |])
+  end
+
+type state = {
+  p : problem;
+  total : int; (* ncols + 2 * nrows *)
+  basis : int array; (* column per basis position *)
+  in_basis : bool array;
+  binv : float array; (* row-major nrows x nrows *)
+  xb : float array;
+  mutable iterations : int;
+  mutable degenerate_streak : int;
+  mutable bland : bool;
+  mutable cursor : int; (* partial-pricing start column *)
+}
+
+let n_of st = st.p.nrows
+
+(* d = B^-1 * A_c for a sparse column. *)
+let ftran st (rows, vals) d =
+  let n = n_of st in
+  Array.fill d 0 n 0.0;
+  let nnz = Array.length rows in
+  for k = 0 to nnz - 1 do
+    let col = Array.unsafe_get rows k in
+    let v = Array.unsafe_get vals k in
+    if v <> 0.0 then begin
+      let binv = st.binv in
+      for r = 0 to n - 1 do
+        Array.unsafe_set d r
+          (Array.unsafe_get d r +. (v *. Array.unsafe_get binv ((r * n) + col)))
+      done
+    end
+  done
+
+(* y = cB^T B^-1 where cB is given per basis position. *)
+let btran st cb y =
+  let n = n_of st in
+  Array.fill y 0 n 0.0;
+  for r = 0 to n - 1 do
+    let c = Array.unsafe_get cb r in
+    if c <> 0.0 then begin
+      let binv = st.binv in
+      let base = r * n in
+      for j = 0 to n - 1 do
+        Array.unsafe_set y j
+          (Array.unsafe_get y j +. (c *. Array.unsafe_get binv (base + j)))
+      done
+    end
+  done
+
+let reduced_cost st cost y c =
+  let rows, vals = column st.p c in
+  let acc = ref (cost c) in
+  for k = 0 to Array.length rows - 1 do
+    acc := !acc -. (Array.unsafe_get y (Array.unsafe_get rows k)
+                    *. Array.unsafe_get vals k)
+  done;
+  !acc
+
+(* Rebuild B^-1 by Gauss-Jordan with partial pivoting and recompute xb.
+   Returns [false] when the basis matrix is singular. *)
+let refactorize st =
+  let n = n_of st in
+  let aug = Array.make (n * 2 * n) 0.0 in
+  (* left half: B; right half: I *)
+  let w = 2 * n in
+  for pos = 0 to n - 1 do
+    let rows, vals = column st.p st.basis.(pos) in
+    for k = 0 to Array.length rows - 1 do
+      aug.((rows.(k) * w) + pos) <- vals.(k)
+    done
+  done;
+  for r = 0 to n - 1 do
+    aug.((r * w) + n + r) <- 1.0
+  done;
+  let ok = ref true in
+  (try
+     for c = 0 to n - 1 do
+       (* partial pivot *)
+       let best = ref c and bestv = ref (Float.abs aug.((c * w) + c)) in
+       for r = c + 1 to n - 1 do
+         let v = Float.abs aug.((r * w) + c) in
+         if v > !bestv then begin
+           best := r;
+           bestv := v
+         end
+       done;
+       if !bestv < 1e-12 then raise Exit;
+       if !best <> c then
+         for k = 0 to w - 1 do
+           let t = aug.((c * w) + k) in
+           aug.((c * w) + k) <- aug.((!best * w) + k);
+           aug.((!best * w) + k) <- t
+         done;
+       let piv = aug.((c * w) + c) in
+       for k = 0 to w - 1 do
+         aug.((c * w) + k) <- aug.((c * w) + k) /. piv
+       done;
+       for r = 0 to n - 1 do
+         if r <> c then begin
+           let f = aug.((r * w) + c) in
+           if f <> 0.0 then
+             for k = 0 to w - 1 do
+               aug.((r * w) + k) <- aug.((r * w) + k) -. (f *. aug.((c * w) + k))
+             done
+         end
+       done
+     done
+   with Exit -> ok := false);
+  if !ok then begin
+    for r = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        st.binv.((r * n) + j) <- aug.((r * w) + n + j)
+      done
+    done;
+    (* xb = B^-1 rhs *)
+    for r = 0 to n - 1 do
+      let acc = ref 0.0 in
+      let base = r * n in
+      for j = 0 to n - 1 do
+        acc := !acc +. (st.binv.(base + j) *. st.p.rhs.(j))
+      done;
+      st.xb.(r) <- !acc
+    done
+  end;
+  !ok
+
+(* Pivot: basis position [leave] is replaced by column [enter] whose ftran
+   direction is [d]; [theta] is the step length. *)
+let pivot st leave enter d theta =
+  let n = n_of st in
+  let dl = d.(leave) in
+  let binv = st.binv in
+  let base_l = leave * n in
+  for k = 0 to n - 1 do
+    Array.unsafe_set binv (base_l + k) (Array.unsafe_get binv (base_l + k) /. dl)
+  done;
+  for r = 0 to n - 1 do
+    if r <> leave then begin
+      let f = Array.unsafe_get d r in
+      if f <> 0.0 then begin
+        let base_r = r * n in
+        for k = 0 to n - 1 do
+          Array.unsafe_set binv (base_r + k)
+            (Array.unsafe_get binv (base_r + k)
+            -. (f *. Array.unsafe_get binv (base_l + k)))
+        done
+      end
+    end
+  done;
+  for r = 0 to n - 1 do
+    if r <> leave then st.xb.(r) <- st.xb.(r) -. (theta *. d.(r))
+  done;
+  st.xb.(leave) <- theta;
+  st.in_basis.(st.basis.(leave)) <- false;
+  st.in_basis.(enter) <- true;
+  st.basis.(leave) <- enter;
+  st.iterations <- st.iterations + 1;
+  if theta <= feas_tol then begin
+    st.degenerate_streak <- st.degenerate_streak + 1;
+    if st.degenerate_streak > 60 then st.bland <- true
+  end
+  else begin
+    st.degenerate_streak <- 0;
+    st.bland <- false
+  end
+
+(* Entering-column selection.  [allowed c] restricts the candidate set (used
+   to ban artificials in phase 2).  Partial pricing: scan from the rotating
+   cursor, keep the most negative reduced cost seen, and stop early after a
+   full block has been scanned with a viable candidate in hand.  In Bland
+   mode: lowest-index negative column, full determinism. *)
+let price st cost allowed y =
+  let total = st.total in
+  if st.bland then begin
+    let found = ref (-1) in
+    (try
+       for c = 0 to total - 1 do
+         if (not st.in_basis.(c)) && allowed c then begin
+           let rc = reduced_cost st cost y c in
+           if rc < -.opt_tol then begin
+             found := c;
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    !found
+  end
+  else begin
+    let block = 512 in
+    let best = ref (-1) and best_rc = ref (-.opt_tol) in
+    let scanned = ref 0 in
+    let c = ref st.cursor in
+    (try
+       while !scanned < total do
+         let col = !c in
+         if (not st.in_basis.(col)) && allowed col then begin
+           let rc = reduced_cost st cost y col in
+           if rc < !best_rc then begin
+             best_rc := rc;
+             best := col
+           end
+         end;
+         incr scanned;
+         c := !c + 1;
+         if !c >= total then c := 0;
+         if !scanned mod block = 0 && !best >= 0 then raise Exit
+       done
+     with Exit -> ());
+    st.cursor <- !c;
+    !best
+  end
+
+(* Ratio test.  Returns [None] when unbounded.  Prefers, among minimum-ratio
+   rows, the largest pivot magnitude for stability; in Bland mode the
+   smallest basic column index. *)
+let ratio_test st d =
+  let n = n_of st in
+  let best_ratio = ref infinity in
+  let leave = ref (-1) in
+  for r = 0 to n - 1 do
+    let dr = d.(r) in
+    if dr > pivot_tol then begin
+      let ratio = st.xb.(r) /. dr in
+      let ratio = if ratio < 0.0 then 0.0 else ratio in
+      if ratio < !best_ratio -. 1e-10 then begin
+        best_ratio := ratio;
+        leave := r
+      end
+      else if ratio <= !best_ratio +. 1e-10 && !leave >= 0 then begin
+        let better =
+          if st.bland then st.basis.(r) < st.basis.(!leave)
+          else Float.abs dr > Float.abs d.(!leave)
+        in
+        if better then begin
+          if ratio < !best_ratio then best_ratio := ratio;
+          leave := r
+        end
+      end
+    end
+  done;
+  if !leave = -1 then None else Some (!leave, !best_ratio)
+
+type phase_outcome = P_optimal | P_unbounded | P_limit
+
+let run_phase st cost allowed ~max_iterations ~refactor =
+  let n = n_of st in
+  let y = Array.make n 0.0 in
+  let cb = Array.make n 0.0 in
+  let d = Array.make n 0.0 in
+  let rec loop () =
+    if st.iterations >= max_iterations then P_limit
+    else begin
+      if st.iterations > 0 && st.iterations mod refactor = 0 then
+        if not (refactorize st) then
+          failwith "Revised_simplex: basis became singular";
+      for r = 0 to n - 1 do
+        cb.(r) <- cost st.basis.(r)
+      done;
+      btran st cb y;
+      let enter = price st cost allowed y in
+      if enter < 0 then P_optimal
+      else begin
+        ftran st (column st.p enter) d;
+        match ratio_test st d with
+        | None -> P_unbounded
+        | Some (leave, theta) ->
+          pivot st leave enter d theta;
+          loop ()
+      end
+    end
+  in
+  loop ()
+
+let make_state p =
+  let n = p.nrows in
+  let total = p.ncols + (2 * n) in
+  let binv = Array.make (n * n) 0.0 in
+  for r = 0 to n - 1 do
+    binv.((r * n) + r) <- 1.0
+  done;
+  { p;
+    total;
+    basis = Array.make n (-1);
+    in_basis = Array.make total false;
+    binv;
+    xb = Array.copy p.rhs;
+    iterations = 0;
+    degenerate_streak = 0;
+    bland = false;
+    cursor = 0;
+  }
+
+(* Default phase-1 start: slack where the slack sign is +1, artificial
+   otherwise. *)
+let install_cold_basis st =
+  let p = st.p in
+  Array.fill st.in_basis 0 st.total false;
+  for r = 0 to p.nrows - 1 do
+    let c = if p.slack_sign.(r) = 1.0 then p.ncols + r else p.ncols + p.nrows + r in
+    st.basis.(r) <- c;
+    st.in_basis.(c) <- true
+  done;
+  let n = p.nrows in
+  Array.fill st.binv 0 (n * n) 0.0;
+  for r = 0 to n - 1 do
+    st.binv.((r * n) + r) <- 1.0
+  done;
+  Array.blit p.rhs 0 st.xb 0 n
+
+let try_warm_basis st (wb : warm_basis) =
+  let p = st.p in
+  if Array.length wb <> p.nrows then false
+  else begin
+    let ok = ref true in
+    Array.fill st.in_basis 0 st.total false;
+    Array.iteri
+      (fun r c ->
+        let col =
+          if c = -1 then
+            if p.slack_sign.(r) = 0.0 then -2 (* equality row has no slack *)
+            else p.ncols + r
+          else if c >= 0 && c < p.ncols then c
+          else -2
+        in
+        if col = -2 || (col >= 0 && st.in_basis.(col)) then ok := false
+        else begin
+          st.basis.(r) <- col;
+          st.in_basis.(col) <- true
+        end)
+      wb;
+    if not !ok then false
+    else if not (refactorize st) then false
+    else Array.for_all (fun v -> v >= -.feas_tol) st.xb
+  end
+
+let artificial_start st = st.p.ncols + st.p.nrows
+
+(* After phase 1: pivot zero-level artificials out of the basis wherever a
+   non-artificial column has a non-zero coefficient in their row of
+   B^-1 A. *)
+let expel_artificials st =
+  let p = st.p in
+  let n = p.nrows in
+  let first_art = artificial_start st in
+  for pos = 0 to n - 1 do
+    if st.basis.(pos) >= first_art then begin
+      let found = ref (-1) and dval = ref 0.0 in
+      let c = ref 0 in
+      while !found < 0 && !c < first_art do
+        if not st.in_basis.(!c) then begin
+          (* element [pos] of B^-1 A_c *)
+          let rows, vals = column p !c in
+          let acc = ref 0.0 in
+          for k = 0 to Array.length rows - 1 do
+            acc := !acc +. (st.binv.((pos * n) + rows.(k)) *. vals.(k))
+          done;
+          if Float.abs !acc > 1e-7 then begin
+            found := !c;
+            dval := !acc
+          end
+        end;
+        incr c
+      done;
+      (* [-1] means the row is redundant; the artificial stays basic at
+         zero and phase 2 never lets it grow. *)
+      if !found >= 0 then begin
+        let c = !found in
+        let d = Array.make n 0.0 in
+        ftran st (column p c) d;
+        pivot st pos c d st.xb.(pos)
+      end
+    end
+  done
+
+let solve ?(max_iterations = 200_000) ?warm_basis ?(refactor = 256) model =
+  let std = Std_form.of_model model in
+  let p = normalise std in
+  let st = make_state p in
+  let first_art = artificial_start st in
+  let warm_ok =
+    match warm_basis with
+    | Some wb ->
+      let ok = try_warm_basis st wb in
+      if not ok then
+        Log.warn (fun f -> f "warm basis rejected; falling back to phase 1");
+      ok
+    | None -> false
+  in
+  (* Multipliers of the original rows: y = cB^T B^-1 in the normalised
+     space, unflipped, and negated back when the model maximised. *)
+  let compute_duals () =
+    let n = p.nrows in
+    let cb = Array.make n 0.0 in
+    Array.iteri
+      (fun r c -> cb.(r) <- (if c < p.ncols then p.obj.(c) else 0.0))
+      st.basis;
+    let y = Array.make n 0.0 in
+    btran st cb y;
+    Array.mapi
+      (fun r yr ->
+        let yr = if p.flipped.(r) then -.yr else yr in
+        if std.Std_form.maximize then -.yr else yr)
+      y
+  in
+  let finish status =
+    let values = Array.make p.ncols 0.0 in
+    Array.iteri
+      (fun r c -> if c < p.ncols then values.(c) <- max 0.0 st.xb.(r))
+      st.basis;
+    { Solution.status;
+      objective = Std_form.objective_value std values;
+      values;
+      iterations = st.iterations;
+      duals =
+        (if status = Solution.Optimal then Some (compute_duals ()) else None);
+    }
+  in
+  let infeasible () =
+    { Solution.status = Solution.Infeasible;
+      objective = nan;
+      values = Array.make p.ncols 0.0;
+      iterations = st.iterations;
+      duals = None;
+    }
+  in
+  let phase2 () =
+    let cost c = if c < p.ncols then p.obj.(c) else 0.0 in
+    let allowed c = c < first_art in
+    st.bland <- false;
+    st.degenerate_streak <- 0;
+    match run_phase st cost allowed ~max_iterations ~refactor with
+    | P_optimal -> finish Solution.Optimal
+    | P_limit -> finish Solution.Iteration_limit
+    | P_unbounded ->
+      { Solution.status = Solution.Unbounded;
+        objective = (if std.Std_form.maximize then infinity else neg_infinity);
+        values = Array.make p.ncols 0.0;
+        iterations = st.iterations;
+        duals = None;
+      }
+  in
+  if warm_ok then phase2 ()
+  else begin
+    install_cold_basis st;
+    let any_artificial =
+      Array.exists (fun c -> c >= first_art) st.basis
+    in
+    if not any_artificial then phase2 ()
+    else begin
+      let cost c = if c >= first_art then 1.0 else 0.0 in
+      let allowed _ = true in
+      match run_phase st cost allowed ~max_iterations ~refactor with
+      | P_limit -> finish Solution.Iteration_limit
+      | P_unbounded -> assert false (* phase 1 is bounded below by 0 *)
+      | P_optimal ->
+        let level = ref 0.0 in
+        Array.iteri
+          (fun r c -> if c >= first_art then level := !level +. st.xb.(r))
+          st.basis;
+        if !level > 1e-6 then infeasible ()
+        else begin
+          expel_artificials st;
+          phase2 ()
+        end
+    end
+  end

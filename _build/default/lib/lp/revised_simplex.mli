@@ -1,0 +1,35 @@
+(** Revised primal simplex with an explicitly maintained basis inverse.
+
+    Designed for the interval-indexed coflow relaxations: thousands of sparse
+    columns, a few thousand rows.  The inverse is updated in place by the
+    usual product-form row operations and rebuilt from scratch every
+    [refactor] pivots to bound numerical drift.  Pricing is partial (block
+    scans with a rotating cursor); a streak of degenerate pivots switches the
+    rule to Bland's until progress resumes, which guarantees termination.
+
+    A warm-start basis can be supplied to skip phase 1 entirely; the coflow
+    LP builder uses the crash basis "every coflow finishes in the last
+    interval". *)
+
+type warm_basis = int array
+(** One entry per constraint row: a structural variable index to make basic
+    on that row, or [-1] to use the row's own slack (only valid for
+    inequality rows).  The proposed basis is verified — non-singularity and
+    primal feasibility — and silently discarded in favour of a cold phase-1
+    start if the check fails. *)
+
+val solve :
+  ?max_iterations:int ->
+  ?warm_basis:warm_basis ->
+  ?refactor:int ->
+  Model.t ->
+  Solution.t
+(** [solve m] minimises (or maximises) the model.  [max_iterations] defaults
+    to [200_000] pivots across both phases; [refactor] (default [256]) is the
+    inverse-rebuild period.
+
+    At [Optimal] the solution carries the dual multipliers of every original
+    row, oriented so that strong duality reads
+    [sum_r duals.(r) * rhs.(r) = objective - objective_constant] and
+    complementary slackness holds: a row with a non-zero multiplier is tight
+    at the optimum. *)

@@ -1,0 +1,21 @@
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type t = {
+  status : status;
+  objective : float;
+  values : float array;
+  iterations : int;
+  duals : float array option;
+}
+
+let value t v = t.values.((v : Model.var :> int))
+
+let status_to_string = function
+  | Optimal -> "optimal"
+  | Infeasible -> "infeasible"
+  | Unbounded -> "unbounded"
+  | Iteration_limit -> "iteration-limit"
+
+let pp ppf t =
+  Format.fprintf ppf "%s: obj=%g (%d iterations)" (status_to_string t.status)
+    t.objective t.iterations

@@ -1,0 +1,30 @@
+(** Result of a solve, shared by all solver back ends. *)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+      (** The solver hit its iteration budget; [values] holds the best
+          feasible point found (phase-2 iterates are always feasible). *)
+
+type t = {
+  status : status;
+  objective : float;
+      (** Objective of the original model (maximization sign restored);
+          meaningful for [Optimal] and [Iteration_limit]. *)
+  values : float array; (** One value per model variable. *)
+  iterations : int;
+  duals : float array option;
+      (** One multiplier per original constraint row, when the solver
+          computed them (currently {!Revised_simplex} at [Optimal]).  Signs
+          follow the original row orientation, so strong duality reads
+          [sum_r duals.(r) * rhs_r = objective] for models with a zero
+          objective constant; see the solver documentation. *)
+}
+
+val value : t -> Model.var -> float
+
+val status_to_string : status -> string
+
+val pp : Format.formatter -> t -> unit

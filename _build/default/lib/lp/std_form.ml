@@ -1,0 +1,82 @@
+type sense = Le | Ge | Eq
+
+type t = {
+  nrows : int;
+  ncols : int;
+  col_rows : int array array;
+  col_vals : float array array;
+  obj : float array;
+  obj_const : float;
+  rhs : float array;
+  senses : sense array;
+  maximize : bool;
+}
+
+(* Accumulate (row, coeff) pairs per column, merging duplicates per row. *)
+let of_model m =
+  let ncols = Model.num_vars m in
+  let nrows = Model.num_constraints m in
+  let cols = Array.make ncols [] in
+  let rhs = Array.make nrows 0.0 in
+  let senses = Array.make nrows Eq in
+  for r = 0 to nrows - 1 do
+    let expr, s, b = Model.constraint_row m r in
+    rhs.(r) <- b;
+    senses.(r) <-
+      (match s with Model.Le -> Le | Model.Ge -> Ge | Model.Eq -> Eq);
+    (* merge duplicate variables within the row *)
+    let tbl = Hashtbl.create (List.length expr) in
+    List.iter
+      (fun (c, v) ->
+        let v = (v : Model.var :> int) in
+        let prev = try Hashtbl.find tbl v with Not_found -> 0.0 in
+        Hashtbl.replace tbl v (prev +. c))
+      expr;
+    Hashtbl.iter
+      (fun v c -> if c <> 0.0 then cols.(v) <- (r, c) :: cols.(v))
+      tbl
+  done;
+  let col_rows = Array.make ncols [||] in
+  let col_vals = Array.make ncols [||] in
+  for v = 0 to ncols - 1 do
+    let entries = List.sort compare cols.(v) in
+    col_rows.(v) <- Array.of_list (List.map fst entries);
+    col_vals.(v) <- Array.of_list (List.map snd entries)
+  done;
+  let dir, obj_expr, obj_const = Model.objective m in
+  let maximize = dir = `Maximize in
+  let obj = Array.make ncols 0.0 in
+  List.iter
+    (fun (c, v) ->
+      let v = (v : Model.var :> int) in
+      obj.(v) <- obj.(v) +. (if maximize then -.c else c))
+    obj_expr;
+  let obj_const = if maximize then -.obj_const else obj_const in
+  { nrows; ncols; col_rows; col_vals; obj; obj_const; rhs; senses; maximize }
+
+let row_nnz std =
+  let counts = Array.make std.nrows 0 in
+  Array.iter
+    (fun rows -> Array.iter (fun r -> counts.(r) <- counts.(r) + 1) rows)
+    std.col_rows;
+  counts
+
+let residuals std x =
+  let res = Array.map (fun b -> -.b) std.rhs in
+  for v = 0 to std.ncols - 1 do
+    let xv = x.(v) in
+    if xv <> 0.0 then begin
+      let rows = std.col_rows.(v) and vals = std.col_vals.(v) in
+      for k = 0 to Array.length rows - 1 do
+        res.(rows.(k)) <- res.(rows.(k)) +. (vals.(k) *. xv)
+      done
+    end
+  done;
+  res
+
+let objective_value std x =
+  let acc = ref std.obj_const in
+  for v = 0 to std.ncols - 1 do
+    acc := !acc +. (std.obj.(v) *. x.(v))
+  done;
+  if std.maximize then -. !acc else !acc

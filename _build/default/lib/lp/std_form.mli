@@ -1,0 +1,37 @@
+(** Computational standard form shared by both simplex implementations.
+
+    A model is lowered to
+
+    {v  minimize  c . x + const,   A x  (<=|>=|=)  b,   x >= 0  v}
+
+    with [A] stored column-wise and sparse, duplicate terms merged, and a
+    maximization objective negated (the solvers undo the negation when
+    reporting). *)
+
+type sense = Le | Ge | Eq
+
+type t = {
+  nrows : int;
+  ncols : int;
+  col_rows : int array array; (** per column: row indices of the non-zeros *)
+  col_vals : float array array; (** matching coefficient values *)
+  obj : float array; (** minimization costs, length [ncols] *)
+  obj_const : float;
+  rhs : float array;
+  senses : sense array;
+  maximize : bool; (** the original model maximized; reported objective and
+                       duals must be negated back *)
+}
+
+val of_model : Model.t -> t
+
+val row_nnz : t -> int array
+(** Number of structural non-zeros per row (used by presolve and tests). *)
+
+val residuals : t -> float array -> float array
+(** [residuals std x] is [A x - b] per row; a point is feasible when every
+    [Le] row is [<= tol], every [Ge] row is [>= -tol] and every [Eq] row has
+    absolute value [<= tol]. *)
+
+val objective_value : t -> float array -> float
+(** Objective of the original model (sign restored) at point [x]. *)

@@ -1,0 +1,1 @@
+lib/matching/bipartite.ml: Array Format List Queue

@@ -1,0 +1,194 @@
+type t = {
+  m : int;
+  adj : int list array; (* adj.(i): right neighbours of left vertex i,
+                           stored reversed; exposed in insertion order *)
+  mutable edges : int;
+}
+
+let create m =
+  if m <= 0 then invalid_arg "Bipartite.create: size must be positive";
+  { m; adj = Array.make m []; edges = 0 }
+
+let size g = g.m
+
+let check g i j =
+  if i < 0 || i >= g.m || j < 0 || j >= g.m then
+    invalid_arg "Bipartite: vertex out of range"
+
+let mem_edge g i j =
+  check g i j;
+  List.mem j g.adj.(i)
+
+let add_edge g i j =
+  check g i j;
+  if not (List.mem j g.adj.(i)) then begin
+    g.adj.(i) <- j :: g.adj.(i);
+    g.edges <- g.edges + 1
+  end
+
+let edge_count g = g.edges
+
+let neighbours g i =
+  if i < 0 || i >= g.m then invalid_arg "Bipartite.neighbours: out of range";
+  List.rev g.adj.(i)
+
+let of_support pred m =
+  let g = create m in
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      if pred i j then add_edge g i j
+    done
+  done;
+  g
+
+type matching = (int * int) list
+
+let is_matching m pairs =
+  let left = Array.make m false and right = Array.make m false in
+  let ok = ref true in
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= m || j < 0 || j >= m then ok := false
+      else begin
+        if left.(i) || right.(j) then ok := false;
+        if i >= 0 && i < m then left.(i) <- true;
+        if j >= 0 && j < m then right.(j) <- true
+      end)
+    pairs;
+  !ok
+
+(* Kuhn's algorithm: for each left vertex, search for an augmenting path. *)
+let max_matching_kuhn g =
+  let match_right = Array.make g.m (-1) in
+  let visited = Array.make g.m false in
+  let rec try_augment i =
+    let rec attempt = function
+      | [] -> false
+      | j :: rest ->
+        if visited.(j) then attempt rest
+        else begin
+          visited.(j) <- true;
+          if match_right.(j) = -1 || try_augment match_right.(j) then begin
+            match_right.(j) <- i;
+            true
+          end
+          else attempt rest
+        end
+    in
+    attempt g.adj.(i)
+  in
+  for i = 0 to g.m - 1 do
+    Array.fill visited 0 g.m false;
+    ignore (try_augment i)
+  done;
+  let pairs = ref [] in
+  for j = g.m - 1 downto 0 do
+    if match_right.(j) >= 0 then pairs := (match_right.(j), j) :: !pairs
+  done;
+  List.sort compare !pairs
+
+(* Hopcroft–Karp: BFS layering then DFS along the layers, repeated until no
+   augmenting path exists. *)
+let max_matching_hopcroft_karp g =
+  let m = g.m in
+  let inf = max_int in
+  let match_left = Array.make m (-1) in
+  let match_right = Array.make m (-1) in
+  let dist = Array.make m inf in
+  let queue = Queue.create () in
+  let bfs () =
+    Queue.clear queue;
+    for i = 0 to m - 1 do
+      if match_left.(i) = -1 then begin
+        dist.(i) <- 0;
+        Queue.add i queue
+      end
+      else dist.(i) <- inf
+    done;
+    let found = ref false in
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      List.iter
+        (fun j ->
+          let i' = match_right.(j) in
+          if i' = -1 then found := true
+          else if dist.(i') = inf then begin
+            dist.(i') <- dist.(i) + 1;
+            Queue.add i' queue
+          end)
+        g.adj.(i)
+    done;
+    !found
+  in
+  let rec dfs i =
+    let rec attempt = function
+      | [] ->
+        dist.(i) <- inf;
+        false
+      | j :: rest ->
+        let i' = match_right.(j) in
+        if i' = -1 || (dist.(i') = dist.(i) + 1 && dfs i') then begin
+          match_left.(i) <- j;
+          match_right.(j) <- i;
+          true
+        end
+        else attempt rest
+    in
+    attempt g.adj.(i)
+  in
+  while bfs () do
+    for i = 0 to m - 1 do
+      if match_left.(i) = -1 then ignore (dfs i)
+    done
+  done;
+  let pairs = ref [] in
+  for i = m - 1 downto 0 do
+    if match_left.(i) >= 0 then pairs := (i, match_left.(i)) :: !pairs
+  done;
+  !pairs
+
+let perfect_matching g =
+  let pairs = max_matching_hopcroft_karp g in
+  if List.length pairs = g.m then Ok pairs
+  else begin
+    (* Hall witness: unmatched left vertices plus everything reachable from
+       them by alternating paths form a violating set. *)
+    let match_left = Array.make g.m (-1) in
+    let match_right = Array.make g.m (-1) in
+    List.iter
+      (fun (i, j) ->
+        match_left.(i) <- j;
+        match_right.(j) <- i)
+      pairs;
+    let seen_left = Array.make g.m false in
+    let seen_right = Array.make g.m false in
+    let rec explore i =
+      if not seen_left.(i) then begin
+        seen_left.(i) <- true;
+        List.iter
+          (fun j ->
+            if not seen_right.(j) then begin
+              seen_right.(j) <- true;
+              if match_right.(j) >= 0 then explore match_right.(j)
+            end)
+          g.adj.(i)
+      end
+    in
+    for i = 0 to g.m - 1 do
+      if match_left.(i) = -1 then explore i
+    done;
+    let witness = ref [] in
+    for i = g.m - 1 downto 0 do
+      if seen_left.(i) then witness := i :: !witness
+    done;
+    Error !witness
+  end
+
+let pp_matching ppf pairs =
+  Format.fprintf ppf "@[<h>{";
+  List.iteri
+    (fun k (i, j) ->
+      if k > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%d->%d" i j)
+    pairs;
+  Format.fprintf ppf "}@]"

@@ -1,0 +1,52 @@
+(** Bipartite graphs between [m] ingress ports (left side) and [m] egress
+    ports (right side), and maximum-matching algorithms on them.
+
+    Matchings drive the whole system: a feasible switch schedule for one time
+    slot is exactly a matching between inputs and outputs, and Algorithm 1 of
+    the paper peels perfect matchings off a balanced demand matrix. *)
+
+type t
+(** A bipartite graph with [m] vertices on each side. *)
+
+val create : int -> t
+(** [create m] is the edgeless graph on [m + m] vertices.
+    @raise Invalid_argument if [m <= 0]. *)
+
+val size : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g i j] connects left vertex [i] to right vertex [j]; adding an
+    existing edge is a no-op.  @raise Invalid_argument on out-of-range
+    vertices. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val edge_count : t -> int
+
+val neighbours : t -> int -> int list
+(** Right neighbours of left vertex [i], in insertion order. *)
+
+val of_support : (int -> int -> bool) -> int -> t
+(** [of_support pred m] contains edge [(i, j)] iff [pred i j]. *)
+
+type matching = (int * int) list
+(** Pairs [(left, right)]; each vertex appears at most once. *)
+
+val is_matching : int -> matching -> bool
+(** Checks vertex-disjointness and index ranges for an [m x m] graph. *)
+
+val max_matching_kuhn : t -> matching
+(** Maximum matching by repeated augmenting-path search — [O (V * E)].
+    Simple and branch-predictable; preferred for the small per-slot graphs. *)
+
+val max_matching_hopcroft_karp : t -> matching
+(** Maximum matching in [O (E * sqrt V)] (Hopcroft–Karp), for larger
+    decomposition graphs. *)
+
+val perfect_matching : t -> (matching, int list) result
+(** [perfect_matching g] is [Ok m] with [m] of size [size g], or
+    [Error s] where [s] is a Hall-violation witness: a set of left vertices
+    whose joint neighbourhood is strictly smaller than the set.  Algorithm 1
+    relies on [Ok] being returned for every balanced positive matrix. *)
+
+val pp_matching : Format.formatter -> matching -> unit

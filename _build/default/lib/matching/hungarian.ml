@@ -1,0 +1,89 @@
+(* Kuhn–Munkres with potentials, the classic O(n^3) formulation over
+   1-based arrays (p.(j) is the row matched to column j; column 0 is the
+   virtual starting column). *)
+
+let min_cost_assignment cost =
+  let n = Array.length cost in
+  if n = 0 then invalid_arg "Hungarian: empty matrix";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Hungarian: ragged matrix";
+      Array.iter
+        (fun c ->
+          if not (Float.is_finite c) then
+            invalid_arg "Hungarian: non-finite cost")
+        row)
+    cost;
+  let inf = infinity in
+  let u = Array.make (n + 1) 0.0 in
+  let v = Array.make (n + 1) 0.0 in
+  let p = Array.make (n + 1) 0 in
+  let way = Array.make (n + 1) 0 in
+  for i = 1 to n do
+    p.(0) <- i;
+    let j0 = ref 0 in
+    let minv = Array.make (n + 1) inf in
+    let used = Array.make (n + 1) false in
+    let continue = ref true in
+    while !continue do
+      used.(!j0) <- true;
+      let i0 = p.(!j0) in
+      let delta = ref inf in
+      let j1 = ref 0 in
+      for j = 1 to n do
+        if not used.(j) then begin
+          let cur = cost.(i0 - 1).(j - 1) -. u.(i0) -. v.(j) in
+          if cur < minv.(j) then begin
+            minv.(j) <- cur;
+            way.(j) <- !j0
+          end;
+          if minv.(j) < !delta then begin
+            delta := minv.(j);
+            j1 := j
+          end
+        end
+      done;
+      for j = 0 to n do
+        if used.(j) then begin
+          u.(p.(j)) <- u.(p.(j)) +. !delta;
+          v.(j) <- v.(j) -. !delta
+        end
+        else minv.(j) <- minv.(j) -. !delta
+      done;
+      j0 := !j1;
+      if p.(!j0) = 0 then continue := false
+    done;
+    (* augment along the alternating path *)
+    let j0 = ref !j0 in
+    let break = ref false in
+    while not !break do
+      let j1 = way.(!j0) in
+      p.(!j0) <- p.(j1);
+      j0 := j1;
+      if !j0 = 0 then break := true
+    done
+  done;
+  let col_of_row = Array.make n (-1) in
+  for j = 1 to n do
+    if p.(j) > 0 then col_of_row.(p.(j) - 1) <- j - 1
+  done;
+  let total = ref 0.0 in
+  Array.iteri (fun i j -> total := !total +. cost.(i).(j)) col_of_row;
+  (col_of_row, !total)
+
+let max_weight_matching w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Hungarian: empty matrix";
+  (* maximise = minimise negated weights; the assignment is perfect, then
+     zero-weight pairs are dropped *)
+  let cost = Array.map (Array.map (fun x -> -.x)) w in
+  let col_of_row, _ = min_cost_assignment cost in
+  let pairs = ref [] and total = ref 0.0 in
+  for i = n - 1 downto 0 do
+    let j = col_of_row.(i) in
+    if w.(i).(j) > 0.0 then begin
+      pairs := (i, j) :: !pairs;
+      total := !total +. w.(i).(j)
+    end
+  done;
+  (!pairs, !total)

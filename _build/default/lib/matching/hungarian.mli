@@ -1,0 +1,18 @@
+(** Optimal assignment (Kuhn–Munkres / Hungarian algorithm), [O (n^3)].
+
+    Used for the MaxWeight per-slot scheduling baseline: switch-scheduling
+    theory (the Birkhoff–von Neumann switching literature the paper builds
+    on) traditionally serves a maximum-weight matching each slot, so the
+    repository provides the exact solver rather than a greedy surrogate. *)
+
+val min_cost_assignment : float array array -> int array * float
+(** [min_cost_assignment cost] for a square matrix returns [(col_of_row,
+    total)]: a perfect assignment of rows to columns minimising the summed
+    cost, and its value.  @raise Invalid_argument if the matrix is empty,
+    ragged, or contains non-finite entries. *)
+
+val max_weight_matching : float array array -> (int * int) list * float
+(** [max_weight_matching w] for a square matrix of non-negative weights:
+    a matching maximising the total weight.  Pairs with zero weight are
+    omitted from the result (leaving their ports free), so the result is a
+    maximum-weight — not necessarily perfect — matching. *)

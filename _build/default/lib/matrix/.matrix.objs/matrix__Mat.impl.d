@@ -1,0 +1,1 @@
+lib/matrix/mat.ml: Array Format List Printf Random

@@ -1,0 +1,1 @@
+lib/matrix/mat.mli: Format Random

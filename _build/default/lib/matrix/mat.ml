@@ -1,0 +1,190 @@
+type t = {
+  m : int;
+  data : int array; (* row-major, length m * m *)
+}
+
+let make m =
+  if m <= 0 then invalid_arg "Mat.make: dimension must be positive";
+  { m; data = Array.make (m * m) 0 }
+
+let dim d = d.m
+
+let check_index d i j =
+  if i < 0 || i >= d.m || j < 0 || j >= d.m then
+    invalid_arg
+      (Printf.sprintf "Mat: index (%d, %d) out of range for %dx%d matrix" i j
+         d.m d.m)
+
+let get d i j =
+  check_index d i j;
+  d.data.((i * d.m) + j)
+
+let set d i j v =
+  check_index d i j;
+  if v < 0 then invalid_arg "Mat.set: negative entry";
+  d.data.((i * d.m) + j) <- v
+
+let add_entry d i j v =
+  check_index d i j;
+  let idx = (i * d.m) + j in
+  let r = d.data.(idx) + v in
+  if r < 0 then invalid_arg "Mat.add_entry: entry would become negative";
+  d.data.(idx) <- r
+
+let of_arrays rows =
+  let m = Array.length rows in
+  if m = 0 then invalid_arg "Mat.of_arrays: empty matrix";
+  let d = make m in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> m then invalid_arg "Mat.of_arrays: not square";
+      Array.iteri
+        (fun j v ->
+          if v < 0 then invalid_arg "Mat.of_arrays: negative entry";
+          d.data.((i * m) + j) <- v)
+        row)
+    rows;
+  d
+
+let to_arrays d =
+  Array.init d.m (fun i -> Array.sub d.data (i * d.m) d.m)
+
+let copy d = { m = d.m; data = Array.copy d.data }
+
+let row_sum d i =
+  if i < 0 || i >= d.m then invalid_arg "Mat.row_sum: index out of range";
+  let acc = ref 0 in
+  for j = 0 to d.m - 1 do
+    acc := !acc + d.data.((i * d.m) + j)
+  done;
+  !acc
+
+let col_sum d j =
+  if j < 0 || j >= d.m then invalid_arg "Mat.col_sum: index out of range";
+  let acc = ref 0 in
+  for i = 0 to d.m - 1 do
+    acc := !acc + d.data.((i * d.m) + j)
+  done;
+  !acc
+
+let row_sums d = Array.init d.m (row_sum d)
+
+let col_sums d = Array.init d.m (col_sum d)
+
+let total d = Array.fold_left ( + ) 0 d.data
+
+let load d =
+  let best = ref 0 in
+  for i = 0 to d.m - 1 do
+    let r = row_sum d i and c = col_sum d i in
+    if r > !best then best := r;
+    if c > !best then best := c
+  done;
+  !best
+
+let nonzero_count d =
+  Array.fold_left (fun acc v -> if v > 0 then acc + 1 else acc) 0 d.data
+
+let is_zero d = Array.for_all (fun v -> v = 0) d.data
+
+let same_dim a b =
+  if a.m <> b.m then invalid_arg "Mat: dimension mismatch"
+
+let add a b =
+  same_dim a b;
+  { m = a.m; data = Array.init (a.m * a.m) (fun k -> a.data.(k) + b.data.(k)) }
+
+let sum m ds = List.fold_left add (make m) ds
+
+let sub_clamped a b =
+  same_dim a b;
+  { m = a.m;
+    data = Array.init (a.m * a.m) (fun k -> max 0 (a.data.(k) - b.data.(k)));
+  }
+
+let scale c d =
+  if c < 0 then invalid_arg "Mat.scale: negative factor";
+  { m = d.m; data = Array.map (fun v -> c * v) d.data }
+
+let map f d =
+  let data =
+    Array.map
+      (fun v ->
+        let r = f v in
+        if r < 0 then invalid_arg "Mat.map: negative entry";
+        r)
+      d.data
+  in
+  { m = d.m; data }
+
+let iter_nonzero f d =
+  for i = 0 to d.m - 1 do
+    for j = 0 to d.m - 1 do
+      let v = d.data.((i * d.m) + j) in
+      if v > 0 then f i j v
+    done
+  done
+
+let fold f init d =
+  let acc = ref init in
+  for i = 0 to d.m - 1 do
+    for j = 0 to d.m - 1 do
+      acc := f !acc i j d.data.((i * d.m) + j)
+    done
+  done;
+  !acc
+
+let equal a b = a.m = b.m && a.data = b.data
+
+let leq a b =
+  same_dim a b;
+  let ok = ref true in
+  Array.iteri (fun k v -> if v > b.data.(k) then ok := false) a.data;
+  !ok
+
+let is_diagonal d =
+  fold (fun acc i j v -> acc && (i = j || v = 0)) true d
+
+let diagonal v =
+  let m = Array.length v in
+  if m = 0 then invalid_arg "Mat.diagonal: empty vector";
+  let d = make m in
+  Array.iteri
+    (fun i x ->
+      if x < 0 then invalid_arg "Mat.diagonal: negative entry";
+      d.data.((i * m) + i) <- x)
+    v;
+  d
+
+let transpose d =
+  let t = make d.m in
+  for i = 0 to d.m - 1 do
+    for j = 0 to d.m - 1 do
+      t.data.((j * d.m) + i) <- d.data.((i * d.m) + j)
+    done
+  done;
+  t
+
+let random ?(density = 0.5) ?(max_entry = 10) st m =
+  if max_entry < 1 then invalid_arg "Mat.random: max_entry must be >= 1";
+  let d = make m in
+  for k = 0 to (m * m) - 1 do
+    if Random.State.float st 1.0 < density then
+      d.data.(k) <- 1 + Random.State.int st max_entry
+  done;
+  d
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to d.m - 1 do
+    if i > 0 then Format.fprintf ppf "@,";
+    Format.fprintf ppf "[";
+    for j = 0 to d.m - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%3d" d.data.((i * d.m) + j)
+    done;
+    Format.fprintf ppf "]"
+  done;
+  Format.fprintf ppf "@]"
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,107 @@
+(** Dense matrices of non-negative integers, the demand representation for
+    coflows: entry [(i, j)] is the number of data units that must cross from
+    ingress port [i] to egress port [j].
+
+    All matrices are square ([m x m]) because the switch model in the paper
+    is an [m x m] non-blocking crossbar.  Indices are 0-based. *)
+
+type t
+
+val make : int -> t
+(** [make m] is the [m x m] zero matrix.  @raise Invalid_argument if
+    [m <= 0]. *)
+
+val of_arrays : int array array -> t
+(** [of_arrays rows] builds a matrix from row-major arrays.  The input is
+    copied.  @raise Invalid_argument if the array is not square, empty, or
+    contains a negative entry. *)
+
+val to_arrays : t -> int array array
+(** Row-major copy of the contents. *)
+
+val copy : t -> t
+
+val dim : t -> int
+(** Side length [m]. *)
+
+val get : t -> int -> int -> int
+(** [get d i j] is the demand from ingress [i] to egress [j].
+    @raise Invalid_argument on out-of-range indices. *)
+
+val set : t -> int -> int -> int -> unit
+(** [set d i j v] stores [v] at [(i, j)].  @raise Invalid_argument on
+    out-of-range indices or [v < 0]. *)
+
+val add_entry : t -> int -> int -> int -> unit
+(** [add_entry d i j v] adds [v] (possibly negative) to entry [(i, j)].
+    @raise Invalid_argument if the result would be negative. *)
+
+val row_sum : t -> int -> int
+(** Total demand departing ingress port [i]. *)
+
+val col_sum : t -> int -> int
+(** Total demand arriving at egress port [j]. *)
+
+val row_sums : t -> int array
+
+val col_sums : t -> int array
+
+val total : t -> int
+(** Sum of all entries. *)
+
+val load : t -> int
+(** [load d] is [rho (d)] from the paper, Eq. (18): the maximum over all row
+    sums and column sums.  It lower-bounds the number of slots needed to clear
+    [d] in isolation, and Algorithm 1 meets it exactly. *)
+
+val nonzero_count : t -> int
+(** Number of strictly positive entries — the paper's [M'] ("M0") statistic
+    used to filter sparse coflows. *)
+
+val is_zero : t -> bool
+
+val add : t -> t -> t
+(** Entrywise sum.  @raise Invalid_argument on dimension mismatch. *)
+
+val sum : int -> t list -> t
+(** [sum m ds] adds all matrices in [ds]; returns the [m x m] zero matrix for
+    the empty list.  @raise Invalid_argument on dimension mismatch. *)
+
+val sub_clamped : t -> t -> t
+(** [sub_clamped a b] is the entrywise [max 0 (a - b)]. *)
+
+val scale : int -> t -> t
+(** [scale c d] multiplies every entry by [c >= 0]. *)
+
+val map : (int -> int) -> t -> t
+(** Entrywise map; the result must stay non-negative. *)
+
+val iter_nonzero : (int -> int -> int -> unit) -> t -> unit
+(** [iter_nonzero f d] applies [f i j v] to every strictly positive entry in
+    row-major order. *)
+
+val fold : ('a -> int -> int -> int -> 'a) -> 'a -> t -> 'a
+(** [fold f init d] folds [f acc i j v] over all entries in row-major
+    order. *)
+
+val equal : t -> t -> bool
+
+val leq : t -> t -> bool
+(** Entrywise [<=] on matrices of equal dimension. *)
+
+val is_diagonal : t -> bool
+
+val diagonal : int array -> t
+(** [diagonal v] is the matrix with [v] on the diagonal — the embedding of a
+    concurrent-open-shop job (Appendix A). *)
+
+val transpose : t -> t
+
+val random : ?density:float -> ?max_entry:int -> Random.State.t -> int -> t
+(** [random st m] draws an [m x m] matrix whose entries are positive with
+    probability [density] (default [0.5]) and uniform on
+    [1 .. max_entry] (default [10]) when positive. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

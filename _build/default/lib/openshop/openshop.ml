@@ -1,0 +1,174 @@
+open Matrix
+open Workload
+
+type job = {
+  id : int;
+  weight : float;
+  release : int;
+  processing : int array;
+}
+
+type t = { machines : int; jobs : job array }
+
+let make ~machines jobs =
+  if machines <= 0 then invalid_arg "Openshop.make: machines must be positive";
+  List.iter
+    (fun j ->
+      if Array.length j.processing <> machines then
+        invalid_arg "Openshop.make: processing vector length mismatch";
+      if Array.exists (fun p -> p < 0) j.processing then
+        invalid_arg "Openshop.make: negative processing time";
+      if j.weight <= 0.0 then invalid_arg "Openshop.make: non-positive weight";
+      if j.release < 0 then invalid_arg "Openshop.make: negative release")
+    jobs;
+  { machines; jobs = Array.of_list jobs }
+
+let machines t = t.machines
+
+let num_jobs t = Array.length t.jobs
+
+let job t k =
+  if k < 0 || k >= num_jobs t then invalid_arg "Openshop.job: out of range";
+  t.jobs.(k)
+
+let to_coflow_instance t =
+  Instance.make ~ports:t.machines
+    (Array.to_list
+       (Array.map
+          (fun j ->
+            { Instance.id = j.id;
+              release = j.release;
+              weight = j.weight;
+              demand = Mat.diagonal j.processing;
+            })
+          t.jobs))
+
+let of_coflow_instance inst =
+  let m = Instance.ports inst in
+  let jobs =
+    Array.map
+      (fun c ->
+        if not (Mat.is_diagonal c.Instance.demand) then
+          invalid_arg "Openshop.of_coflow_instance: demand is not diagonal";
+        { id = c.Instance.id;
+          weight = c.Instance.weight;
+          release = c.Instance.release;
+          processing = Array.init m (fun i -> Mat.get c.Instance.demand i i);
+        })
+      (Instance.coflows inst)
+  in
+  { machines = m; jobs }
+
+let completion_times t perm =
+  let n = num_jobs t in
+  if not (Core.Ordering.is_permutation n perm) then
+    invalid_arg "Openshop.completion_times: not a permutation";
+  let machine_clock = Array.make t.machines 0 in
+  let completion = Array.make n 0 in
+  Array.iter
+    (fun k ->
+      let j = t.jobs.(k) in
+      let cj = ref 0 in
+      for i = 0 to t.machines - 1 do
+        let p = j.processing.(i) in
+        if p > 0 then begin
+          machine_clock.(i) <- max machine_clock.(i) j.release + p;
+          if machine_clock.(i) > !cj then cj := machine_clock.(i)
+        end
+      done;
+      completion.(k) <- !cj)
+    perm;
+  completion
+
+let twct t perm =
+  let c = completion_times t perm in
+  let acc = ref 0.0 in
+  Array.iteri (fun k ck -> acc := !acc +. (t.jobs.(k).weight *. float_of_int ck)) c;
+  !acc
+
+(* Mastrolilli et al. residual-weight primal-dual rule.  Builds the order
+   back to front: the most loaded machine mu picks the job whose residual
+   weight per unit of mu-work is smallest to go last, then residual weights
+   are reduced so that job's dual constraint is tight. *)
+let primal_dual_order t =
+  let n = num_jobs t in
+  let residual = Array.map (fun j -> j.weight) t.jobs in
+  let remaining = Array.make n true in
+  let load = Array.make t.machines 0 in
+  for i = 0 to t.machines - 1 do
+    Array.iter (fun j -> load.(i) <- load.(i) + j.processing.(i)) t.jobs
+  done;
+  let order_rev = ref [] in
+  for _ = 1 to n do
+    (* most loaded machine among remaining jobs *)
+    let mu = ref 0 in
+    for i = 1 to t.machines - 1 do
+      if load.(i) > load.(!mu) then mu := i
+    done;
+    let mu = !mu in
+    (* job minimizing residual weight per unit of work on mu; jobs without
+       work on mu are candidates of last resort (theta = 0 for them when
+       every remaining job avoids mu) *)
+    let best = ref (-1) and best_ratio = ref infinity in
+    for k = 0 to n - 1 do
+      if remaining.(k) then begin
+        let p = t.jobs.(k).processing.(mu) in
+        let ratio =
+          if p > 0 then residual.(k) /. float_of_int p else infinity
+        in
+        if ratio < !best_ratio || !best = -1 then begin
+          best_ratio := ratio;
+          best := k
+        end
+      end
+    done;
+    let k = !best in
+    if Float.is_finite !best_ratio then begin
+      let theta = !best_ratio in
+      for k' = 0 to n - 1 do
+        if remaining.(k') then
+          residual.(k') <-
+            residual.(k')
+            -. (theta *. float_of_int t.jobs.(k').processing.(mu))
+      done
+    end;
+    remaining.(k) <- false;
+    for i = 0 to t.machines - 1 do
+      load.(i) <- load.(i) - t.jobs.(k).processing.(i)
+    done;
+    order_rev := k :: !order_rev
+  done;
+  Array.of_list !order_rev
+
+let lp_order t =
+  let inst = to_coflow_instance t in
+  let lp = Core.Lp_relax.solve_interval inst in
+  Core.Ordering.by_lp lp
+
+(* Single-machine WSPT relaxation, maximised over machines (valid lower
+   bound when all releases are zero; with releases it is still valid because
+   waiting can only increase completion times). *)
+let sum_load_lower_bound t =
+  let n = num_jobs t in
+  let best = ref 0.0 in
+  for i = 0 to machines t - 1 do
+    let idx = Array.init n (fun k -> k) in
+    Array.sort
+      (fun a b ->
+        let ja = t.jobs.(a) and jb = t.jobs.(b) in
+        Float.compare
+          (float_of_int ja.processing.(i) /. ja.weight)
+          (float_of_int jb.processing.(i) /. jb.weight))
+      idx;
+    let clock = ref 0 and acc = ref 0.0 in
+    Array.iter
+      (fun k ->
+        let j = t.jobs.(k) in
+        if j.processing.(i) > 0 then begin
+          clock := !clock + j.processing.(i);
+          acc := !acc +. (j.weight *. float_of_int !clock)
+        end)
+      idx;
+    if !acc > !best then best := !acc
+  done;
+  !best

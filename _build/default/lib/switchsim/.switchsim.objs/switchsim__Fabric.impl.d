@@ -1,0 +1,1 @@
+lib/switchsim/fabric.ml: Array List Printf Simulator

@@ -1,0 +1,1 @@
+lib/switchsim/fabric.mli: Matrix Simulator

@@ -1,0 +1,1 @@
+lib/switchsim/recorder.ml: Array Buffer Fun List Printf Scanf Simulator String

@@ -1,0 +1,1 @@
+lib/switchsim/recorder.mli: Matrix Simulator

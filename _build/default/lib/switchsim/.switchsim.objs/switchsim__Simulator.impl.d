@@ -1,0 +1,1 @@
+lib/switchsim/simulator.ml: Array List Mat Matrix Printf

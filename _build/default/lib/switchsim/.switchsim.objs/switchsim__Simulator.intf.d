@@ -1,0 +1,1 @@
+lib/switchsim/simulator.mli: Matrix

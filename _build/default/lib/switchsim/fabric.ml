@@ -1,0 +1,59 @@
+
+type topology = { ports : int; rack_size : int; core_capacity : int }
+
+let topology ~ports ~rack_size ~core_capacity =
+  if ports <= 0 then invalid_arg "Fabric.topology: ports must be positive";
+  if rack_size < 1 || rack_size > ports then
+    invalid_arg "Fabric.topology: rack_size out of range";
+  if core_capacity < 0 then
+    invalid_arg "Fabric.topology: negative core capacity";
+  { ports; rack_size; core_capacity }
+
+let rack_of t p =
+  if p < 0 || p >= t.ports then invalid_arg "Fabric.rack_of: port out of range";
+  p / t.rack_size
+
+let crosses_core t { Simulator.src; dst; _ } = rack_of t src <> rack_of t dst
+
+let core_usage t transfers =
+  List.fold_left
+    (fun acc tr -> if crosses_core t tr then acc + 1 else acc)
+    0 transfers
+
+let create t demands =
+  let validate transfers =
+    let used = core_usage t transfers in
+    if used > t.core_capacity then
+      Error
+        (Printf.sprintf "core capacity exceeded: %d inter-rack transfers > %d"
+           used t.core_capacity)
+    else Ok ()
+  in
+  Simulator.create ~validate ~ports:t.ports demands
+
+let greedy_policy t priority sim =
+  let m = Simulator.ports sim in
+  let src_used = Array.make m false and dst_used = Array.make m false in
+  let core_left = ref t.core_capacity in
+  let transfers = ref [] in
+  Array.iter
+    (fun k ->
+      if Simulator.released sim k && not (Simulator.is_complete sim k) then
+        Simulator.iter_remaining sim k (fun i j _ ->
+            if not (src_used.(i) || dst_used.(j)) then begin
+              let inter = rack_of t i <> rack_of t j in
+              if (not inter) || !core_left > 0 then begin
+                src_used.(i) <- true;
+                dst_used.(j) <- true;
+                if inter then decr core_left;
+                transfers :=
+                  { Simulator.src = i; dst = j; coflow = k } :: !transfers
+              end
+            end))
+    priority;
+  !transfers
+
+let run_greedy t ~priority demands =
+  let sim = create t demands in
+  Simulator.run sim ~policy:(greedy_policy t priority);
+  sim

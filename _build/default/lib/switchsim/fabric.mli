@@ -1,0 +1,49 @@
+(** Oversubscribed two-tier fabric on top of {!Simulator}.
+
+    The paper models the datacenter as one non-blocking switch, while
+    noting (§4.1) that the actual cluster had a 10:1 core-to-rack
+    oversubscription.  This module adds the missing constraint: ports are
+    grouped into racks of [rack_size]; a transfer whose endpoints live in
+    different racks crosses the core, and at most [core_capacity] such
+    transfers fit in one slot.  [core_capacity = ports] recovers the
+    non-blocking model (a slot moves at most [ports] units anyway);
+    a 10:1 oversubscription is [core_capacity = ports / 10].
+
+    Feasibility is enforced by the simulator itself through its [validate]
+    hook, so a policy that overshoots the core raises
+    {!Simulator.Invalid_slot} rather than silently cheating. *)
+
+type topology = private {
+  ports : int;
+  rack_size : int;
+  core_capacity : int;
+}
+
+val topology : ports:int -> rack_size:int -> core_capacity:int -> topology
+(** @raise Invalid_argument unless [1 <= rack_size <= ports] and
+    [core_capacity >= 0]. *)
+
+val rack_of : topology -> int -> int
+
+val crosses_core : topology -> Simulator.transfer -> bool
+
+val core_usage : topology -> Simulator.transfer list -> int
+
+val create :
+  topology -> (int * Matrix.Mat.t) list -> Simulator.t
+(** A simulator whose slots are additionally constrained by the core. *)
+
+val greedy_policy :
+  topology -> int array -> Simulator.t -> Simulator.transfer list
+(** Capacity-aware greedy matching in the given coflow priority order:
+    claims free port pairs as usual but stops taking core-crossing
+    transfers once the budget is spent (rack-local transfers are always
+    admissible). *)
+
+val run_greedy :
+  topology ->
+  priority:int array ->
+  (int * Matrix.Mat.t) list ->
+  Simulator.t
+(** Convenience wrapper: build, run to completion, return the simulator for
+    inspection. *)

@@ -1,0 +1,87 @@
+type t = { ports : int; slots : Simulator.transfer list array }
+
+let record ?(max_slots = 10_000_000) sim ~policy =
+  let log = ref [] in
+  let budget = ref max_slots in
+  while not (Simulator.all_complete sim) do
+    if !budget <= 0 then failwith "Recorder.record: slot budget exhausted";
+    decr budget;
+    let transfers = policy sim in
+    Simulator.step sim transfers;
+    log := transfers :: !log
+  done;
+  { ports = Simulator.ports sim; slots = Array.of_list (List.rev !log) }
+
+let replay t demands =
+  let sim = Simulator.create ~ports:t.ports demands in
+  Array.iter (fun transfers -> Simulator.step sim transfers) t.slots;
+  sim
+
+let to_csv t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "# ports=%d slots=%d\n" t.ports (Array.length t.slots));
+  Buffer.add_string b "slot,src,dst,coflow\n";
+  Array.iteri
+    (fun slot transfers ->
+      List.iter
+        (fun { Simulator.src; dst; coflow } ->
+          Buffer.add_string b
+            (Printf.sprintf "%d,%d,%d,%d\n" (slot + 1) src dst coflow))
+        (List.rev transfers))
+    t.slots;
+  Buffer.contents b
+
+let of_csv text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | meta :: header :: rows ->
+    let ports, nslots =
+      try Scanf.sscanf meta "# ports=%d slots=%d" (fun p s -> (p, s))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+        failwith "Recorder.of_csv: bad metadata line"
+    in
+    if header <> "slot,src,dst,coflow" then
+      failwith "Recorder.of_csv: bad header";
+    if nslots < 0 || ports <= 0 then failwith "Recorder.of_csv: bad geometry";
+    let slots = Array.make nslots [] in
+    List.iteri
+      (fun idx row ->
+        match String.split_on_char ',' row with
+        | [ slot; src; dst; coflow ] -> (
+          match
+            ( int_of_string_opt slot,
+              int_of_string_opt src,
+              int_of_string_opt dst,
+              int_of_string_opt coflow )
+          with
+          | Some s, Some i, Some j, Some k when s >= 1 && s <= nslots ->
+            slots.(s - 1) <-
+              { Simulator.src = i; dst = j; coflow = k } :: slots.(s - 1)
+          | _ ->
+            failwith
+              (Printf.sprintf "Recorder.of_csv: bad row %d: %S" (idx + 3) row))
+        | _ ->
+          failwith
+            (Printf.sprintf "Recorder.of_csv: bad row %d: %S" (idx + 3) row))
+      rows;
+    { ports; slots = Array.map List.rev slots }
+  | _ -> failwith "Recorder.of_csv: missing metadata or header"
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_csv (really_input_string ic len))

@@ -1,0 +1,38 @@
+(** Recording, exporting and replaying schedules.
+
+    A recorded schedule is the full per-slot transfer log.  Replaying it
+    against a fresh simulator re-validates every slot against the matching
+    and release constraints and recomputes all metrics — an end-to-end
+    audit trail: any claimed schedule can be handed around as a CSV file
+    and independently checked. *)
+
+type t = private {
+  ports : int;
+  slots : Simulator.transfer list array;  (** index 0 = first slot *)
+}
+
+val record :
+  ?max_slots:int ->
+  Simulator.t ->
+  policy:(Simulator.t -> Simulator.transfer list) ->
+  t
+(** Drive [policy] to completion (like {!Simulator.run}) while logging
+    every slot. *)
+
+val replay : t -> (int * Matrix.Mat.t) list -> Simulator.t
+(** Re-execute the log against a fresh simulator over the given demands.
+    @raise Simulator.Invalid_slot if any slot is infeasible — e.g. the log
+    was edited, or belongs to a different instance.  The returned simulator
+    holds the completion times. *)
+
+val to_csv : t -> string
+(** Header [slot,src,dst,coflow], one row per transfer; idle slots appear
+    only through gaps in the slot column, so the line
+    [# ports=P slots=S] records the geometry. *)
+
+val of_csv : string -> t
+(** @raise Failure on malformed input. *)
+
+val save : string -> t -> unit
+
+val load : string -> t

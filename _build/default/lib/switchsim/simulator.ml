@@ -1,0 +1,184 @@
+open Matrix
+
+type transfer = { src : int; dst : int; coflow : int }
+
+exception Invalid_slot of string
+
+type t = {
+  ports : int;
+  validate : transfer list -> (unit, string) result;
+  releases : int array;
+  demand : Mat.t array; (* mutated in place as units move *)
+  left : int array; (* remaining units per coflow *)
+  completed : int array; (* completion slot, -1 if unfinished *)
+  mutable unfinished : int;
+  mutable clock : int;
+  mutable busy : int;
+  mutable moved : int;
+  (* scratch buffers reused across slots *)
+  src_used : bool array;
+  dst_used : bool array;
+}
+
+let create ?(validate = fun _ -> Ok ()) ~ports demands =
+  if ports <= 0 then invalid_arg "Simulator.create: ports must be positive";
+  let n = List.length demands in
+  let releases = Array.make n 0 in
+  let demand = Array.make n (Mat.make ports) in
+  let left = Array.make n 0 in
+  List.iteri
+    (fun k (r, d) ->
+      if r < 0 then invalid_arg "Simulator.create: negative release date";
+      if Mat.dim d <> ports then
+        invalid_arg "Simulator.create: demand dimension mismatch";
+      releases.(k) <- r;
+      demand.(k) <- Mat.copy d;
+      left.(k) <- Mat.total d)
+    demands;
+  let completed = Array.make n (-1) in
+  let unfinished = ref 0 in
+  Array.iteri
+    (fun k l -> if l = 0 then completed.(k) <- 0 else incr unfinished)
+    left;
+  { ports;
+    validate;
+    releases;
+    demand;
+    left;
+    completed;
+    unfinished = !unfinished;
+    clock = 0;
+    busy = 0;
+    moved = 0;
+    src_used = Array.make ports false;
+    dst_used = Array.make ports false;
+  }
+
+let ports t = t.ports
+
+let num_coflows t = Array.length t.releases
+
+let now t = t.clock
+
+let check_coflow t k =
+  if k < 0 || k >= num_coflows t then
+    invalid_arg "Simulator: coflow index out of range"
+
+let release_time t k =
+  check_coflow t k;
+  t.releases.(k)
+
+let set_release t k r =
+  check_coflow t k;
+  if t.releases.(k) <= t.clock then
+    invalid_arg "Simulator.set_release: coflow already released";
+  if r < t.clock then
+    invalid_arg "Simulator.set_release: cannot release in the past";
+  t.releases.(k) <- r
+
+let released t k =
+  check_coflow t k;
+  t.releases.(k) <= t.clock
+
+let remaining t k =
+  check_coflow t k;
+  Mat.copy t.demand.(k)
+
+let iter_remaining t k f =
+  check_coflow t k;
+  Mat.iter_nonzero (fun i j v -> f i j v) t.demand.(k)
+
+let remaining_at t k i j =
+  check_coflow t k;
+  Mat.get t.demand.(k) i j
+
+let remaining_total t k =
+  check_coflow t k;
+  t.left.(k)
+
+let is_complete t k =
+  check_coflow t k;
+  t.left.(k) = 0
+
+let all_complete t = t.unfinished = 0
+
+let completion_time t k =
+  check_coflow t k;
+  if t.completed.(k) >= 0 then Some t.completed.(k) else None
+
+let completion_time_exn t k =
+  match completion_time t k with
+  | Some c -> c
+  | None -> invalid_arg "Simulator.completion_time_exn: coflow unfinished"
+
+let step t transfers =
+  (* validate without mutating *)
+  (match t.validate transfers with
+  | Ok () -> ()
+  | Error msg -> raise (Invalid_slot msg));
+  Array.fill t.src_used 0 t.ports false;
+  Array.fill t.dst_used 0 t.ports false;
+  List.iter
+    (fun { src; dst; coflow } ->
+      if src < 0 || src >= t.ports || dst < 0 || dst >= t.ports then
+        raise (Invalid_slot (Printf.sprintf "port out of range: %d->%d" src dst));
+      if coflow < 0 || coflow >= num_coflows t then
+        raise (Invalid_slot (Printf.sprintf "unknown coflow %d" coflow));
+      if t.src_used.(src) then
+        raise (Invalid_slot (Printf.sprintf "ingress %d used twice" src));
+      if t.dst_used.(dst) then
+        raise (Invalid_slot (Printf.sprintf "egress %d used twice" dst));
+      t.src_used.(src) <- true;
+      t.dst_used.(dst) <- true;
+      if t.releases.(coflow) > t.clock then
+        raise
+          (Invalid_slot
+             (Printf.sprintf "coflow %d served before release %d at time %d"
+                coflow t.releases.(coflow) t.clock));
+      if Mat.get t.demand.(coflow) src dst <= 0 then
+        raise
+          (Invalid_slot
+             (Printf.sprintf "coflow %d has no demand on (%d, %d)" coflow src
+                dst)))
+    transfers;
+  (* commit *)
+  t.clock <- t.clock + 1;
+  if transfers <> [] then t.busy <- t.busy + 1;
+  List.iter
+    (fun { src; dst; coflow } ->
+      Mat.add_entry t.demand.(coflow) src dst (-1);
+      t.left.(coflow) <- t.left.(coflow) - 1;
+      t.moved <- t.moved + 1;
+      if t.left.(coflow) = 0 then begin
+        t.completed.(coflow) <- t.clock;
+        t.unfinished <- t.unfinished - 1
+      end)
+    transfers
+
+let run ?(max_slots = 10_000_000) t ~policy =
+  let budget = ref max_slots in
+  while not (all_complete t) do
+    if !budget <= 0 then failwith "Simulator.run: slot budget exhausted";
+    decr budget;
+    step t (policy t)
+  done
+
+let total_weighted_completion t w =
+  if Array.length w < num_coflows t then
+    invalid_arg "Simulator.total_weighted_completion: weight vector too short";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k c ->
+      if c < 0 then
+        invalid_arg "Simulator.total_weighted_completion: unfinished coflow";
+      acc := !acc +. (w.(k) *. float_of_int c))
+    t.completed;
+  !acc
+
+let busy_slots t = t.busy
+
+let units_moved t = t.moved
+
+let utilization t =
+  if t.clock = 0 then 0.0
+  else float_of_int t.moved /. float_of_int (t.ports * t.clock)

@@ -1,0 +1,103 @@
+(** Discrete-time simulator of the paper's network model: one giant
+    non-blocking [m x m] switch whose ingress and egress ports each move at
+    most one data unit per slot (constraints (2)–(5) of the paper).
+
+    The simulator is the ground truth for every experiment: schedulers are
+    expressed as per-slot policies, the simulator validates each slot against
+    the matching and release-date constraints and records the exact
+    completion time of every coflow. *)
+
+type t
+
+type transfer = { src : int; dst : int; coflow : int }
+(** One data unit moved from ingress [src] to egress [dst] on behalf of
+    [coflow] during the current slot. *)
+
+exception Invalid_slot of string
+(** Raised by {!step} when a proposed slot violates a constraint; the
+    simulator state is unchanged in that case. *)
+
+val create :
+  ?validate:(transfer list -> (unit, string) result) ->
+  ports:int ->
+  (int * Matrix.Mat.t) list ->
+  t
+(** [create ~ports demands] with [demands = [(release_k, d_k); ...]]; coflow
+    [k] (0-based, in list order) becomes serviceable at time [release_k].
+
+    [validate] adds topology-specific feasibility on top of the matching
+    constraints — e.g. {!Fabric} restricts the aggregate inter-rack traffic
+    of a slot to the core capacity.  A [Error msg] result makes {!step}
+    raise [Invalid_slot msg] without mutating state.
+
+    @raise Invalid_argument on dimension mismatch or negative release. *)
+
+val ports : t -> int
+
+val num_coflows : t -> int
+
+val now : t -> int
+(** Number of slots elapsed.  Slot [s] (1-based) spans time [(s-1, s]]. *)
+
+val release_time : t -> int -> int
+
+val set_release : t -> int -> int -> unit
+(** [set_release sim k r] reschedules coflow [k]'s release — the hook for
+    precedence-constrained workloads, where a stage becomes available only
+    when its predecessors finish.  Only a release still in the future may be
+    changed, and only to a time [>= now sim] (history cannot be
+    rewritten).  Use [max_int] at {!create} for "pending until released
+    explicitly".  @raise Invalid_argument otherwise. *)
+
+val released : t -> int -> bool
+(** [released sim k] iff coflow [k] may be served in the next slot
+    (its release time is [<= now sim]). *)
+
+val remaining : t -> int -> Matrix.Mat.t
+(** Copy of coflow [k]'s remaining demand. *)
+
+val iter_remaining : t -> int -> (int -> int -> int -> unit) -> unit
+(** [iter_remaining sim k f] applies [f i j units] to every strictly
+    positive remaining entry of coflow [k] without copying — the fast path
+    for per-slot policies.  The callback must not call {!step}. *)
+
+val remaining_at : t -> int -> int -> int -> int
+(** [remaining_at sim k i j] — remaining units of coflow [k] on pair
+    [(i, j)]; constant time. *)
+
+val remaining_total : t -> int -> int
+
+val is_complete : t -> int -> bool
+
+val all_complete : t -> bool
+
+val completion_time : t -> int -> int option
+(** Slot in which coflow [k] finished, if it has. *)
+
+val completion_time_exn : t -> int -> int
+
+val step : t -> transfer list -> unit
+(** Execute one slot.  Validates that (i) no port appears twice, (ii) every
+    transfer has positive remaining demand, (iii) every served coflow is
+    released.  Advances the clock even when the list is empty (idle slot). *)
+
+val run :
+  ?max_slots:int -> t -> policy:(t -> transfer list) -> unit
+(** Repeatedly query [policy] and {!step} until all coflows complete.
+    [max_slots] (default [10_000_000]) guards against non-progressing
+    policies.  @raise Invalid_slot on a bad policy decision, [Failure] when
+    the budget is exhausted. *)
+
+val total_weighted_completion : t -> float array -> float
+(** [total_weighted_completion sim w] is [sum_k w.(k) * C_k].
+    @raise Invalid_argument if some coflow has not completed or the weight
+    vector is short. *)
+
+val busy_slots : t -> int
+(** Slots in which at least one unit moved. *)
+
+val units_moved : t -> int
+
+val utilization : t -> float
+(** Units moved divided by [ports * now] — mean fraction of port-slots
+    carrying data. *)

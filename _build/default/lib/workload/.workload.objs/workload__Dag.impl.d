@@ -1,0 +1,1 @@
+lib/workload/dag.ml: Array Hashtbl List Mat Matrix Printf Random String Synthetic

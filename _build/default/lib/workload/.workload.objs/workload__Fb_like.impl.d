@@ -1,0 +1,1 @@
+lib/workload/fb_like.ml: Array Float Instance List Mat Matrix Random Synthetic

@@ -1,0 +1,1 @@
+lib/workload/fb_like.mli: Instance Random

@@ -1,0 +1,1 @@
+lib/workload/instance.ml: Array Float Format Hashtbl List Mat Matrix

@@ -1,0 +1,1 @@
+lib/workload/instance.mli: Format Matrix

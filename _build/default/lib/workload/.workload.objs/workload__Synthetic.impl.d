@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Instance List Mat Matrix Random

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Buffer Fun Instance List Mat Matrix Printf String

@@ -1,0 +1,127 @@
+open Matrix
+
+type params = {
+  ports : int;
+  coflows : int;
+  short_max : int;
+  long_mean : int;
+  long_cap : int;
+}
+
+let default_params ~ports ~coflows =
+  { ports; coflows; short_max = 4; long_mean = 12; long_cap = 64 }
+
+type klass = Short_narrow | Long_narrow | Short_wide | Long_wide
+
+(* Published mix: SN 52%, LN 16%, SW 15%, LW 17%. *)
+let draw_class st =
+  let u = Random.State.float st 1.0 in
+  if u < 0.52 then Short_narrow
+  else if u < 0.68 then Long_narrow
+  else if u < 0.83 then Short_wide
+  else Long_wide
+
+let is_long = function
+  | Long_narrow | Long_wide -> true
+  | Short_narrow | Short_wide -> false
+
+let is_wide = function
+  | Short_wide | Long_wide -> true
+  | Short_narrow | Long_narrow -> false
+
+(* Pareto with shape 1.5, scale chosen so the mean is ~ [mean], capped. *)
+let pareto_size st ~mean ~cap =
+  let alpha = 1.5 in
+  let xm = float_of_int mean *. (alpha -. 1.0) /. alpha in
+  let u = max 1e-9 (Random.State.float st 1.0) in
+  let v = xm *. (u ** (-1.0 /. alpha)) in
+  max 1 (min cap (int_of_float (Float.round v)))
+
+let draw_width st ~ports ~wide =
+  if wide then
+    (* wide: a quarter of the fabric up to all of it *)
+    let lo = max 2 (ports / 4) in
+    lo + Random.State.int st (ports - lo + 1)
+  else
+    (* narrow: a handful of ports *)
+    1 + Random.State.int st (max 1 (ports / 8))
+
+(* Heavy-tailed per-endpoint skew: real shuffles are dominated by a few hot
+   mappers/reducers, which is what makes isolated BvN schedules wasteful and
+   grouping (dovetailing skewed matrices into balanced aggregates)
+   valuable. *)
+let skew_factor st =
+  let u = Random.State.float st 1.0 in
+  if u < 0.70 then 1 else if u < 0.92 then 3 else 8
+
+let coflow_demand st p klass =
+  let mappers = draw_width st ~ports:p.ports ~wide:(is_wide klass) in
+  let reducers = draw_width st ~ports:p.ports ~wide:(is_wide klass) in
+  let srcs = Synthetic.sample_ports st p.ports mappers in
+  let dsts = Synthetic.sample_ports st p.ports reducers in
+  let src_skew = Array.map (fun _ -> skew_factor st) srcs in
+  let dst_skew = Array.map (fun _ -> skew_factor st) dsts in
+  (* Wide coflows do not ship data between every mapper-reducer pair; keep a
+     pair with probability [pair_density], but never let a coflow go
+     empty. *)
+  let pair_density = if is_wide klass then 0.45 else 0.9 in
+  let d = Mat.make p.ports in
+  let fill () =
+    Array.iteri
+      (fun a i ->
+        Array.iteri
+          (fun b j ->
+            if Random.State.float st 1.0 < pair_density then begin
+              let base =
+                if is_long klass then
+                  pareto_size st ~mean:p.long_mean ~cap:p.long_cap
+                else 1 + Random.State.int st p.short_max
+              in
+              let size = min (p.long_cap * 4) (base * src_skew.(a) * dst_skew.(b)) in
+              Mat.set d i j size
+            end)
+          dsts)
+      srcs
+  in
+  fill ();
+  while Mat.is_zero d do
+    fill ()
+  done;
+  d
+
+let generate_releases ?(mean_gap = 0) st n =
+  if mean_gap = 0 then Array.make n 0
+  else begin
+    (* geometric inter-arrival with the requested mean *)
+    let p = 1.0 /. float_of_int mean_gap in
+    let clock = ref 0 in
+    Array.init n (fun _ ->
+        let r = !clock in
+        let rec draw acc =
+          if Random.State.float st 1.0 < p then acc else draw (acc + 1)
+        in
+        clock := !clock + draw 0;
+        r)
+  end
+
+let build ?params ~ports ~coflows ~mean_gap st =
+  let p =
+    match params with Some p -> p | None -> default_params ~ports ~coflows
+  in
+  if p.ports <> ports || p.coflows <> coflows then
+    invalid_arg "Fb_like.generate: params disagree with ports/coflows";
+  let releases = generate_releases ~mean_gap st coflows in
+  let make_coflow id =
+    { Instance.id;
+      release = releases.(id);
+      weight = 1.0;
+      demand = coflow_demand st p (draw_class st);
+    }
+  in
+  Instance.make ~ports (List.init coflows make_coflow)
+
+let generate ?params ~ports ~coflows st =
+  build ?params ~ports ~coflows ~mean_gap:0 st
+
+let generate_with_arrivals ?params ~mean_gap ~ports ~coflows st =
+  build ?params ~ports ~coflows ~mean_gap st

@@ -1,0 +1,49 @@
+(** Facebook-like trace generator.
+
+    The paper's experiments use a Hive/MapReduce trace from a 3000-machine,
+    150-rack Facebook production cluster, filtered by the number of non-zero
+    flows ("M0").  That trace is not redistributable, so this module
+    generates instances calibrated to its published shape (Chowdhury et
+    al., SIGCOMM 2014; Chowdhury & Stoica, 2012):
+
+    - a small number of wide coflows carries most of the bytes, while most
+      coflows are narrow — we use the published four-way mix of
+      short-narrow (52%), long-narrow (16%), short-wide (15%) and
+      long-wide (17%) coflows;
+    - "width" (number of participating mappers/reducers) spans the whole
+      fabric for wide coflows and a handful of ports for narrow ones;
+    - flow sizes are heavy-tailed (Pareto body with a cap) for long
+      coflows and small-uniform for short ones;
+    - every coflow touches a random subset of ports, leaving the demand
+      matrix sparse, which is what makes grouping and backfilling matter.
+
+    Sizes are expressed in abstract data units = one port-slot (the paper
+    uses 1 MB = 1/128 s at 1 Gbps). *)
+
+type params = {
+  ports : int;
+  coflows : int;
+  short_max : int;  (** max flow size of a short coflow, units *)
+  long_mean : int;  (** approximate mean flow size of a long coflow *)
+  long_cap : int;  (** hard cap on a single flow *)
+}
+
+val default_params : ports:int -> coflows:int -> params
+(** [short_max = 4], [long_mean = 12], [long_cap = 64] — small enough that
+    the interval-indexed LP for a few hundred coflows stays laptop-sized,
+    large enough to preserve multiple orders of magnitude between light and
+    heavy coflows. *)
+
+val generate : ?params:params -> ports:int -> coflows:int -> Random.State.t -> Instance.t
+(** Weights are all 1 (callers re-weight with {!Weights}); releases are 0 as
+    in the paper's evaluation. *)
+
+val generate_with_arrivals :
+  ?params:params ->
+  mean_gap:int ->
+  ports:int ->
+  coflows:int ->
+  Random.State.t ->
+  Instance.t
+(** Same workload, but coflow [k] arrives after a geometric inter-arrival
+    gap with the given mean — used by the release-date extension study. *)

@@ -1,0 +1,90 @@
+open Matrix
+
+type summary = {
+  coflows : int;
+  ports : int;
+  total_units : int;
+  width_min : int;
+  width_median : int;
+  width_max : int;
+  size_median : int;
+  size_max : int;
+  bytes_in_top_decile : float;
+  mean_port_imbalance : float;
+}
+
+let median sorted =
+  let n = Array.length sorted in
+  sorted.(n / 2)
+
+let summarize inst =
+  let n = Instance.num_coflows inst in
+  if n = 0 then invalid_arg "Stats.summarize: empty instance";
+  let coflows = Instance.coflows inst in
+  let widths =
+    Array.map (fun c -> Mat.nonzero_count c.Instance.demand) coflows
+  in
+  let sizes = Array.map (fun c -> Mat.total c.Instance.demand) coflows in
+  let sorted_widths = Array.copy widths and sorted_sizes = Array.copy sizes in
+  Array.sort compare sorted_widths;
+  Array.sort compare sorted_sizes;
+  let total_units = Array.fold_left ( + ) 0 sizes in
+  let top_decile =
+    let k = max 1 (n / 10) in
+    let acc = ref 0 in
+    for i = n - k to n - 1 do
+      acc := !acc + sorted_sizes.(i)
+    done;
+    if total_units = 0 then 0.0
+    else float_of_int !acc /. float_of_int total_units
+  in
+  let m = Instance.ports inst in
+  let imbalance =
+    let acc = ref 0.0 and counted = ref 0 in
+    Array.iter
+      (fun c ->
+        let total = Mat.total c.Instance.demand in
+        if total > 0 then begin
+          incr counted;
+          acc :=
+            !acc
+            +. (float_of_int (Mat.load c.Instance.demand * m)
+               /. float_of_int total)
+        end)
+      coflows;
+    if !counted = 0 then 1.0 else !acc /. float_of_int !counted
+  in
+  { coflows = n;
+    ports = m;
+    total_units;
+    width_min = sorted_widths.(0);
+    width_median = median sorted_widths;
+    width_max = sorted_widths.(n - 1);
+    size_median = median sorted_sizes;
+    size_max = sorted_sizes.(n - 1);
+    bytes_in_top_decile = top_decile;
+    mean_port_imbalance = imbalance;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>%d coflows on %d ports, %d units total@,\
+     width (M0): min %d / median %d / max %d@,\
+     size: median %d / max %d units@,\
+     top 10%% of coflows carry %.1f%% of the bytes@,\
+     mean port imbalance %.2f (1 = perfectly balanced)@]"
+    s.coflows s.ports s.total_units s.width_min s.width_median s.width_max
+    s.size_median s.size_max
+    (100.0 *. s.bytes_in_top_decile)
+    s.mean_port_imbalance
+
+let width_histogram ?(buckets = [ 1; 4; 16; 64; 256; max_int ]) inst =
+  let counts = List.map (fun b -> (b, ref 0)) buckets in
+  Array.iter
+    (fun c ->
+      let w = Mat.nonzero_count c.Instance.demand in
+      match List.find_opt (fun (b, _) -> w <= b) counts with
+      | Some (_, r) -> incr r
+      | None -> ())
+    (Instance.coflows inst);
+  List.map (fun (b, r) -> (b, !r)) counts

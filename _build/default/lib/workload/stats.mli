@@ -1,0 +1,29 @@
+(** Workload characterisation, used to sanity-check that a synthetic trace
+    has the published Facebook-trace shape (heavy-tailed sizes, narrow/wide
+    mix, sparse port usage) and exposed by [trace_gen --stats]. *)
+
+type summary = {
+  coflows : int;
+  ports : int;
+  total_units : int;
+  width_min : int;  (** number of non-zero flows (the paper's M0) *)
+  width_median : int;
+  width_max : int;
+  size_median : int;  (** total units per coflow *)
+  size_max : int;
+  bytes_in_top_decile : float;
+      (** fraction of all units carried by the largest 10% of coflows —
+          the "few heavy coflows dominate" statistic *)
+  mean_port_imbalance : float;
+      (** mean over coflows of [rho * m / total]: 1 for perfectly balanced
+          demand, larger when a coflow concentrates on few ports *)
+}
+
+val summarize : Instance.t -> summary
+(** @raise Invalid_argument on an empty instance. *)
+
+val pp : Format.formatter -> summary -> unit
+
+val width_histogram : ?buckets:int list -> Instance.t -> (int * int) list
+(** [(upper_bound, count)] pairs over the M0 widths; default bucket bounds
+    [1; 4; 16; 64; 256; max_int]. *)

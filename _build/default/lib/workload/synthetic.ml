@@ -1,0 +1,50 @@
+open Matrix
+
+let uniform ?(density = 0.3) ?(max_size = 8) ~ports ~coflows st =
+  let make_coflow id =
+    { Instance.id;
+      release = 0;
+      weight = 1.0;
+      demand = Mat.random ~density ~max_entry:max_size st ports;
+    }
+  in
+  Instance.make ~ports (List.init coflows make_coflow)
+
+(* Draw [k] distinct values from [0 .. m-1] (partial Fisher–Yates). *)
+let sample_ports st m k =
+  if k > m then invalid_arg "Synthetic: more endpoints than ports";
+  let a = Array.init m (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + Random.State.int st (m - i) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.sub a 0 k
+
+let mapreduce ?(max_flow_size = 10) ~ports ~mappers ~reducers st =
+  if mappers <= 0 || reducers <= 0 then
+    invalid_arg "Synthetic.mapreduce: need at least one mapper and reducer";
+  let srcs = sample_ports st ports mappers in
+  let dsts = sample_ports st ports reducers in
+  let d = Mat.make ports in
+  Array.iter
+    (fun i ->
+      Array.iter
+        (fun j -> Mat.set d i j (1 + Random.State.int st max_flow_size))
+        dsts)
+    srcs;
+  d
+
+let mapreduce_instance ?(max_flow_size = 10) ?(arrival_spacing = 0) ~ports
+    ~coflows st =
+  let make_coflow id =
+    let mappers = 1 + Random.State.int st ports in
+    let reducers = 1 + Random.State.int st ports in
+    { Instance.id;
+      release = id * arrival_spacing;
+      weight = 1.0;
+      demand = mapreduce ~max_flow_size ~ports ~mappers ~reducers st;
+    }
+  in
+  Instance.make ~ports (List.init coflows make_coflow)

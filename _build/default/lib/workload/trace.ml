@@ -1,0 +1,113 @@
+open Matrix
+
+let magic = "coflow-trace v1"
+
+let to_string inst =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Printf.sprintf "%d %d\n" (Instance.ports inst)
+       (Instance.num_coflows inst));
+  Array.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "%d %d %.17g %d\n" c.Instance.id c.Instance.release
+           c.Instance.weight
+           (Mat.nonzero_count c.Instance.demand));
+      Mat.iter_nonzero
+        (fun i j v -> Buffer.add_string b (Printf.sprintf "%d %d %d\n" i j v))
+        c.Instance.demand)
+    (Instance.coflows inst);
+  Buffer.contents b
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let fail lineno msg =
+    failwith (Printf.sprintf "Trace.of_string: line %d: %s" lineno msg)
+  in
+  match lines with
+  | [] -> failwith "Trace.of_string: empty input"
+  | header :: rest ->
+    if header <> magic then
+      failwith
+        (Printf.sprintf "Trace.of_string: bad header %S (expected %S)" header
+           magic);
+    let tokens lineno l =
+      match String.split_on_char ' ' l |> List.filter (fun t -> t <> "") with
+      | [] -> fail lineno "empty line"
+      | ts -> ts
+    in
+    let parse_int lineno s =
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> fail lineno (Printf.sprintf "expected integer, got %S" s)
+    in
+    let parse_float lineno s =
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> fail lineno (Printf.sprintf "expected float, got %S" s)
+    in
+    (match rest with
+    | [] -> failwith "Trace.of_string: missing dimensions line"
+    | dims :: body ->
+      let ports, ncoflows =
+        match tokens 2 dims with
+        | [ p; n ] -> (parse_int 2 p, parse_int 2 n)
+        | _ -> fail 2 "expected '<ports> <num_coflows>'"
+      in
+      let lineno = ref 2 in
+      let body = ref body in
+      let next () =
+        match !body with
+        | [] -> fail !lineno "unexpected end of file"
+        | l :: tl ->
+          incr lineno;
+          body := tl;
+          l
+      in
+      let coflows = ref [] in
+      for _ = 1 to ncoflows do
+        let l = next () in
+        match tokens !lineno l with
+        | [ id; release; weight; nnz ] ->
+          let id = parse_int !lineno id in
+          let release = parse_int !lineno release in
+          let weight = parse_float !lineno weight in
+          let nnz = parse_int !lineno nnz in
+          let d = Mat.make ports in
+          for _ = 1 to nnz do
+            let fl = next () in
+            match tokens !lineno fl with
+            | [ i; j; v ] ->
+              let i = parse_int !lineno i
+              and j = parse_int !lineno j
+              and v = parse_int !lineno v in
+              (try Mat.set d i j v
+               with Invalid_argument m -> fail !lineno m)
+            | _ -> fail !lineno "expected '<i> <j> <size>'"
+          done;
+          coflows :=
+            { Instance.id; release; weight; demand = d } :: !coflows
+        | _ -> fail !lineno "expected '<id> <release> <weight> <nnz>'"
+      done;
+      if !body <> [] then fail (!lineno + 1) "trailing content";
+      Instance.make ~ports (List.rev !coflows))
+
+let save path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string inst))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

@@ -1,0 +1,24 @@
+(** Plain-text trace format, one file per instance.
+
+    Layout (whitespace-separated):
+    {v
+    coflow-trace v1
+    <ports> <num_coflows>
+    <id> <release> <weight> <nnz>
+    <i> <j> <size>      (nnz lines)
+    ...
+    v}
+
+    The format deliberately mirrors the public coflow-benchmark layout (one
+    record per coflow, explicit sparse flows) so real traces can be converted
+    with a one-line awk script. *)
+
+val save : string -> Instance.t -> unit
+(** Write the instance to a file.  @raise Sys_error on IO failure. *)
+
+val load : string -> Instance.t
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+val to_string : Instance.t -> string
+
+val of_string : string -> Instance.t

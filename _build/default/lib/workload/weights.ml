@@ -1,0 +1,14 @@
+let equal n =
+  if n < 0 then invalid_arg "Weights.equal: negative size";
+  Array.make n 1.0
+
+let random_permutation st n =
+  if n < 0 then invalid_arg "Weights.random_permutation: negative size";
+  let w = Array.init n (fun i -> float_of_int (i + 1)) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = w.(i) in
+    w.(i) <- w.(j);
+    w.(j) <- t
+  done;
+  w

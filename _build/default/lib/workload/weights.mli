@@ -1,0 +1,8 @@
+(** Weight schemes used in the paper's experiments (§4.1): equal weights, and
+    a uniformly random permutation of [{1, ..., n}]. *)
+
+val equal : int -> float array
+(** [n] ones. *)
+
+val random_permutation : Random.State.t -> int -> float array
+(** A uniformly random permutation of [1.0 .. float n] (Fisher–Yates). *)

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Baselines Core Fb_like Instance Lazy Lp_relax Ordering Random Scheduler Weights Workload

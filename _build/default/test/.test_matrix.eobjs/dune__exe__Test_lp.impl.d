@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Astring Dense_simplex Filename Float Format Fun List Lp Lp_io Model Presolve Printf QCheck QCheck_alcotest Random Revised_simplex Solution Std_form Sys

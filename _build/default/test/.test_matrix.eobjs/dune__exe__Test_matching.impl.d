@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array Bipartite Buffer Float Hungarian List Matching Matrix Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_openshop.ml: Alcotest Array Baselines Brute Core Instance List Matrix Openshop Printf QCheck QCheck_alcotest Random Scheduler Workload

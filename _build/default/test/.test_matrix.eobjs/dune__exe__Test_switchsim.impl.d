@@ -1,0 +1,1 @@
+test/test_switchsim.ml: Alcotest Array Fabric Filename Fun List Mat Matrix Random Recorder Simulator Switchsim Sys

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Astring Dag Fb_like Filename Format Fun Instance List Mat Matrix QCheck QCheck_alcotest Random Stats String Synthetic Sys Trace Weights Workload

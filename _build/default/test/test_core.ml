@@ -1,0 +1,1112 @@
+(* Tests for the paper's algorithms: BvN decomposition (Algorithm 1), the LP
+   relaxations, orderings, grouping, the scheduling cases (Algorithm 2), the
+   randomized variant, and the theory audits of §3. *)
+
+open Matrix
+open Workload
+open Core
+
+let check_int = Alcotest.(check int)
+
+let fig1 () = Mat.of_arrays [| [| 1; 2 |]; [| 2; 1 |] |]
+
+let mk_coflow ?(id = 0) ?(release = 0) ?(weight = 1.0) demand =
+  { Instance.id; release; weight; demand }
+
+let fig1_instance () = Instance.make ~ports:2 [ mk_coflow (fig1 ()) ]
+
+let random_instance ?(ports = 4) ?(coflows = 5) seed =
+  let st = Random.State.make [| seed |] in
+  Synthetic.uniform ~ports ~coflows ~density:0.4 ~max_size:4 st
+
+(* ---------- Coflow loads ---------- *)
+
+let test_load_fig1 () = check_int "rho" 3 (Coflow.load (fig1 ()))
+
+let test_cumulative_appendix_b () =
+  Alcotest.(check (array int)) "V = [18; 30]" Counterexample.v
+    (Coflow.cumulative_loads
+       [| Counterexample.coflow_1; Counterexample.coflow_2 |])
+
+let test_effective_bottleneck () =
+  Alcotest.(check (float 1e-9)) "rho/w" 1.5
+    (Coflow.effective_bottleneck (fig1 ()) ~weight:2.0)
+
+(* ---------- Algorithm 1 (BvN) ---------- *)
+
+let test_augment_balances () =
+  let d = fig1 () in
+  let a = Bvn.augment d in
+  let rho = Mat.load d in
+  for p = 0 to 1 do
+    check_int "row balanced" rho (Mat.row_sum a p);
+    check_int "col balanced" rho (Mat.col_sum a p)
+  done;
+  Alcotest.(check bool) "dominates input" true (Mat.leq d a)
+
+let test_schedule_fig1_duration () =
+  let s = Bvn.schedule (fig1 ()) in
+  check_int "exactly rho slots" 3 (Bvn.duration s)
+
+let test_schedule_zero () =
+  Alcotest.(check int) "empty schedule" 0 (List.length (Bvn.schedule (Mat.make 3)))
+
+let test_decompose_unbalanced_rejected () =
+  let unbalanced = Mat.of_arrays [| [| 1; 2 |]; [| 0; 1 |] |] in
+  (try
+     ignore (Bvn.decompose unbalanced);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_restore_equals_augmented () =
+  let d = Mat.of_arrays [| [| 2; 0; 1 |]; [| 0; 3; 0 |]; [| 1; 1; 1 |] |] in
+  let a = Bvn.augment d in
+  let s = Bvn.decompose a in
+  Alcotest.(check bool) "sum q Pi = augmented" true
+    (Mat.equal (Bvn.restore 3 s) a)
+
+let bvn_arb =
+  let gen =
+    QCheck.Gen.(
+      let* m = int_range 1 8 in
+      let* seed = int_range 0 1_000_000 in
+      let st = Random.State.make [| seed |] in
+      return (Mat.random ~density:0.5 ~max_entry:7 st m))
+  in
+  QCheck.make ~print:Mat.to_string gen
+
+let prop_bvn_duration_is_load =
+  QCheck.Test.make ~name:"BvN duration equals rho" ~count:200 bvn_arb (fun d ->
+      Bvn.duration (Bvn.schedule d) = Mat.load d)
+
+let prop_bvn_matchings_polynomial =
+  QCheck.Test.make ~name:"BvN uses at most m^2 matchings" ~count:200 bvn_arb
+    (fun d ->
+      Bvn.matchings_used (Bvn.schedule d) <= Mat.dim d * Mat.dim d)
+
+let prop_bvn_covers_demand =
+  QCheck.Test.make ~name:"BvN covers every demand entry" ~count:200 bvn_arb
+    (fun d -> Mat.leq d (Bvn.restore (Mat.dim d) (Bvn.schedule d)))
+
+let prop_bvn_matchings_valid =
+  QCheck.Test.make ~name:"BvN emits genuine matchings" ~count:200 bvn_arb
+    (fun d ->
+      List.for_all
+        (fun (matching, q) ->
+          q > 0 && Matching.Bipartite.is_matching (Mat.dim d) matching)
+        (Bvn.schedule d))
+
+(* ---------- LP relaxation ---------- *)
+
+let test_interval_count () =
+  let inst = fig1_instance () in
+  (* T = 6 -> smallest L with 2^(L-1) >= 6 is 4 *)
+  check_int "L" 4 (Lp_relax.interval_count inst)
+
+let test_interval_lp_single_coflow () =
+  let inst = fig1_instance () in
+  let r = Lp_relax.solve_interval inst in
+  (* the single coflow has load 3, so it cannot finish before interval
+     (2, 4]: cbar = tau_2 = 2 and the LP lower bound is w * 2 *)
+  Alcotest.(check (float 1e-6)) "cbar" 2.0 r.Lp_relax.cbar.(0);
+  Alcotest.(check (float 1e-6)) "bound" 2.0 r.Lp_relax.lower_bound
+
+let test_interval_lp_dense_matches_revised () =
+  let inst = random_instance 3 in
+  let a = Lp_relax.solve_interval ~solver:`Revised inst in
+  let b = Lp_relax.solve_interval ~solver:`Dense inst in
+  Alcotest.(check (float 1e-5)) "same optimum" a.Lp_relax.lower_bound
+    b.Lp_relax.lower_bound
+
+let test_time_indexed_at_least_interval () =
+  (* LP-EXP is a tighter relaxation than (LP). *)
+  let inst = random_instance ~ports:3 ~coflows:3 9 in
+  let lp = Lp_relax.solve_interval inst in
+  let exp = Lp_relax.solve_time_indexed inst in
+  Alcotest.(check bool) "exp >= interval" true
+    (exp.Lp_relax.lower_bound >= lp.Lp_relax.lower_bound -. 1e-6)
+
+let test_time_indexed_guard () =
+  let inst = random_instance ~ports:6 ~coflows:12 1 in
+  (try
+     ignore (Lp_relax.solve_time_indexed ~max_vars:10 inst);
+     Alcotest.fail "expected Too_large"
+   with Lp_relax.Too_large _ -> ())
+
+let test_lp_order_is_permutation () =
+  let inst = random_instance 17 in
+  let r = Lp_relax.solve_interval inst in
+  Alcotest.(check bool) "permutation" true
+    (Ordering.is_permutation (Instance.num_coflows inst) r.Lp_relax.order)
+
+let test_lp_release_dates_respected () =
+  (* a coflow released at 10 with load 2 cannot have cbar < 8: its first
+     feasible interval (tau_(l-1), tau_l] must satisfy tau_l >= 12 *)
+  let inst =
+    Instance.make ~ports:2
+      [ mk_coflow ~id:0 ~release:10 (fig1 ());
+        mk_coflow ~id:1 (Mat.of_arrays [| [| 1; 0 |]; [| 0; 0 |] |]);
+      ]
+  in
+  let r = Lp_relax.solve_interval inst in
+  Alcotest.(check bool) "late coflow pushed out" true
+    (r.Lp_relax.cbar.(0) >= 8.0 -. 1e-9);
+  check_int "early coflow first" 1 r.Lp_relax.order.(0)
+
+let lp_instance_arb =
+  let gen =
+    QCheck.Gen.(
+      let* ports = int_range 2 5 in
+      let* coflows = int_range 1 7 in
+      let* seed = int_range 0 1_000_000 in
+      return (random_instance ~ports ~coflows seed))
+  in
+  QCheck.make
+    ~print:(fun i -> Format.asprintf "%a" Instance.pp_summary i)
+    gen
+
+let prop_lp_lower_bounds_vload =
+  (* LP optimum lower-bounds even the best possible prefix times: the last
+     coflow in any order cannot finish before V_n / anything; weak but
+     useful sanity: lower_bound <= sum w_k * T. *)
+  QCheck.Test.make ~name:"LP bound is finite and nonnegative" ~count:60
+    lp_instance_arb (fun inst ->
+      let r = Lp_relax.solve_interval inst in
+      r.Lp_relax.lower_bound >= -1e-9
+      && r.Lp_relax.lower_bound < float_of_int (Instance.horizon inst)
+         *. Array.fold_left ( +. ) 0.0 (Instance.weights inst)
+         +. 1.0)
+
+let prop_lp_cbar_at_least_load =
+  (* cbar_k >= tau_(first allowed - 1) >= (r_k + rho_k) / 2 by the geometric
+     grid — provided the coflow cannot fit in the very first interval
+     (r + rho >= 2), where tau_0 = 0 carries no information. *)
+  QCheck.Test.make ~name:"cbar respects per-coflow load" ~count:60
+    lp_instance_arb (fun inst ->
+      let r = Lp_relax.solve_interval inst in
+      Array.for_all
+        (fun c ->
+          let k = c.Instance.id in
+          let rho = Mat.load c.Instance.demand in
+          c.Instance.release + rho < 2
+          || r.Lp_relax.cbar.(k)
+             >= (float_of_int (c.Instance.release + rho) /. 2.0) -. 1e-6)
+        (Instance.coflows inst))
+
+let test_lp_values_partition () =
+  (* the reported non-zero assignments of each coflow must sum to 1 *)
+  let inst = random_instance 19 in
+  let r = Lp_relax.solve_interval inst in
+  let sums = Array.make (Instance.num_coflows inst) 0.0 in
+  List.iter (fun (k, _, x) -> sums.(k) <- sums.(k) +. x) r.Lp_relax.values;
+  Array.iteri
+    (fun k s ->
+      if Mat.total (Instance.coflow inst k).Instance.demand > 0 then
+        Alcotest.(check (float 1e-6))
+          (Printf.sprintf "coflow %d mass" k)
+          1.0 s)
+    sums
+
+let test_lp_trivial_instances () =
+  (* empty instance and all-zero demands short-circuit *)
+  let empty = Instance.make ~ports:3 [] in
+  let r = Lp_relax.solve_interval empty in
+  Alcotest.(check (float 0.0)) "empty bound" 0.0 r.Lp_relax.lower_bound;
+  let zero =
+    Instance.make ~ports:2 [ mk_coflow (Mat.make 2) ]
+  in
+  let r = Lp_relax.solve_interval zero in
+  Alcotest.(check (float 0.0)) "zero bound" 0.0 r.Lp_relax.lower_bound;
+  Alcotest.(check int) "order" 1 (Array.length r.Lp_relax.order)
+
+(* ---------- Orderings ---------- *)
+
+let ordering_instance () =
+  Instance.make ~ports:2
+    [ mk_coflow ~id:0 ~weight:1.0 (Mat.of_arrays [| [| 4; 0 |]; [| 0; 4 |] |]);
+      mk_coflow ~id:1 ~weight:4.0 (Mat.of_arrays [| [| 2; 0 |]; [| 0; 2 |] |]);
+      mk_coflow ~id:2 ~weight:1.0 (Mat.of_arrays [| [| 1; 0 |]; [| 0; 1 |] |]);
+    ]
+
+let test_ordering_arrival () =
+  Alcotest.(check (array int)) "trace order" [| 0; 1; 2 |]
+    (Ordering.arrival (ordering_instance ()))
+
+let test_ordering_by_load_weight () =
+  (* rho/w: 4/1=4, 2/4=0.5, 1/1=1 -> order 1, 2, 0 *)
+  Alcotest.(check (array int)) "H_rho" [| 1; 2; 0 |]
+    (Ordering.by_load_over_weight (ordering_instance ()))
+
+let test_ordering_by_total_size () =
+  (* total/w: 8/1, 4/4, 2/1 -> order 1, 2, 0 *)
+  Alcotest.(check (array int)) "size order" [| 1; 2; 0 |]
+    (Ordering.by_total_size (ordering_instance ()))
+
+let test_is_permutation () =
+  Alcotest.(check bool) "yes" true (Ordering.is_permutation 3 [| 2; 0; 1 |]);
+  Alcotest.(check bool) "repeat" false (Ordering.is_permutation 3 [| 2; 0; 0 |]);
+  Alcotest.(check bool) "range" false (Ordering.is_permutation 3 [| 3; 0; 1 |]);
+  Alcotest.(check bool) "short" false (Ordering.is_permutation 3 [| 0; 1 |])
+
+(* ---------- Grouping ---------- *)
+
+let test_grouping_singletons () =
+  let g = Grouping.singletons [| 2; 0; 1 |] in
+  check_int "three groups" 3 (Grouping.group_count g);
+  Alcotest.(check (array int)) "flatten" [| 2; 0; 1 |] (Grouping.flatten g)
+
+let test_grouping_deterministic_classes () =
+  (* loads 1, 1, 2, 8 -> V = 1, 2, 4, 12 -> classes 1, 2, 3, 5:
+     four singleton groups. *)
+  let inst =
+    Instance.make ~ports:1
+      [ mk_coflow ~id:0 (Mat.of_arrays [| [| 1 |] |]);
+        mk_coflow ~id:1 (Mat.of_arrays [| [| 1 |] |]);
+        mk_coflow ~id:2 (Mat.of_arrays [| [| 2 |] |]);
+        mk_coflow ~id:3 (Mat.of_arrays [| [| 8 |] |]);
+      ]
+  in
+  let g = Grouping.deterministic inst [| 0; 1; 2; 3 |] in
+  check_int "groups" 4 (Grouping.group_count g)
+
+let test_grouping_deterministic_merges () =
+  (* loads 1, 1, 1 -> V = 1, 2, 3: classes 1, 2, 3? V=1 -> class 1 (<=1),
+     V=2 -> class 2 (<=2), V=3 -> class 3 (<=4).  Merge only within the
+     same class; the fourth coflow with V=4 joins class 3. *)
+  let inst =
+    Instance.make ~ports:1
+      (List.init 4 (fun id -> mk_coflow ~id (Mat.of_arrays [| [| 1 |] |])))
+  in
+  let g = Grouping.deterministic inst [| 0; 1; 2; 3 |] in
+  check_int "last two merge" 3 (Grouping.group_count g);
+  Alcotest.(check (array int)) "class (2,4]" [| 2; 3 |] (Grouping.members g 2)
+
+let test_grouping_flatten_preserves_order () =
+  let inst = random_instance 23 in
+  let order = Ordering.by_load_over_weight inst in
+  let g = Grouping.deterministic inst order in
+  Alcotest.(check (array int)) "order preserved" order (Grouping.flatten g)
+
+let test_randomized_grouping_valid () =
+  let inst = random_instance 29 in
+  let order = Ordering.arrival inst in
+  let st = Random.State.make [| 4 |] in
+  let t0 = Grouping.draw_t0 st in
+  Alcotest.(check bool) "t0 in [1, a]" true
+    (t0 >= 1.0 && t0 <= Grouping.golden_a);
+  let g = Grouping.randomized ~a:Grouping.golden_a ~t0 inst order in
+  Alcotest.(check (array int)) "flatten" order (Grouping.flatten g)
+
+(* ---------- Scheduler ---------- *)
+
+let test_single_coflow_meets_load_bound () =
+  let inst = fig1_instance () in
+  let r = Scheduler.run ~case:Scheduler.Base inst [| 0 |] in
+  check_int "C = rho = 3" 3 r.Scheduler.completion.(0)
+
+let test_all_cases_complete () =
+  let inst = random_instance 31 in
+  let order = Ordering.by_load_over_weight inst in
+  List.iter
+    (fun case ->
+      let r = Scheduler.run ~case inst order in
+      Alcotest.(check bool)
+        (Printf.sprintf "case %s twct positive" (Scheduler.case_name case))
+        true
+        (r.Scheduler.twct >= 0.0))
+    Scheduler.all_cases
+
+let test_backfill_never_hurts_makespan_here () =
+  let inst = random_instance 37 in
+  let order = Ordering.by_load_over_weight inst in
+  let base = Scheduler.run ~case:Scheduler.Base inst order in
+  let bf = Scheduler.run ~case:Scheduler.Backfill inst order in
+  Alcotest.(check bool) "backfill does not lengthen the schedule" true
+    (bf.Scheduler.slots <= base.Scheduler.slots)
+
+let test_sequential_base_case_is_sum_of_loads () =
+  (* In case (a) with no releases, coflows are cleared one by one, so the
+     k-th completion is the sum of the first k loads. *)
+  let inst = ordering_instance () in
+  let order = [| 0; 1; 2 |] in
+  let r = Scheduler.run ~case:Scheduler.Base inst order in
+  check_int "C_0 = 4" 4 r.Scheduler.completion.(0);
+  check_int "C_1 = 6" 6 r.Scheduler.completion.(1);
+  check_int "C_2 = 7" 7 r.Scheduler.completion.(2)
+
+let test_grouped_respects_release_dates () =
+  let inst =
+    Instance.make ~ports:2
+      [ mk_coflow ~id:0 ~release:5 (fig1 ());
+        mk_coflow ~id:1 (Mat.of_arrays [| [| 2; 0 |]; [| 0; 0 |] |]);
+      ]
+  in
+  let order = Ordering.by_load_over_weight inst in
+  let r = Scheduler.run ~case:Scheduler.Group inst order in
+  Alcotest.(check bool) "released coflow not served early" true
+    (r.Scheduler.completion.(0) >= 5 + 3)
+
+let test_policy_exposed () =
+  let inst = fig1_instance () in
+  let groups = Grouping.singletons [| 0 |] in
+  let sim =
+    Switchsim.Simulator.create ~ports:2 (Instance.demands inst)
+  in
+  Switchsim.Simulator.run sim ~policy:(Scheduler.policy inst groups);
+  check_int "done in 3" 3 (Switchsim.Simulator.completion_time_exn sim 0)
+
+(* ---------- Theory audits ---------- *)
+
+let sched_arb =
+  let gen =
+    QCheck.Gen.(
+      let* ports = int_range 2 5 in
+      let* coflows = int_range 1 6 in
+      let* seed = int_range 0 1_000_000 in
+      return (random_instance ~ports ~coflows seed))
+  in
+  QCheck.make
+    ~print:(fun i -> Format.asprintf "%a" Instance.pp_summary i)
+    gen
+
+let prop_lemma2_all_cases =
+  QCheck.Test.make ~name:"Lemma 2 prefix bound on every case" ~count:60
+    sched_arb (fun inst ->
+      let order = Ordering.by_load_over_weight inst in
+      List.for_all
+        (fun case ->
+          let r = Scheduler.run ~case inst order in
+          Verify.lemma2_prefix_bound inst order r.Scheduler.completion = Ok ())
+        Scheduler.all_cases)
+
+let prop_lemma3_lp =
+  QCheck.Test.make ~name:"Lemma 3: V <= 16/3 cbar" ~count:40 sched_arb
+    (fun inst ->
+      let lp = Lp_relax.solve_interval inst in
+      Verify.lemma3_lp_bound inst lp = Ok ())
+
+let prop_proposition1 =
+  QCheck.Test.make ~name:"Proposition 1 on the grouped schedule" ~count:40
+    sched_arb (fun inst ->
+      let lp = Lp_relax.solve_interval inst in
+      let order = Ordering.by_lp lp in
+      List.for_all
+        (fun case ->
+          let r = Scheduler.run ~case inst order in
+          Verify.proposition1_bound inst order r.Scheduler.completion = Ok ())
+        [ Scheduler.Group; Scheduler.Group_backfill ])
+
+let prop_theorem1_ratio =
+  (* The proof chain gives C_k <= 4 V_k <= 4 max (4, 16/3 cbar_k) for zero
+     releases, i.e. TWCT <= 64/3 * LP bound + 16 * sum of weights; the
+     additive term covers coflows the LP finishes inside the very first
+     interval (where cbar carries no information, cf. Verify.lemma3).  On
+     instances whose coflows all have cbar >= 3 the additive term vanishes
+     and the ratio test is the paper's 64/3. *)
+  QCheck.Test.make ~name:"Theorem 1 bound vs LP lower bound (zero releases)"
+    ~count:40 sched_arb (fun inst ->
+      let lp = Lp_relax.solve_interval inst in
+      let order = Ordering.by_lp lp in
+      let r = Scheduler.run ~case:Scheduler.Group inst order in
+      let weight_sum = Array.fold_left ( +. ) 0.0 (Instance.weights inst) in
+      let bound =
+        (Verify.deterministic_ratio_limit ~with_releases:false
+        *. lp.Lp_relax.lower_bound)
+        +. (16.0 *. weight_sum)
+      in
+      r.Scheduler.twct <= bound +. 1e-6)
+
+let prop_randomized_draw_bound =
+  (* per-draw guarantee behind Proposition 2 (zero releases, group-level) *)
+  QCheck.Test.make ~name:"randomized draw satisfies its per-draw bound"
+    ~count:40 sched_arb (fun inst ->
+      let st = Random.State.make [| 3 |] in
+      let order = Ordering.by_load_over_weight inst in
+      let t0 = Grouping.draw_t0 st in
+      let groups = Grouping.randomized ~a:Grouping.golden_a ~t0 inst order in
+      let r = Scheduler.run_grouped inst groups in
+      Verify.randomized_draw_bound ~a:Grouping.golden_a inst groups
+        r.Scheduler.completion
+      = Ok ())
+
+let prop_aggressive_dominates_feasibility =
+  (* the work-conserving ablation still completes, respects Lemma 2, and
+     never produces a longer makespan than plain case (d) on these
+     zero-release instances *)
+  (* NB: aggressive service is not pointwise dominant — different service
+     patterns can occasionally lengthen the makespan — so only soundness is
+     asserted here; the TWCT win is measured by E9. *)
+  QCheck.Test.make ~name:"work-conserving ablation is sound" ~count:40
+    sched_arb (fun inst ->
+      let order = Ordering.by_load_over_weight inst in
+      let groups = Grouping.deterministic inst order in
+      let wc =
+        Scheduler.run_grouped ~backfill:true ~aggressive:true inst groups
+      in
+      Array.for_all (fun c -> c >= 0) wc.Scheduler.completion
+      && Verify.lemma2_prefix_bound inst order wc.Scheduler.completion = Ok ())
+
+let test_aggressive_work_conserving_invariant () =
+  (* under the aggressive policy, no slot may leave a servable
+     (free ingress, free egress, positive released demand) pair idle *)
+  let inst = random_instance ~ports:4 ~coflows:6 53 in
+  let order = Ordering.by_load_over_weight inst in
+  let groups = Grouping.deterministic inst order in
+  let policy = Scheduler.policy ~backfill:true ~aggressive:true inst groups in
+  let sim =
+    Switchsim.Simulator.create ~ports:4 (Instance.demands inst)
+  in
+  let n = Instance.num_coflows inst in
+  let slots = ref 0 in
+  while (not (Switchsim.Simulator.all_complete sim)) && !slots < 10_000 do
+    incr slots;
+    let transfers = policy sim in
+    let src = Array.make 4 false and dst = Array.make 4 false in
+    List.iter
+      (fun t ->
+        src.(t.Switchsim.Simulator.src) <- true;
+        dst.(t.Switchsim.Simulator.dst) <- true)
+      transfers;
+    for i = 0 to 3 do
+      for j = 0 to 3 do
+        if not (src.(i) || dst.(j)) then
+          for k = 0 to n - 1 do
+            if
+              Switchsim.Simulator.released sim k
+              && Switchsim.Simulator.remaining_at sim k i j > 0
+            then
+              Alcotest.fail
+                (Printf.sprintf
+                   "idle servable pair (%d, %d) for coflow %d at slot %d" i j
+                   k !slots)
+          done
+      done
+    done;
+    Switchsim.Simulator.step sim transfers
+  done;
+  Alcotest.(check bool) "completed" true (Switchsim.Simulator.all_complete sim)
+
+let prop_randomized_completes =
+  QCheck.Test.make ~name:"randomized algorithm completes and bounds hold"
+    ~count:40 sched_arb (fun inst ->
+      let st = Random.State.make [| 99 |] in
+      let order = Ordering.by_load_over_weight inst in
+      let r = Randomized.run st inst order in
+      Verify.lemma2_prefix_bound inst order r.Scheduler.completion = Ok ())
+
+(* ---------- Baselines ---------- *)
+
+let test_baselines_complete () =
+  let inst = random_instance 41 in
+  let fifo = Baselines.fifo inst in
+  let rr = Baselines.round_robin inst in
+  let greedy = Baselines.greedy inst (Ordering.by_load_over_weight inst) in
+  List.iter
+    (fun (name, r) ->
+      Alcotest.(check bool) name true (r.Scheduler.twct > 0.0))
+    [ ("fifo", fifo); ("round-robin", rr); ("greedy", greedy) ]
+
+let prop_baselines_lemma2 =
+  QCheck.Test.make ~name:"baselines respect Lemma 2" ~count:40 sched_arb
+    (fun inst ->
+      let order = Ordering.arrival inst in
+      let r = Baselines.fifo inst in
+      Verify.lemma2_prefix_bound inst order r.Scheduler.completion = Ok ())
+
+(* ---------- Primal-dual ordering ---------- *)
+
+let test_primal_dual_single_port_is_wspt () =
+  (* With 1x1 demand matrices the rule degenerates to Smith's rule. *)
+  let inst =
+    Instance.make ~ports:1
+      [ mk_coflow ~id:0 ~weight:1.0 (Mat.of_arrays [| [| 4 |] |]);
+        mk_coflow ~id:1 ~weight:4.0 (Mat.of_arrays [| [| 2 |] |]);
+        mk_coflow ~id:2 ~weight:1.0 (Mat.of_arrays [| [| 1 |] |]);
+      ]
+  in
+  Alcotest.(check (array int)) "WSPT order" [| 1; 2; 0 |]
+    (Primal_dual.order inst)
+
+let prop_primal_dual_permutation =
+  QCheck.Test.make ~name:"primal-dual order is a permutation" ~count:100
+    sched_arb (fun inst ->
+      Ordering.is_permutation (Instance.num_coflows inst)
+        (Primal_dual.order inst))
+
+let prop_primal_dual_duals_nonneg =
+  QCheck.Test.make ~name:"primal-dual residual weights stay non-negative"
+    ~count:100 sched_arb (fun inst ->
+      let _, residuals = Primal_dual.order_with_duals inst in
+      Array.for_all (fun r -> r >= -1e-9) residuals)
+
+let prop_primal_dual_schedules_sound =
+  QCheck.Test.make ~name:"primal-dual order yields sound grouped schedules"
+    ~count:40 sched_arb (fun inst ->
+      let order = Primal_dual.order inst in
+      let r = Scheduler.run ~case:Scheduler.Group_backfill inst order in
+      Verify.lemma2_prefix_bound inst order r.Scheduler.completion = Ok ())
+
+(* ---------- SEBF + MADD baseline ---------- *)
+
+let prop_sebf_madd_sound =
+  QCheck.Test.make ~name:"SEBF+MADD completes with a feasible schedule"
+    ~count:40 sched_arb (fun inst ->
+      let r = Baselines.sebf_madd inst in
+      Array.for_all (fun c -> c >= 0) r.Scheduler.completion
+      && r.Scheduler.slots >= 0)
+
+let test_sebf_madd_single_coflow_optimal () =
+  (* alone, MADD must clear a coflow in exactly rho slots *)
+  let inst = fig1_instance () in
+  let r = Baselines.sebf_madd inst in
+  check_int "rho slots" 3 r.Scheduler.completion.(0)
+
+(* ---------- Online rules ---------- *)
+
+let prop_online_rules_sound =
+  QCheck.Test.make ~name:"online rules complete with sound schedules"
+    ~count:30 sched_arb (fun inst ->
+      List.for_all
+        (fun rule ->
+          let r = Online.run rule inst in
+          Array.for_all (fun c -> c >= 0) r.Scheduler.completion)
+        Online.all_rules)
+
+let test_online_respects_releases () =
+  let inst =
+    Instance.make ~ports:2
+      [ mk_coflow ~id:0 ~release:7 (Mat.of_arrays [| [| 1; 0 |]; [| 0; 0 |] |]) ]
+  in
+  let r = Online.run Online.Weighted_bottleneck inst in
+  Alcotest.(check bool) "not before release + 1" true
+    (r.Scheduler.completion.(0) >= 8)
+
+let test_online_work_conserving () =
+  (* single always-available coflow: online rules finish in rho slots *)
+  let inst = fig1_instance () in
+  List.iter
+    (fun rule ->
+      let r = Online.run rule inst in
+      check_int (Online.rule_name rule) 3 r.Scheduler.completion.(0))
+    Online.all_rules
+
+(* ---------- Decentralized ---------- *)
+
+let prop_decentralized_sound =
+  QCheck.Test.make ~name:"decentralized schedulers complete" ~count:30
+    sched_arb (fun inst ->
+      List.for_all
+        (fun rule ->
+          let r = Decentralized.run rule inst in
+          Array.for_all (fun c -> c >= 0) r.Scheduler.completion)
+        Decentralized.all_rules)
+
+let test_decentralized_single_coflow () =
+  (* one coflow: local SEBF must still finish in at most total-units slots
+     and at least rho slots *)
+  let inst = fig1_instance () in
+  let r = Decentralized.run Decentralized.Local_sebf inst in
+  Alcotest.(check bool) "between rho and total" true
+    (r.Scheduler.completion.(0) >= 3 && r.Scheduler.completion.(0) <= 6)
+
+let test_decentralized_rounds_validation () =
+  (try
+     ignore (Decentralized.run ~rounds:0 Decentralized.Local_fifo (fig1_instance ()));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_decentralized_more_rounds_no_worse_makespan () =
+  (* more arbitration rounds can only add matched pairs per slot *)
+  let inst = random_instance ~ports:5 ~coflows:6 71 in
+  let r1 = Decentralized.run ~rounds:1 Decentralized.Local_sebf inst in
+  let r5 = Decentralized.run ~rounds:5 Decentralized.Local_sebf inst in
+  Alcotest.(check bool) "r5 completes" true (r5.Scheduler.slots > 0);
+  Alcotest.(check bool) "r1 completes" true (r1.Scheduler.slots > 0)
+
+(* ---------- DAG scheduling ---------- *)
+
+let test_dag_scheduler_diamond () =
+  let d v = Mat.of_arrays [| [| v; 0 |]; [| 0; v |] |] in
+  let dag =
+    Dag.make ~ports:2
+      [ { Dag.id = 0; weight = 1.0; demand = d 1; deps = [] };
+        { Dag.id = 1; weight = 1.0; demand = d 2; deps = [ 0 ] };
+        { Dag.id = 2; weight = 1.0; demand = d 3; deps = [ 0 ] };
+        { Dag.id = 3; weight = 1.0; demand = d 1; deps = [ 1; 2 ] };
+      ]
+  in
+  List.iter
+    (fun prio ->
+      let r = Dag_scheduler.run prio dag in
+      let c = r.Dag_scheduler.stage_completion in
+      (* precedence respected: a stage finishes strictly after deps (its
+         earliest start is its deps' completion) *)
+      Alcotest.(check bool)
+        (Dag_scheduler.priority_name prio ^ " precedence")
+        true
+        (c.(1) > c.(0) && c.(2) > c.(0) && c.(3) > max c.(1) c.(2));
+      (* stages 1 and 2 contend for the same diagonal pairs, so any
+         work-conserving policy needs 1 + (2 + 3) + 1 = 7 slots *)
+      Alcotest.(check int)
+        (Dag_scheduler.priority_name prio ^ " makespan")
+        7 r.Dag_scheduler.makespan)
+    Dag_scheduler.all_priorities
+
+let prop_dag_scheduler_sound =
+  let gen =
+    QCheck.Gen.(
+      let* ports = int_range 2 5 in
+      let* jobs = int_range 1 4 in
+      let* seed = int_range 0 1_000_000 in
+      let st = Random.State.make [| seed |] in
+      return (Dag.random ~stages_per_job:3 ~jobs ~max_flow_size:3 ~ports st))
+  in
+  QCheck.Test.make ~name:"DAG schedules respect precedence" ~count:40
+    (QCheck.make
+       ~print:(fun d -> Printf.sprintf "dag with %d stages" (Dag.num_stages d))
+       gen)
+    (fun dag ->
+      List.for_all
+        (fun prio ->
+          let r = Dag_scheduler.run prio dag in
+          let c = r.Dag_scheduler.stage_completion in
+          let ok = ref true in
+          for k = 0 to Dag.num_stages dag - 1 do
+            List.iter
+              (fun dep ->
+                let nonempty =
+                  Matrix.Mat.total (Dag.stage dag k).Dag.demand > 0
+                in
+                if nonempty && c.(k) <= c.(dep) then ok := false)
+              (Dag.deps_of dag k)
+          done;
+          !ok)
+        Dag_scheduler.all_priorities)
+
+(* ---------- Metrics ---------- *)
+
+let test_metrics () =
+  let completion = [| 3; 10; 7 |] in
+  let weights = [| 1.0; 2.0; 1.0 |] in
+  let releases = [| 0; 4; 7 |] in
+  Alcotest.(check (float 1e-9)) "twct" 30.0
+    (Metrics.total_weighted_completion ~weights completion);
+  Alcotest.(check (float 1e-9)) "twft" (3.0 +. 12.0 +. 0.0)
+    (Metrics.total_weighted_flow ~weights ~releases completion);
+  Alcotest.(check (float 1e-9)) "mean" (20.0 /. 3.0) (Metrics.mean completion);
+  check_int "p0" 3 (Metrics.percentile 0.0 completion);
+  check_int "p50" 7 (Metrics.percentile 0.5 completion);
+  check_int "p100" 10 (Metrics.percentile 1.0 completion);
+  check_int "makespan" 10 (Metrics.max_completion completion)
+
+let test_metrics_validation () =
+  (try
+     ignore
+       (Metrics.total_weighted_flow ~weights:[| 1.0 |] ~releases:[| 5 |]
+          [| 3 |]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Metrics.percentile 1.5 [| 1 |]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_slowdowns () =
+  let inst = fig1_instance () in
+  let r = Scheduler.run ~case:Scheduler.Base inst [| 0 |] in
+  Alcotest.(check (array (float 1e-9))) "no contention -> slowdown 1"
+    [| 1.0 |]
+    (Metrics.slowdowns inst r.Scheduler.completion)
+
+(* ---------- generalized interval grids ---------- *)
+
+let test_interval_base_two_matches_default () =
+  let inst = random_instance 61 in
+  let a = Lp_relax.solve_interval inst in
+  let b = Lp_relax.solve_interval_base ~base:2.0 inst in
+  Alcotest.(check (float 1e-5)) "same bound" a.Lp_relax.lower_bound
+    b.Lp_relax.lower_bound
+
+let test_interval_base_invalid () =
+  (try
+     ignore (Lp_relax.solve_interval_base ~base:1.0 (fig1_instance ()));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let prop_tighter_grid_tighter_bound =
+  (* monotonicity is guaranteed for nested grids; sqrt 2 / 2 / 4 produce
+     exactly nested integer points (ceil (sqrt 2 ^ 2k) = 2^k) *)
+  QCheck.Test.make ~name:"finer (nested) interval grids certify larger bounds"
+    ~count:30 sched_arb (fun inst ->
+      let bound base =
+        (Lp_relax.solve_interval_base ~base inst).Lp_relax.lower_bound
+      in
+      let bs2 = bound (sqrt 2.0) and b2 = bound 2.0 and b4 = bound 4.0 in
+      bs2 >= b2 -. 1e-6 && b2 >= b4 -. 1e-6)
+
+(* ---------- Brute force & exactness ---------- *)
+
+let tiny_arb =
+  let gen =
+    QCheck.Gen.(
+      let* ports = int_range 2 3 in
+      let* coflows = int_range 1 3 in
+      let* seed = int_range 0 1_000_000 in
+      let st = Random.State.make [| seed |] in
+      return
+        (Synthetic.uniform ~ports ~coflows ~density:0.3 ~max_size:2 st))
+  in
+  QCheck.make
+    ~print:(fun i -> Format.asprintf "%a" Instance.pp_summary i)
+    gen
+
+let prop_brute_below_heuristics =
+  QCheck.Test.make ~name:"exact optimum below every heuristic" ~count:25
+    tiny_arb (fun inst ->
+      QCheck.assume (Instance.total_units inst <= 12);
+      let opt = Brute.optimal_twct inst in
+      let order = Ordering.by_load_over_weight inst in
+      List.for_all
+        (fun case ->
+          (Scheduler.run ~case inst order).Scheduler.twct >= opt -. 1e-9)
+        Scheduler.all_cases
+      && (Baselines.fifo inst).Scheduler.twct >= opt -. 1e-9)
+
+let prop_brute_above_lp =
+  QCheck.Test.make ~name:"LP lower bound below exact optimum" ~count:25
+    tiny_arb (fun inst ->
+      QCheck.assume (Instance.total_units inst <= 12);
+      let opt = Brute.optimal_twct inst in
+      let lp = Lp_relax.solve_interval inst in
+      lp.Lp_relax.lower_bound <= opt +. 1e-6)
+
+let test_brute_fig1 () =
+  Alcotest.(check (float 1e-9)) "single coflow optimum = rho" 3.0
+    (Brute.optimal_twct (fig1_instance ()))
+
+let test_brute_rejects_large () =
+  let inst = random_instance ~ports:6 ~coflows:6 43 in
+  (try
+     ignore (Brute.optimal_twct inst);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* ---------- Proposition 1 with release dates (reproduction finding) ----- *)
+
+(* Deterministic witness that the paper's literal Proposition 1 fails with
+   release dates: coflow A (load 3, release 0) and coflow B (load 1,
+   release 100) land in the same V-class (2, 4], so Algorithm 2 holds A
+   back until B arrives — C_A = 103 while the claimed bound is 12.  The
+   corrected group-level bound holds. *)
+let prop1_gap_instance () =
+  Instance.make ~ports:2
+    [ mk_coflow ~id:0 (Mat.of_arrays [| [| 3; 0 |]; [| 0; 0 |] |]);
+      { Instance.id = 1;
+        release = 100;
+        weight = 1.0;
+        demand = Mat.of_arrays [| [| 0; 0 |]; [| 0; 1 |] |];
+      };
+    ]
+
+let test_prop1_literal_fails_with_releases () =
+  let inst = prop1_gap_instance () in
+  let order = [| 0; 1 |] in
+  let groups = Grouping.deterministic inst order in
+  check_int "one merged group" 1 (Grouping.group_count groups);
+  let r = Scheduler.run ~case:Scheduler.Group inst order in
+  Alcotest.(check bool) "coflow A delayed past its literal bound" true
+    (r.Scheduler.completion.(0) > 0 + (4 * 3));
+  (match Verify.proposition1_bound inst order r.Scheduler.completion with
+  | Ok () -> Alcotest.fail "expected the literal Proposition 1 to fail"
+  | Error _ -> ());
+  match Verify.proposition1_grouped_bound inst groups r.Scheduler.completion with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("group-level bound must hold: " ^ m)
+
+let prop_prop1_grouped_with_releases =
+  let gen =
+    QCheck.Gen.(
+      let* ports = int_range 2 5 in
+      let* coflows = int_range 2 8 in
+      let* gap = int_range 1 20 in
+      let* seed = int_range 0 1_000_000 in
+      let st = Random.State.make [| seed |] in
+      return
+        (Fb_like.generate_with_arrivals ~mean_gap:gap ~ports ~coflows st))
+  in
+  QCheck.Test.make
+    ~name:"group-level Proposition 1 holds with arbitrary releases" ~count:40
+    (QCheck.make
+       ~print:(fun i -> Format.asprintf "%a" Instance.pp_summary i)
+       gen)
+    (fun inst ->
+      let lp = Lp_relax.solve_interval inst in
+      let order = Ordering.by_lp lp in
+      let groups = Grouping.deterministic inst order in
+      let r = Scheduler.run ~case:Scheduler.Group inst order in
+      Verify.proposition1_grouped_bound inst groups r.Scheduler.completion
+      = Ok ())
+
+let prop_grouped_schedule_replays =
+  (* record the paper's grouped schedule, replay the CSV log on a fresh
+     simulator, and require identical completion times — the full
+     record/export/verify loop over the real algorithm *)
+  QCheck.Test.make ~name:"grouped schedules survive record/replay" ~count:30
+    sched_arb (fun inst ->
+      let order = Ordering.by_load_over_weight inst in
+      let groups = Grouping.deterministic inst order in
+      let demands = Instance.demands inst in
+      let sim =
+        Switchsim.Simulator.create ~ports:(Instance.ports inst) demands
+      in
+      let recording =
+        Switchsim.Recorder.record sim
+          ~policy:(Scheduler.policy ~backfill:true inst groups)
+      in
+      let recording' =
+        Switchsim.Recorder.of_csv (Switchsim.Recorder.to_csv recording)
+      in
+      let sim' = Switchsim.Recorder.replay recording' demands in
+      let n = Instance.num_coflows inst in
+      let same = ref true in
+      for k = 0 to n - 1 do
+        if
+          Switchsim.Simulator.completion_time_exn sim k
+          <> Switchsim.Simulator.completion_time_exn sim' k
+        then same := false
+      done;
+      !same)
+
+(* ---------- additional scheduler edges ---------- *)
+
+let test_scheduler_matchings_counted () =
+  let inst = random_instance 73 in
+  let order = Ordering.by_load_over_weight inst in
+  let r = Scheduler.run ~case:Scheduler.Group inst order in
+  Alcotest.(check bool) "some matchings were built" true
+    (r.Scheduler.matchings > 0);
+  (* at most m^2 matchings per group, and at most n groups *)
+  let m = Instance.ports inst and n = Instance.num_coflows inst in
+  Alcotest.(check bool) "polynomially many matchings" true
+    (r.Scheduler.matchings <= n * m * m)
+
+let test_scheduler_empty_instance () =
+  let inst = Instance.make ~ports:2 [] in
+  let r = Scheduler.run inst [||] in
+  Alcotest.(check int) "no slots" 0 r.Scheduler.slots;
+  Alcotest.(check (float 0.0)) "zero twct" 0.0 r.Scheduler.twct
+
+let test_scheduler_zero_demand_coflow () =
+  let inst =
+    Instance.make ~ports:2
+      [ mk_coflow ~id:0 (Mat.make 2); mk_coflow ~id:1 (fig1 ()) ]
+  in
+  let order = Ordering.by_load_over_weight inst in
+  let r = Scheduler.run ~case:Scheduler.Group_backfill inst order in
+  Alcotest.(check int) "empty coflow completes at 0" 0
+    r.Scheduler.completion.(0);
+  Alcotest.(check int) "real coflow meets rho" 3 r.Scheduler.completion.(1)
+
+let test_grouping_empty_order () =
+  let inst = Instance.make ~ports:2 [] in
+  Alcotest.(check int) "no groups" 0
+    (Grouping.group_count (Grouping.deterministic inst [||]))
+
+(* ---------- Counterexample (Appendix B) ---------- *)
+
+let test_counterexample () =
+  Alcotest.(check bool) "paper's contradiction holds" true
+    (Counterexample.residual_infeasible ());
+  (* No schedule can reach V_1 and V_2 simultaneously, so every run of ours
+     must exceed at least one of them. *)
+  let inst = Counterexample.instance () in
+  let order = [| 0; 1 |] in
+  List.iter
+    (fun case ->
+      let r = Scheduler.run ~case inst order in
+      let c1 = r.Scheduler.completion.(0) and c2 = r.Scheduler.completion.(1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "case %s cannot match both lower bounds"
+           (Scheduler.case_name case))
+        true
+        (c1 > Counterexample.v.(0) || c2 > Counterexample.v.(1)))
+    Scheduler.all_cases
+
+(* ---------- Randomized ratio limits ---------- *)
+
+let test_ratio_limits () =
+  Alcotest.(check (float 1e-9)) "67/3" (67.0 /. 3.0)
+    (Verify.deterministic_ratio_limit ~with_releases:true);
+  Alcotest.(check (float 1e-9)) "64/3" (64.0 /. 3.0)
+    (Verify.deterministic_ratio_limit ~with_releases:false);
+  Alcotest.(check (float 1e-6)) "9 + 16 sqrt2 / 3"
+    (9.0 +. (16.0 *. sqrt 2.0 /. 3.0))
+    (Verify.randomized_ratio_limit ~with_releases:true)
+
+let test_randomized_expected () =
+  let inst = random_instance 47 in
+  let order = Ordering.by_load_over_weight inst in
+  let st = Random.State.make [| 3 |] in
+  let mean, std = Randomized.expected_twct ~samples:5 st inst order in
+  Alcotest.(check bool) "positive mean" true (mean > 0.0);
+  Alcotest.(check bool) "finite std" true (std >= 0.0 && Float.is_finite std)
+
+let qprops =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_bvn_duration_is_load;
+      prop_bvn_matchings_polynomial;
+      prop_bvn_covers_demand;
+      prop_bvn_matchings_valid;
+      prop_lp_lower_bounds_vload;
+      prop_lp_cbar_at_least_load;
+      prop_lemma2_all_cases;
+      prop_lemma3_lp;
+      prop_proposition1;
+      prop_prop1_grouped_with_releases;
+      prop_theorem1_ratio;
+      prop_randomized_draw_bound;
+      prop_aggressive_dominates_feasibility;
+      prop_randomized_completes;
+      prop_primal_dual_permutation;
+      prop_primal_dual_duals_nonneg;
+      prop_primal_dual_schedules_sound;
+      prop_sebf_madd_sound;
+      prop_online_rules_sound;
+      prop_decentralized_sound;
+      prop_dag_scheduler_sound;
+      prop_grouped_schedule_replays;
+      prop_tighter_grid_tighter_bound;
+      prop_baselines_lemma2;
+      prop_brute_below_heuristics;
+      prop_brute_above_lp;
+    ]
+
+let () =
+  Alcotest.run "core"
+    [ ( "loads",
+        [ Alcotest.test_case "Figure 1 load" `Quick test_load_fig1;
+          Alcotest.test_case "Appendix B cumulative loads" `Quick
+            test_cumulative_appendix_b;
+          Alcotest.test_case "effective bottleneck" `Quick
+            test_effective_bottleneck;
+        ] );
+      ( "bvn",
+        [ Alcotest.test_case "augment balances" `Quick test_augment_balances;
+          Alcotest.test_case "Figure 1 duration" `Quick
+            test_schedule_fig1_duration;
+          Alcotest.test_case "zero matrix" `Quick test_schedule_zero;
+          Alcotest.test_case "unbalanced rejected" `Quick
+            test_decompose_unbalanced_rejected;
+          Alcotest.test_case "restore = augmented" `Quick
+            test_restore_equals_augmented;
+        ] );
+      ( "lp",
+        [ Alcotest.test_case "values partition" `Quick
+            test_lp_values_partition;
+          Alcotest.test_case "trivial instances" `Quick
+            test_lp_trivial_instances;
+          Alcotest.test_case "interval count" `Quick test_interval_count;
+          Alcotest.test_case "single coflow LP" `Quick
+            test_interval_lp_single_coflow;
+          Alcotest.test_case "dense = revised" `Quick
+            test_interval_lp_dense_matches_revised;
+          Alcotest.test_case "LP-EXP tighter" `Quick
+            test_time_indexed_at_least_interval;
+          Alcotest.test_case "LP-EXP size guard" `Quick test_time_indexed_guard;
+          Alcotest.test_case "order is permutation" `Quick
+            test_lp_order_is_permutation;
+          Alcotest.test_case "release dates respected" `Quick
+            test_lp_release_dates_respected;
+        ] );
+      ( "ordering",
+        [ Alcotest.test_case "arrival" `Quick test_ordering_arrival;
+          Alcotest.test_case "by load/weight" `Quick
+            test_ordering_by_load_weight;
+          Alcotest.test_case "by size" `Quick test_ordering_by_total_size;
+          Alcotest.test_case "is_permutation" `Quick test_is_permutation;
+        ] );
+      ( "grouping",
+        [ Alcotest.test_case "singletons" `Quick test_grouping_singletons;
+          Alcotest.test_case "geometric classes" `Quick
+            test_grouping_deterministic_classes;
+          Alcotest.test_case "class merging" `Quick
+            test_grouping_deterministic_merges;
+          Alcotest.test_case "flatten preserves order" `Quick
+            test_grouping_flatten_preserves_order;
+          Alcotest.test_case "randomized grouping" `Quick
+            test_randomized_grouping_valid;
+        ] );
+      ( "scheduler",
+        [ Alcotest.test_case "single coflow meets rho" `Quick
+            test_single_coflow_meets_load_bound;
+          Alcotest.test_case "all cases complete" `Quick
+            test_all_cases_complete;
+          Alcotest.test_case "backfill vs makespan" `Quick
+            test_backfill_never_hurts_makespan_here;
+          Alcotest.test_case "sequential base case" `Quick
+            test_sequential_base_case_is_sum_of_loads;
+          Alcotest.test_case "release dates respected" `Quick
+            test_grouped_respects_release_dates;
+          Alcotest.test_case "policy exposed" `Quick test_policy_exposed;
+          Alcotest.test_case "aggressive is work-conserving" `Quick
+            test_aggressive_work_conserving_invariant;
+          Alcotest.test_case "matchings counted" `Quick
+            test_scheduler_matchings_counted;
+          Alcotest.test_case "empty instance" `Quick
+            test_scheduler_empty_instance;
+          Alcotest.test_case "zero-demand coflow" `Quick
+            test_scheduler_zero_demand_coflow;
+          Alcotest.test_case "empty grouping" `Quick test_grouping_empty_order;
+        ] );
+      ( "baselines",
+        [ Alcotest.test_case "baselines complete" `Quick
+            test_baselines_complete;
+          Alcotest.test_case "SEBF+MADD solo optimal" `Quick
+            test_sebf_madd_single_coflow_optimal;
+        ] );
+      ( "primal-dual",
+        [ Alcotest.test_case "Smith's rule on 1 port" `Quick
+            test_primal_dual_single_port_is_wspt;
+        ] );
+      ( "online",
+        [ Alcotest.test_case "respects releases" `Quick
+            test_online_respects_releases;
+          Alcotest.test_case "work conserving" `Quick
+            test_online_work_conserving;
+        ] );
+      ( "dag",
+        [ Alcotest.test_case "diamond" `Quick test_dag_scheduler_diamond ] );
+      ( "decentralized",
+        [ Alcotest.test_case "single coflow" `Quick
+            test_decentralized_single_coflow;
+          Alcotest.test_case "rounds validation" `Quick
+            test_decentralized_rounds_validation;
+          Alcotest.test_case "round count effects" `Quick
+            test_decentralized_more_rounds_no_worse_makespan;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "values" `Quick test_metrics;
+          Alcotest.test_case "validation" `Quick test_metrics_validation;
+          Alcotest.test_case "slowdowns" `Quick test_slowdowns;
+        ] );
+      ( "lp-grids",
+        [ Alcotest.test_case "base 2 = default" `Quick
+            test_interval_base_two_matches_default;
+          Alcotest.test_case "invalid base" `Quick test_interval_base_invalid;
+        ] );
+      ( "brute",
+        [ Alcotest.test_case "Figure 1 optimum" `Quick test_brute_fig1;
+          Alcotest.test_case "large rejected" `Quick test_brute_rejects_large;
+        ] );
+      ( "counterexample",
+        [ Alcotest.test_case "Appendix B" `Quick test_counterexample;
+          Alcotest.test_case "Prop 1 gap with releases" `Quick
+            test_prop1_literal_fails_with_releases;
+        ] );
+      ( "limits",
+        [ Alcotest.test_case "ratio constants" `Quick test_ratio_limits;
+          Alcotest.test_case "randomized expectation" `Quick
+            test_randomized_expected;
+        ] );
+      ("properties", qprops);
+    ]

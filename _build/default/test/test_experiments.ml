@@ -1,0 +1,356 @@
+(* Tests for the experiment harness: report rendering, block computation,
+   and the structural invariants of each regenerated table/figure. *)
+
+open Experiments
+
+let check_int = Alcotest.(check int)
+
+(* A miniature configuration so the whole harness runs in well under a
+   second. *)
+let tiny_cfg =
+  { Config.default with
+    Config.ports = 8;
+    coflows = 40;
+    filters = [ 6; 3 ];
+    lpexp_ports = 3;
+    lpexp_coflows = 4;
+    randomized_samples = 3;
+    release_mean_gap = 10;
+  }
+
+let blocks = lazy (Harness.all_blocks tiny_cfg)
+
+(* ---------- report ---------- *)
+
+let test_table_render () =
+  let s =
+    Report.table ~title:"t" ~header:[ "a"; "b" ]
+      [ [ "1"; "22" ]; [ "333"; "4" ] ]
+  in
+  Alcotest.(check bool) "has title" true (Astring.String.is_prefix ~affix:"t\n" s);
+  Alcotest.(check bool) "has rule" true (Astring.String.is_infix ~affix:"+--" s);
+  Alcotest.(check bool) "pads cells" true
+    (Astring.String.is_infix ~affix:"| 1   |" s)
+
+let test_table_ragged_rejected () =
+  (try
+     ignore (Report.table ~header:[ "a"; "b" ] [ [ "1" ] ]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_csv () =
+  let s = Report.csv ~header:[ "x"; "y" ] [ [ "a,b"; "c\"d" ] ] in
+  Alcotest.(check string) "csv quoting" "x,y\n\"a,b\",\"c\"\"d\"\n" s
+
+let test_formats () =
+  Alcotest.(check string) "f2" "1.23" (Report.f2 1.2345);
+  Alcotest.(check string) "f4" "1.2345" (Report.f4 1.2345);
+  Alcotest.(check string) "pct" "50.00%" (Report.pct 0.5)
+
+(* ---------- config ---------- *)
+
+let test_scales () =
+  Alcotest.(check bool) "quick" true
+    (Config.scale_of_string "quick" = Some Config.Quick);
+  Alcotest.(check bool) "default" true
+    (Config.scale_of_string "default" = Some Config.Default);
+  Alcotest.(check bool) "large" true
+    (Config.scale_of_string "large" = Some Config.Large);
+  Alcotest.(check bool) "unknown" true (Config.scale_of_string "?" = None);
+  let q = Config.of_scale Config.Quick and l = Config.of_scale Config.Large in
+  Alcotest.(check bool) "large is larger" true
+    (l.Config.ports > q.Config.ports && l.Config.coflows > q.Config.coflows)
+
+(* ---------- harness ---------- *)
+
+let test_blocks_shape () =
+  let bs = Lazy.force blocks in
+  check_int "filters x weightings" 4 (List.length bs);
+  List.iter
+    (fun b ->
+      check_int "12 entries" 12 (List.length b.Harness.entries);
+      Alcotest.(check bool) "instances non-empty" true
+        (Workload.Instance.num_coflows b.Harness.instance > 0))
+    bs
+
+let test_normalization_anchor () =
+  let bs = Lazy.force blocks in
+  List.iter
+    (fun b ->
+      let anchor =
+        Harness.find b ~order:"HLP" Core.Scheduler.Group_backfill
+      in
+      Alcotest.(check (float 1e-9)) "HLP case d normalizes to 1"
+        1.0
+        (Harness.normalized b anchor))
+    bs
+
+let test_lp_is_lower_bound_for_all_entries () =
+  let bs = Lazy.force blocks in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "twct >= LP bound" true
+            (e.Harness.result.Core.Scheduler.twct
+            >= b.Harness.lp.Core.Lp_relax.lower_bound -. 1e-6))
+        b.Harness.entries)
+    bs
+
+let test_filter_removes_everything_rejected () =
+  (try
+     ignore (Harness.block tiny_cfg ~filter:10_000 ~weighting:Harness.Equal);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* ---------- E1: Table 1 ---------- *)
+
+let test_table1_rows () =
+  let bs = Lazy.force blocks in
+  let rows = Exp_table1.rows bs in
+  check_int "filters x cases rows" (2 * 4) (List.length rows);
+  List.iter
+    (fun r ->
+      check_int "three orders equal" 3 (List.length r.Exp_table1.equal_w);
+      check_int "three orders random" 3 (List.length r.Exp_table1.random_w);
+      List.iter
+        (fun (_, v) ->
+          Alcotest.(check bool) "normalized positive" true (v > 0.0))
+        (r.Exp_table1.equal_w @ r.Exp_table1.random_w))
+    rows;
+  (* the anchor cell: HLP, case d, must be exactly 1 in every filter *)
+  List.iter
+    (fun r ->
+      if r.Exp_table1.case = Core.Scheduler.Group_backfill then begin
+        match List.assoc_opt "HLP" r.Exp_table1.equal_w with
+        | Some v -> Alcotest.(check (float 1e-9)) "anchor" 1.0 v
+        | None -> Alcotest.fail "HLP column missing"
+      end)
+    rows
+
+let test_table1_renders () =
+  let s = Exp_table1.render (Lazy.force blocks) in
+  Alcotest.(check bool) "mentions HLP" true
+    (Astring.String.is_infix ~affix:"HLP" s)
+
+(* ---------- E2: Figure 2a ---------- *)
+
+let test_fig2a_base_is_one () =
+  let bs = Lazy.force blocks in
+  let series = Exp_fig2a.series_of_block (Exp_fig2a.pick_block bs) in
+  check_int "three series" 3 (List.length series);
+  List.iter
+    (fun s ->
+      match List.assoc_opt Core.Scheduler.Base s.Exp_fig2a.percentages with
+      | Some v -> Alcotest.(check (float 1e-9)) "base = 100%" 1.0 v
+      | None -> Alcotest.fail "base case missing")
+    series
+
+let test_fig2a_improvements () =
+  (* every non-base case should improve on the base case on this skewed
+     workload *)
+  let bs = Lazy.force blocks in
+  let series = Exp_fig2a.series_of_block (Exp_fig2a.pick_block bs) in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (case, v) ->
+          if case <> Core.Scheduler.Base then
+            Alcotest.(check bool) "cases (b)-(d) at most base" true (v <= 1.0 +. 1e-9))
+        s.Exp_fig2a.percentages)
+    series
+
+(* ---------- E3: Figure 2b ---------- *)
+
+let test_fig2b_points () =
+  let pts = Exp_fig2b.points (Lazy.force blocks) in
+  check_int "3 orders x 2 weightings" 6 (List.length pts);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "positive" true (p.Exp_fig2b.normalized > 0.0))
+    pts
+
+(* ---------- E4: LP-EXP lower bound ---------- *)
+
+let test_lower_bound_ordering () =
+  let r = Exp_lower_bound.run tiny_cfg in
+  Alcotest.(check bool) "LP-EXP at least LP" true
+    (r.Exp_lower_bound.lpexp_bound >= r.Exp_lower_bound.lp_bound -. 1e-6);
+  Alcotest.(check bool) "ratio at most 1" true
+    (r.Exp_lower_bound.ratio <= 1.0 +. 1e-9);
+  Alcotest.(check bool) "ratio positive" true (r.Exp_lower_bound.ratio > 0.0)
+
+(* ---------- E5: audit ---------- *)
+
+let test_audit_passes () =
+  let audits = Exp_audit.audit (Lazy.force blocks) in
+  Alcotest.(check bool) "all inequalities hold" true (Exp_audit.all_pass audits);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "det ratio sane" true
+        (a.Exp_audit.det_ratio >= 1.0 -. 1e-9))
+    audits
+
+(* ---------- E6: randomized ---------- *)
+
+let test_randomized_results () =
+  let results = Exp_randomized.run tiny_cfg (Lazy.force blocks) in
+  check_int "one per block" 4 (List.length results);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "means positive" true
+        (r.Exp_randomized.randomized_mean > 0.0
+        && r.Exp_randomized.deterministic > 0.0))
+    results
+
+(* ---------- E9: ablation ---------- *)
+
+let test_ablation_rows () =
+  let rs = Exp_ablation.rows (Lazy.force blocks) in
+  check_int "one row per block" 4 (List.length rs);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "grouping improves on base" true
+        (r.Exp_ablation.grouped <= r.Exp_ablation.base +. 1e-9);
+      Alcotest.(check bool) "work conservation improves on case d" true
+        (r.Exp_ablation.work_conserving
+        <= r.Exp_ablation.backfilled +. 1e-9))
+    rs
+
+(* ---------- E7: releases ---------- *)
+
+let test_releases_run () =
+  let r = Exp_releases.run tiny_cfg in
+  Alcotest.(check bool) "grouped Prop 1 holds" true
+    r.Exp_releases.prop1_grouped_ok;
+  Alcotest.(check bool) "has 5 algorithms" true
+    (List.length r.Exp_releases.rows = 5);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "ratios at least 1" true
+        (row.Exp_releases.lp_ratio >= 1.0 -. 1e-9))
+    r.Exp_releases.rows
+
+(* ---------- E10: ordering portfolio ---------- *)
+
+let test_orderings_rows () =
+  let b = List.hd (Lazy.force blocks) in
+  let rows = Exp_orderings.run b in
+  check_int "eight algorithms" 8 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Exp_orderings.algo ^ " at least LP bound")
+        true
+        (r.Exp_orderings.lp_ratio >= 1.0 -. 1e-9))
+    rows
+
+(* ---------- E11: LP grid ---------- *)
+
+let test_lp_grid_rows () =
+  let rows = Exp_lp_grid.run ~bases:[ 1.5; 2.0; 4.0 ] tiny_cfg in
+  check_int "three bases" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "bound positive" true
+        (r.Exp_lp_grid.lower_bound > 0.0);
+      Alcotest.(check bool) "twct at least bound" true
+        (r.Exp_lp_grid.twct >= r.Exp_lp_grid.lower_bound -. 1e-6))
+    rows
+
+(* ---------- E12: online ---------- *)
+
+let test_online_rows () =
+  let rows, bound = Exp_online.run tiny_cfg in
+  check_int "eight algorithms" 8 (List.length rows);
+  Alcotest.(check bool) "bound positive" true (bound > 0.0);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "flow time at most completion" true
+        (r.Exp_online.twft <= r.Exp_online.twct +. 1e-9))
+    rows
+
+(* ---------- E14: robustness ---------- *)
+
+let test_robust_rows () =
+  let rows = Exp_robust.run ~noise_levels:[ 0.0; 1.0 ] tiny_cfg in
+  check_int "two levels" 2 (List.length rows);
+  let zero = List.hd rows in
+  Alcotest.(check (float 1e-9)) "no noise, no degradation (Hrho)" 1.0
+    zero.Exp_robust.degradation_hrho;
+  Alcotest.(check (float 1e-9)) "no noise, no degradation (HLP)" 1.0
+    zero.Exp_robust.degradation_hlp;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "positive" true (r.Exp_robust.twct_hrho > 0.0))
+    rows
+
+(* ---------- E15: DAG ---------- *)
+
+let test_dag_rows () =
+  let rows = Exp_dag.run tiny_cfg in
+  check_int "three priorities" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "sane" true
+        (r.Exp_dag.stage_twct > 0.0
+        && r.Exp_dag.makespan > 0
+        && r.Exp_dag.sink_completion_sum > 0))
+    rows
+
+(* ---------- E16: fabric ---------- *)
+
+let test_fabric_rows () =
+  let rows = Exp_fabric.run tiny_cfg in
+  check_int "four capacities" 4 (List.length rows);
+  let first = List.hd rows and last = List.nth rows 3 in
+  Alcotest.(check bool) "oversubscription hurts (this seed)" true
+    (last.Exp_fabric.twct >= first.Exp_fabric.twct);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "utilization sane" true
+        (r.Exp_fabric.utilization > 0.0 && r.Exp_fabric.utilization <= 1.0))
+    rows
+
+let () =
+  Alcotest.run "experiments"
+    [ ( "report",
+        [ Alcotest.test_case "table render" `Quick test_table_render;
+          Alcotest.test_case "ragged rejected" `Quick
+            test_table_ragged_rejected;
+          Alcotest.test_case "csv" `Quick test_csv;
+          Alcotest.test_case "formats" `Quick test_formats;
+        ] );
+      ("config", [ Alcotest.test_case "scales" `Quick test_scales ]);
+      ( "harness",
+        [ Alcotest.test_case "block shape" `Quick test_blocks_shape;
+          Alcotest.test_case "normalization anchor" `Quick
+            test_normalization_anchor;
+          Alcotest.test_case "LP lower-bounds everything" `Quick
+            test_lp_is_lower_bound_for_all_entries;
+          Alcotest.test_case "empty filter rejected" `Quick
+            test_filter_removes_everything_rejected;
+        ] );
+      ( "table1",
+        [ Alcotest.test_case "row structure" `Quick test_table1_rows;
+          Alcotest.test_case "renders" `Quick test_table1_renders;
+        ] );
+      ( "fig2a",
+        [ Alcotest.test_case "base is 100%" `Quick test_fig2a_base_is_one;
+          Alcotest.test_case "cases improve" `Quick test_fig2a_improvements;
+        ] );
+      ("fig2b", [ Alcotest.test_case "points" `Quick test_fig2b_points ]);
+      ( "lowerbound",
+        [ Alcotest.test_case "ordering" `Quick test_lower_bound_ordering ] );
+      ("audit", [ Alcotest.test_case "passes" `Quick test_audit_passes ]);
+      ( "randomized",
+        [ Alcotest.test_case "results" `Quick test_randomized_results ] );
+      ("releases", [ Alcotest.test_case "run" `Quick test_releases_run ]);
+      ("ablation", [ Alcotest.test_case "rows" `Quick test_ablation_rows ]);
+      ("orderings", [ Alcotest.test_case "rows" `Quick test_orderings_rows ]);
+      ("lp-grid", [ Alcotest.test_case "rows" `Quick test_lp_grid_rows ]);
+      ("online", [ Alcotest.test_case "rows" `Quick test_online_rows ]);
+      ("robust", [ Alcotest.test_case "rows" `Quick test_robust_rows ]);
+      ("dag-exp", [ Alcotest.test_case "rows" `Quick test_dag_rows ]);
+      ("fabric-exp", [ Alcotest.test_case "rows" `Quick test_fabric_rows ]);
+    ]

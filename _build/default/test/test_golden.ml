@@ -1,0 +1,77 @@
+(* Golden regression tests: exact end-to-end numbers for one fixed-seed
+   workload.  Every value here was produced by the current implementation
+   and is locked in so that any unintended behavioural change — in the
+   generator, the LP, the BvN decomposition, the scheduler, or a baseline —
+   trips a test rather than silently shifting the experiment outputs.
+
+   If a change is *intended* to alter schedules (e.g. a different
+   tie-breaking rule), re-derive the constants with the snippet in the
+   comment below and say so in the commit.
+
+   let st = Random.State.make [| 424242 |] in
+   let inst = Fb_like.generate ~ports:10 ~coflows:40 st in
+   ... (see scratch/golden.ml history) *)
+
+open Workload
+open Core
+
+let instance () =
+  let st = Random.State.make [| 424242 |] in
+  let inst = Fb_like.generate ~ports:10 ~coflows:40 st in
+  let n = Instance.num_coflows inst in
+  let wst = Random.State.make [| 424243 |] in
+  Instance.with_weights inst (Weights.random_permutation wst n)
+
+let inst_lazy = lazy (instance ())
+
+let lp = lazy (Lp_relax.solve_interval (Lazy.force inst_lazy))
+
+let check_f = Alcotest.(check (float 1e-6))
+
+let check_int = Alcotest.(check int)
+
+let test_generator () =
+  let inst = Lazy.force inst_lazy in
+  check_int "total units" 6224 (Instance.total_units inst);
+  check_int "coflows" 40 (Instance.num_coflows inst)
+
+let test_lp_bound () =
+  check_f "interval LP optimum" 79738.825580
+    (Lazy.force lp).Lp_relax.lower_bound
+
+let run order case =
+  Scheduler.run ~case (Lazy.force inst_lazy) order
+
+let test_hlp_base () =
+  let r = run (Ordering.by_lp (Lazy.force lp)) Scheduler.Base in
+  check_f "twct" 422068.0 r.Scheduler.twct;
+  check_int "slots" 3396 r.Scheduler.slots
+
+let test_hlp_case_d () =
+  let r = run (Ordering.by_lp (Lazy.force lp)) Scheduler.Group_backfill in
+  check_f "twct" 262389.0 r.Scheduler.twct;
+  check_int "slots" 2347 r.Scheduler.slots
+
+let test_hrho_case_d () =
+  let inst = Lazy.force inst_lazy in
+  let r = run (Ordering.by_load_over_weight inst) Scheduler.Group_backfill in
+  check_f "twct" 213898.0 r.Scheduler.twct;
+  check_int "slots" 2006 r.Scheduler.slots
+
+let test_baselines () =
+  let inst = Lazy.force inst_lazy in
+  check_f "fifo" 464505.0 (Baselines.fifo inst).Scheduler.twct;
+  check_f "max weight" 148734.0 (Baselines.max_weight inst).Scheduler.twct;
+  check_f "sebf+madd" 155810.0 (Baselines.sebf_madd inst).Scheduler.twct
+
+let () =
+  Alcotest.run "golden"
+    [ ( "fixed-seed regression",
+        [ Alcotest.test_case "generator" `Quick test_generator;
+          Alcotest.test_case "LP bound" `Quick test_lp_bound;
+          Alcotest.test_case "HLP case (a)" `Quick test_hlp_base;
+          Alcotest.test_case "HLP case (d)" `Quick test_hlp_case_d;
+          Alcotest.test_case "Hrho case (d)" `Quick test_hrho_case_d;
+          Alcotest.test_case "baselines" `Quick test_baselines;
+        ] );
+    ]

@@ -1,0 +1,550 @@
+(* Tests for the LP substrate: both simplex back ends against known optima,
+   against each other, and against feasibility checks. *)
+
+open Lp
+
+let solve_both ?warm_basis model =
+  let d = Dense_simplex.solve model in
+  let r = Revised_simplex.solve ?warm_basis model in
+  (d, r)
+
+let check_status = Alcotest.(check string)
+
+let status s = Solution.status_to_string s.Solution.status
+
+let check_obj name expected sol =
+  Alcotest.(check (float 1e-6)) name expected sol.Solution.objective
+
+(* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18  (classic; opt 36) *)
+let wyndor () =
+  let m = Model.create ~name:"wyndor" () in
+  let x = Model.add_var ~name:"x" m and y = Model.add_var ~name:"y" m in
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Le 4.0);
+  ignore (Model.add_constraint m [ (2.0, y) ] Model.Le 12.0);
+  ignore (Model.add_constraint m [ (3.0, x); (2.0, y) ] Model.Le 18.0);
+  Model.maximize m [ (3.0, x); (5.0, y) ];
+  (m, x, y)
+
+let test_wyndor () =
+  let m, x, y = wyndor () in
+  let d, r = solve_both m in
+  check_status "dense optimal" "optimal" (status d);
+  check_status "revised optimal" "optimal" (status r);
+  check_obj "dense obj" 36.0 d;
+  check_obj "revised obj" 36.0 r;
+  Alcotest.(check (float 1e-6)) "x" 2.0 (Solution.value d x);
+  Alcotest.(check (float 1e-6)) "y" 6.0 (Solution.value r y)
+
+let test_minimization_with_ge () =
+  (* min 2x + 3y st x + y >= 10, x >= 2; opt at (10, 0)? x+y>=10 with cost
+     2 and 3 puts everything on x: obj 20. *)
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x); (1.0, y) ] Model.Ge 10.0);
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Ge 2.0);
+  Model.minimize m [ (2.0, x); (3.0, y) ];
+  let d, r = solve_both m in
+  check_obj "dense" 20.0 d;
+  check_obj "revised" 20.0 r
+
+let test_equality () =
+  (* min x + y st x + 2y = 6, x - y = 0 -> x = y = 2, obj 4. *)
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x); (2.0, y) ] Model.Eq 6.0);
+  ignore (Model.add_constraint m [ (1.0, x); (-1.0, y) ] Model.Eq 0.0);
+  Model.minimize m [ (1.0, x); (1.0, y) ];
+  let d, r = solve_both m in
+  check_obj "dense" 4.0 d;
+  check_obj "revised" 4.0 r;
+  Alcotest.(check (float 1e-6)) "x value" 2.0 (Solution.value r x)
+
+let test_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Le 1.0);
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Ge 2.0);
+  Model.minimize m [ (1.0, x) ];
+  let d, r = solve_both m in
+  check_status "dense" "infeasible" (status d);
+  check_status "revised" "infeasible" (status r)
+
+let test_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constraint m [ (-1.0, x) ] Model.Le 0.0);
+  Model.minimize m [ (-1.0, x) ];
+  let d, r = solve_both m in
+  check_status "dense" "unbounded" (status d);
+  check_status "revised" "unbounded" (status r)
+
+let test_degenerate () =
+  (* A classically degenerate LP (multiple constraints through the
+     optimum). *)
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x); (1.0, y) ] Model.Le 1.0);
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Le 1.0);
+  ignore (Model.add_constraint m [ (1.0, y) ] Model.Le 1.0);
+  ignore (Model.add_constraint m [ (2.0, x); (1.0, y) ] Model.Le 2.0);
+  Model.maximize m [ (1.0, x); (1.0, y) ];
+  let d, r = solve_both m in
+  check_obj "dense" 1.0 d;
+  check_obj "revised" 1.0 r
+
+let test_negative_rhs () =
+  (* min x st -x <= -5  (i.e. x >= 5). *)
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constraint m [ (-1.0, x) ] Model.Le (-5.0));
+  Model.minimize m [ (1.0, x) ];
+  let d, r = solve_both m in
+  check_obj "dense" 5.0 d;
+  check_obj "revised" 5.0 r
+
+let test_duplicate_terms_merged () =
+  (* x + x <= 4 must behave as 2x <= 4. *)
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x); (1.0, x) ] Model.Le 4.0);
+  Model.maximize m [ (1.0, x) ];
+  let _, r = solve_both m in
+  check_obj "merged" 2.0 r
+
+let test_objective_constant () =
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Le 3.0);
+  Model.maximize m ~constant:10.0 [ (2.0, x) ];
+  let d, r = solve_both m in
+  check_obj "dense" 16.0 d;
+  check_obj "revised" 16.0 r
+
+let test_zero_objective_feasibility () =
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Eq 7.0);
+  let d, r = solve_both m in
+  check_status "dense feasible" "optimal" (status d);
+  check_status "revised feasible" "optimal" (status r);
+  Alcotest.(check (float 1e-6)) "x" 7.0 (Solution.value r x)
+
+let test_warm_basis_used () =
+  (* min x + y st x + y >= 1 (as Le with negative coefficients this becomes
+     a flip); use an assignment-style model where the crash basis is valid:
+     x1 = 1 fixing row. *)
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x); (1.0, y) ] Model.Eq 1.0);
+  ignore (Model.add_constraint m [ (3.0, x); (1.0, y) ] Model.Le 3.0);
+  Model.minimize m [ (5.0, x); (2.0, y) ];
+  (* warm basis: x basic on the equality row, slack on the Le row *)
+  let r = Revised_simplex.solve ~warm_basis:[| (x :> int); -1 |] m in
+  check_status "optimal" "optimal" (status r);
+  check_obj "objective" 2.0 r
+
+let test_warm_basis_rejected_falls_back () =
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Eq 2.0);
+  Model.minimize m [ (1.0, x) ];
+  (* -1 on an equality row is invalid; solver must fall back to phase 1. *)
+  let r = Revised_simplex.solve ~warm_basis:[| -1 |] m in
+  check_status "optimal anyway" "optimal" (status r);
+  check_obj "objective" 2.0 r
+
+let test_redundant_equality_rows () =
+  (* duplicated equality rows exercise the redundant-artificial path in the
+     revised solver's phase-1 cleanup *)
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x); (1.0, y) ] Model.Eq 2.0);
+  ignore (Model.add_constraint m [ (1.0, x); (1.0, y) ] Model.Eq 2.0);
+  ignore (Model.add_constraint m [ (2.0, x); (2.0, y) ] Model.Eq 4.0);
+  Model.minimize m [ (3.0, x); (1.0, y) ];
+  let d, r = solve_both m in
+  check_obj "dense" 2.0 d;
+  check_obj "revised" 2.0 r
+
+let test_residuals () =
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x); (2.0, y) ] Model.Le 10.0);
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Ge 1.0);
+  let std = Std_form.of_model m in
+  let res = Std_form.residuals std [| 2.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "row 0" (-2.0) res.(0);
+  Alcotest.(check (float 1e-9)) "row 1" 1.0 res.(1)
+
+let test_row_nnz () =
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x); (2.0, y) ] Model.Le 1.0);
+  ignore (Model.add_constraint m [ (1.0, y) ] Model.Le 1.0);
+  let std = Std_form.of_model m in
+  Alcotest.(check (array int)) "nnz per row" [| 2; 1 |] (Std_form.row_nnz std)
+
+let test_iteration_limit () =
+  let m = Model.create () in
+  let xs = Model.add_vars m 6 in
+  Array.iteri
+    (fun i x ->
+      ignore
+        (Model.add_constraint m [ (1.0, x) ] Model.Le (float_of_int (i + 1))))
+    xs;
+  Model.maximize m (Array.to_list (Array.map (fun x -> (1.0, x)) xs));
+  let r = Revised_simplex.solve ~max_iterations:1 m in
+  check_status "hit limit" "iteration-limit" (status r)
+
+let test_duals_wyndor () =
+  let m, _, _ = wyndor () in
+  let r = Revised_simplex.solve m in
+  match r.Solution.duals with
+  | None -> Alcotest.fail "expected duals at optimum"
+  | Some y ->
+    (* strong duality: y . b = 36 (known duals: 0, 3/2, 1) *)
+    let dot = (y.(0) *. 4.0) +. (y.(1) *. 12.0) +. (y.(2) *. 18.0) in
+    Alcotest.(check (float 1e-6)) "strong duality" 36.0 dot;
+    Alcotest.(check (float 1e-6)) "y1" 0.0 y.(0);
+    Alcotest.(check (float 1e-6)) "y2" 1.5 y.(1);
+    Alcotest.(check (float 1e-6)) "y3" 1.0 y.(2)
+
+let test_pp_smoke () =
+  let m, _, _ = wyndor () in
+  let s = Format.asprintf "%a" Model.pp m in
+  Alcotest.(check bool) "mentions max" true
+    (Astring.String.is_infix ~affix:"max" s)
+
+(* ---------- presolve ---------- *)
+
+let test_presolve_fixes_singletons () =
+  (* x = 3 fixed by a singleton row; y solved by simplex *)
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  ignore (Model.add_constraint m [ (2.0, x) ] Model.Eq 6.0);
+  ignore (Model.add_constraint m [ (1.0, x); (1.0, y) ] Model.Le 10.0);
+  Model.maximize m [ (1.0, x); (2.0, y) ];
+  (match Presolve.reduce m with
+  | Presolve.Reduced (reduced, red) ->
+    Alcotest.(check int) "one variable left" 1 (Model.num_vars reduced);
+    Alcotest.(check bool) "stats mention fix" true
+      (Astring.String.is_infix ~affix:"1 variables fixed" (Presolve.stats red))
+  | _ -> Alcotest.fail "expected Reduced");
+  let sol = Presolve.solve m in
+  check_obj "optimum" 17.0 sol;
+  Alcotest.(check (float 1e-9)) "x restored" 3.0 (Solution.value sol x);
+  Alcotest.(check (float 1e-9)) "y restored" 7.0 (Solution.value sol y)
+
+let test_presolve_detects_negative_fix () =
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Eq (-2.0));
+  Model.minimize m [ (1.0, x) ];
+  match Presolve.reduce m with
+  | Presolve.Infeasible _ -> ()
+  | _ -> Alcotest.fail "expected Infeasible"
+
+let test_presolve_conflicting_fixes () =
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Eq 1.0);
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Eq 2.0);
+  Model.minimize m [ (1.0, x) ];
+  match Presolve.reduce m with
+  | Presolve.Infeasible _ -> ()
+  | _ -> Alcotest.fail "expected Infeasible"
+
+let test_presolve_unbounded_free_column () =
+  let m = Model.create () in
+  let x = Model.add_var m in
+  let y = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Le 1.0);
+  (* y appears nowhere and improves a maximisation *)
+  Model.maximize m [ (1.0, x); (1.0, y) ];
+  match Presolve.reduce m with
+  | Presolve.Unbounded _ -> ()
+  | _ -> Alcotest.fail "expected Unbounded"
+
+let test_presolve_drops_empty_and_duplicates () =
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constraint m [] Model.Le 5.0);
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Le 4.0);
+  ignore (Model.add_constraint m [ (1.0, x) ] Model.Le 4.0);
+  Model.maximize m [ (1.0, x) ];
+  (match Presolve.reduce m with
+  | Presolve.Reduced (reduced, _) ->
+    Alcotest.(check int) "one row left" 1 (Model.num_constraints reduced)
+  | _ -> Alcotest.fail "expected Reduced");
+  check_obj "optimum preserved" 4.0 (Presolve.solve m)
+
+let test_presolve_contradictory_empty_row () =
+  let m = Model.create () in
+  let _ = Model.add_var m in
+  ignore (Model.add_constraint m [] Model.Ge 3.0);
+  match Presolve.reduce m with
+  | Presolve.Infeasible _ -> ()
+  | _ -> Alcotest.fail "expected Infeasible"
+
+(* ---------- LP text format ---------- *)
+
+let test_lp_io_roundtrip_wyndor () =
+  let m, _, _ = wyndor () in
+  let m' = Lp_io.of_string (Lp_io.to_string m) in
+  let r = Revised_simplex.solve m' in
+  check_status "optimal" "optimal" (status r);
+  check_obj "same optimum" 36.0 r
+
+let test_lp_io_parse_handwritten () =
+  let text =
+    "\\ a handwritten program\n\
+     Minimize\n\
+     \ cost: 2 x + 3 y\n\
+     Subject To\n\
+     \ demand: x + y >= 10\n\
+     \ floor: x >= 2\n\
+     Bounds\n\
+     \ x >= 0\n\
+     End\n"
+  in
+  let m = Lp_io.of_string text in
+  Alcotest.(check int) "two variables" 2 (Model.num_vars m);
+  Alcotest.(check int) "two rows" 2 (Model.num_constraints m);
+  let r = Revised_simplex.solve m in
+  check_obj "solves" 20.0 r
+
+let test_lp_io_negative_rhs_and_coeffs () =
+  let text =
+    "Maximize\n\
+     \ obj: x - 2 y\n\
+     Subject To\n\
+     \ c0: -x + y <= -1\n\
+     \ c1: x + y <= 5\n\
+     End\n"
+  in
+  let m = Lp_io.of_string text in
+  let r = Revised_simplex.solve m in
+  check_obj "optimum" 5.0 r
+
+let test_lp_io_rejects_garbage () =
+  List.iter
+    (fun text ->
+      try
+        ignore (Lp_io.of_string text);
+        Alcotest.fail "expected Failure"
+      with Failure _ -> ())
+    [ "Minimize\n obj: x ? y\nEnd\n";
+      " x + y <= 1\n";
+      "Minimize\n obj: x\nSubject To\n c: x\nEnd\n";
+      "Minimize\n obj: x\nBounds\n x >= 5\nEnd\n";
+      "Minimize\n obj: x\nEnd\nleftover\n";
+    ]
+
+let test_lp_io_file_roundtrip () =
+  let m, _, _ = wyndor () in
+  let path = Filename.temp_file "model" ".lp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Lp_io.save path m;
+      let r = Revised_simplex.solve (Lp_io.load path) in
+      check_obj "same optimum" 36.0 r)
+
+(* ---------- randomized cross-validation ---------- *)
+
+(* Random LPs: min c x over Ax <= b with b >= 0 (always feasible, x = 0) and
+   c >= 0 (always bounded).  Dense and revised must agree. *)
+let feasible_lp_gen =
+  QCheck.Gen.(
+    let* nvars = int_range 1 6 in
+    let* nrows = int_range 1 6 in
+    let* seed = int_range 0 1_000_000 in
+    return (nvars, nrows, seed))
+
+let build_feasible (nvars, nrows, seed) =
+  let st = Random.State.make [| seed |] in
+  let m = Model.create () in
+  let xs = Model.add_vars m nvars in
+  for _ = 1 to nrows do
+    let expr =
+      Array.to_list xs
+      |> List.filter_map (fun v ->
+             if Random.State.float st 1.0 < 0.7 then
+               Some (float_of_int (Random.State.int st 9 - 4), v)
+             else None)
+    in
+    ignore (Model.add_constraint m expr Model.Le
+              (float_of_int (Random.State.int st 20)))
+  done;
+  (* Mix of signs in the objective, but bounded: add a box x_i <= 10. *)
+  Array.iter
+    (fun v -> ignore (Model.add_constraint m [ (1.0, v) ] Model.Le 10.0))
+    xs;
+  let obj =
+    Array.to_list xs
+    |> List.map (fun v -> (float_of_int (Random.State.int st 11 - 5), v))
+  in
+  Model.minimize m obj;
+  m
+
+let prop_dense_eq_revised =
+  QCheck.Test.make ~name:"dense and revised agree" ~count:150
+    (QCheck.make
+       ~print:(fun (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c)
+       feasible_lp_gen)
+    (fun params ->
+      let m = build_feasible params in
+      let d = Dense_simplex.solve m in
+      let r = Revised_simplex.solve m in
+      d.Solution.status = Solution.Optimal
+      && r.Solution.status = Solution.Optimal
+      && Float.abs (d.Solution.objective -. r.Solution.objective)
+         < 1e-5 *. (1.0 +. Float.abs d.Solution.objective))
+
+let prop_solutions_feasible =
+  QCheck.Test.make ~name:"returned points are feasible" ~count:150
+    (QCheck.make
+       ~print:(fun (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c)
+       feasible_lp_gen)
+    (fun params ->
+      let m = build_feasible params in
+      let r = Revised_simplex.solve m in
+      let std = Std_form.of_model m in
+      let res = Std_form.residuals std r.Solution.values in
+      Array.for_all (fun v -> v <= 1e-6) res
+      && Array.for_all (fun v -> v >= -1e-9) r.Solution.values)
+
+let prop_lp_io_roundtrip =
+  QCheck.Test.make ~name:"LP text format round-trips optima" ~count:80
+    (QCheck.make
+       ~print:(fun (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c)
+       feasible_lp_gen)
+    (fun params ->
+      let m = build_feasible params in
+      let m' = Lp_io.of_string (Lp_io.to_string m) in
+      let a = Revised_simplex.solve m and b = Revised_simplex.solve m' in
+      a.Solution.status = b.Solution.status
+      && (a.Solution.status <> Solution.Optimal
+         || Float.abs (a.Solution.objective -. b.Solution.objective)
+            < 1e-6 *. (1.0 +. Float.abs a.Solution.objective)))
+
+let prop_strong_duality =
+  QCheck.Test.make ~name:"strong duality on random feasible LPs" ~count:120
+    (QCheck.make
+       ~print:(fun (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c)
+       feasible_lp_gen)
+    (fun params ->
+      let m = build_feasible params in
+      let r = Revised_simplex.solve m in
+      match (r.Solution.status, r.Solution.duals) with
+      | Solution.Optimal, Some y ->
+        let dot = ref 0.0 in
+        Array.iteri
+          (fun row yr ->
+            let _, _, b = Model.constraint_row m row in
+            dot := !dot +. (yr *. b))
+          y;
+        Float.abs (!dot -. r.Solution.objective)
+        < 1e-5 *. (1.0 +. Float.abs r.Solution.objective)
+      | _ -> false)
+
+let prop_complementary_slackness =
+  QCheck.Test.make ~name:"complementary slackness" ~count:120
+    (QCheck.make
+       ~print:(fun (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c)
+       feasible_lp_gen)
+    (fun params ->
+      let m = build_feasible params in
+      let r = Revised_simplex.solve m in
+      match (r.Solution.status, r.Solution.duals) with
+      | Solution.Optimal, Some y ->
+        let std = Std_form.of_model m in
+        let res = Std_form.residuals std r.Solution.values in
+        Array.for_all2
+          (fun yr slack ->
+            (* non-zero multiplier => the row binds *)
+            Float.abs yr < 1e-6 || Float.abs slack < 1e-5)
+          y res
+      | _ -> false)
+
+let prop_presolve_preserves_optimum =
+  QCheck.Test.make ~name:"presolve preserves the optimum" ~count:100
+    (QCheck.make
+       ~print:(fun (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c)
+       feasible_lp_gen)
+    (fun params ->
+      let m = build_feasible params in
+      let direct = Revised_simplex.solve m in
+      let pre = Presolve.solve m in
+      direct.Solution.status = pre.Solution.status
+      && (direct.Solution.status <> Solution.Optimal
+         || Float.abs (direct.Solution.objective -. pre.Solution.objective)
+            < 1e-5 *. (1.0 +. Float.abs direct.Solution.objective))
+      &&
+      (* restored points must be feasible for the original model *)
+      let std = Std_form.of_model m in
+      Array.for_all
+        (fun v -> v <= 1e-6)
+        (Std_form.residuals std pre.Solution.values))
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_dense_eq_revised;
+      prop_solutions_feasible;
+      prop_lp_io_roundtrip;
+      prop_presolve_preserves_optimum;
+      prop_strong_duality;
+      prop_complementary_slackness;
+    ]
+
+let () =
+  Alcotest.run "lp"
+    [ ( "simplex",
+        [ Alcotest.test_case "wyndor max" `Quick test_wyndor;
+          Alcotest.test_case "min with >=" `Quick test_minimization_with_ge;
+          Alcotest.test_case "equality rows" `Quick test_equality;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+          Alcotest.test_case "duplicate terms" `Quick
+            test_duplicate_terms_merged;
+          Alcotest.test_case "objective constant" `Quick
+            test_objective_constant;
+          Alcotest.test_case "zero objective" `Quick
+            test_zero_objective_feasibility;
+          Alcotest.test_case "warm basis accepted" `Quick test_warm_basis_used;
+          Alcotest.test_case "warm basis rejected" `Quick
+            test_warm_basis_rejected_falls_back;
+          Alcotest.test_case "redundant equalities" `Quick
+            test_redundant_equality_rows;
+          Alcotest.test_case "residuals" `Quick test_residuals;
+          Alcotest.test_case "row nnz" `Quick test_row_nnz;
+          Alcotest.test_case "iteration limit" `Quick test_iteration_limit;
+          Alcotest.test_case "duals (wyndor)" `Quick test_duals_wyndor;
+          Alcotest.test_case "presolve singletons" `Quick
+            test_presolve_fixes_singletons;
+          Alcotest.test_case "presolve negative fix" `Quick
+            test_presolve_detects_negative_fix;
+          Alcotest.test_case "presolve conflicting" `Quick
+            test_presolve_conflicting_fixes;
+          Alcotest.test_case "presolve unbounded" `Quick
+            test_presolve_unbounded_free_column;
+          Alcotest.test_case "presolve dedup" `Quick
+            test_presolve_drops_empty_and_duplicates;
+          Alcotest.test_case "presolve contradiction" `Quick
+            test_presolve_contradictory_empty_row;
+          Alcotest.test_case "lp_io roundtrip" `Quick
+            test_lp_io_roundtrip_wyndor;
+          Alcotest.test_case "lp_io handwritten" `Quick
+            test_lp_io_parse_handwritten;
+          Alcotest.test_case "lp_io negatives" `Quick
+            test_lp_io_negative_rhs_and_coeffs;
+          Alcotest.test_case "lp_io rejects garbage" `Quick
+            test_lp_io_rejects_garbage;
+          Alcotest.test_case "lp_io file roundtrip" `Quick
+            test_lp_io_file_roundtrip;
+          Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,209 @@
+(* Tests for the concurrent open shop substrate and its equivalence with
+   diagonal coflow scheduling (Appendix A of the paper). *)
+
+open Workload
+open Core
+
+let check_int = Alcotest.(check int)
+
+let mk_job ?(release = 0) ?(weight = 1.0) id processing =
+  { Openshop.id; weight; release; processing }
+
+let two_machine_shop () =
+  Openshop.make ~machines:2
+    [ mk_job 0 [| 3; 1 |]; mk_job 1 [| 1; 4 |]; mk_job 2 [| 2; 2 |] ]
+
+let test_make_validation () =
+  let bad f =
+    try
+      f ();
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  bad (fun () -> ignore (Openshop.make ~machines:0 []));
+  bad (fun () -> ignore (Openshop.make ~machines:2 [ mk_job 0 [| 1 |] ]));
+  bad (fun () -> ignore (Openshop.make ~machines:1 [ mk_job 0 [| -1 |] ]));
+  bad (fun () ->
+      ignore (Openshop.make ~machines:1 [ mk_job ~weight:0.0 0 [| 1 |] ]))
+
+let test_completion_formula () =
+  let shop = two_machine_shop () in
+  (* order 0,1,2: machine clocks m0: 3,4,6; m1: 1,5,7.
+     C0 = max(3,1)=3; C1 = max(4,5)=5; C2 = max(6,7)=7. *)
+  Alcotest.(check (array int)) "completions" [| 3; 5; 7 |]
+    (Openshop.completion_times shop [| 0; 1; 2 |]);
+  Alcotest.(check (float 1e-9)) "twct" 15.0 (Openshop.twct shop [| 0; 1; 2 |])
+
+let test_completion_skips_empty_machines () =
+  let shop =
+    Openshop.make ~machines:2 [ mk_job 0 [| 5; 0 |]; mk_job 1 [| 0; 1 |] ]
+  in
+  (* job 1 has no work on machine 0, so job 0's long machine-0 run must not
+     delay it *)
+  Alcotest.(check (array int)) "completions" [| 5; 1 |]
+    (Openshop.completion_times shop [| 0; 1 |])
+
+let test_completion_with_releases () =
+  let shop =
+    Openshop.make ~machines:1 [ mk_job ~release:10 0 [| 2 |]; mk_job 1 [| 3 |] ]
+  in
+  (* order 0,1: machine waits for release 10, C0 = 12, then C1 = 15 *)
+  Alcotest.(check (array int)) "completions" [| 12; 15 |]
+    (Openshop.completion_times shop [| 0; 1 |])
+
+let test_roundtrip_embedding () =
+  let shop = two_machine_shop () in
+  let inst = Openshop.to_coflow_instance shop in
+  Alcotest.(check bool) "diagonal demands" true
+    (Array.for_all
+       (fun c -> Matrix.Mat.is_diagonal c.Instance.demand)
+       (Instance.coflows inst));
+  let shop' = Openshop.of_coflow_instance inst in
+  check_int "machines" (Openshop.machines shop) (Openshop.machines shop');
+  for k = 0 to Openshop.num_jobs shop - 1 do
+    Alcotest.(check (array int)) "processing"
+      (Openshop.job shop k).Openshop.processing
+      (Openshop.job shop' k).Openshop.processing
+  done
+
+let test_of_coflow_rejects_non_diagonal () =
+  let inst =
+    Instance.make ~ports:2
+      [ { Instance.id = 0;
+          release = 0;
+          weight = 1.0;
+          demand = Matrix.Mat.of_arrays [| [| 1; 2 |]; [| 2; 1 |] |];
+        };
+      ]
+  in
+  (try
+     ignore (Openshop.of_coflow_instance inst);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_primal_dual_smith_rule_single_machine () =
+  (* On one machine, concurrent open shop is 1 || sum w C, where WSPT
+     (Smith's rule) is exact; the primal-dual rule must recover it. *)
+  let shop =
+    Openshop.make ~machines:1
+      [ mk_job ~weight:1.0 0 [| 4 |];
+        mk_job ~weight:4.0 1 [| 2 |];
+        mk_job ~weight:1.0 2 [| 1 |];
+      ]
+  in
+  let order = Openshop.primal_dual_order shop in
+  (* WSPT ratios p/w: 4, 0.5, 1 -> order 1, 2, 0 *)
+  Alcotest.(check (array int)) "Smith order" [| 1; 2; 0 |] order
+
+let shop_gen =
+  QCheck.Gen.(
+    let* machines = int_range 1 5 in
+    let* jobs = int_range 1 8 in
+    let* seed = int_range 0 1_000_000 in
+    let st = Random.State.make [| seed |] in
+    let job id =
+      { Openshop.id;
+        weight = float_of_int (1 + Random.State.int st 9);
+        release = 0;
+        processing =
+          Array.init machines (fun _ ->
+              if Random.State.float st 1.0 < 0.6 then
+                Random.State.int st 8
+              else 0);
+      }
+    in
+    return (Openshop.make ~machines (List.init jobs job)))
+
+let print_shop shop =
+  Printf.sprintf "shop %dx%d" (Openshop.machines shop) (Openshop.num_jobs shop)
+
+let arb_shop = QCheck.make ~print:print_shop shop_gen
+
+let prop_pd_is_permutation =
+  QCheck.Test.make ~name:"primal-dual returns a permutation" ~count:200
+    arb_shop (fun shop ->
+      Core.Ordering.is_permutation (Openshop.num_jobs shop)
+        (Openshop.primal_dual_order shop))
+
+let prop_pd_beats_arrival_usually_valid =
+  QCheck.Test.make ~name:"twct is consistent and above the WSPT bound"
+    ~count:200 arb_shop (fun shop ->
+      let pd = Openshop.primal_dual_order shop in
+      Openshop.twct shop pd >= Openshop.sum_load_lower_bound shop -. 1e-9)
+
+(* Appendix A equivalence: an order-respecting greedy coflow schedule of the
+   diagonal embedding yields exactly the permutation completion times. *)
+let prop_embedding_equivalence =
+  QCheck.Test.make ~name:"diagonal coflow simulation = permutation formula"
+    ~count:100 arb_shop (fun shop ->
+      let inst = Openshop.to_coflow_instance shop in
+      let order = Openshop.primal_dual_order shop in
+      let sim = Baselines.greedy inst order in
+      let formula = Openshop.completion_times shop order in
+      (* jobs with zero total work complete at 0 in both models *)
+      Array.for_all2 ( = ) sim.Scheduler.completion formula)
+
+(* 2-approximation: check against the exact optimum on tiny shops (via the
+   coflow branch-and-bound on the diagonal embedding). *)
+let tiny_shop_gen =
+  QCheck.Gen.(
+    let* machines = int_range 1 3 in
+    let* jobs = int_range 1 3 in
+    let* seed = int_range 0 1_000_000 in
+    let st = Random.State.make [| seed |] in
+    let job id =
+      { Openshop.id;
+        weight = float_of_int (1 + Random.State.int st 4);
+        release = 0;
+        processing =
+          Array.init machines (fun _ -> Random.State.int st 3);
+      }
+    in
+    return (Openshop.make ~machines (List.init jobs job)))
+
+let prop_pd_2_approx =
+  QCheck.Test.make ~name:"primal-dual is a 2-approximation on tiny shops"
+    ~count:30
+    (QCheck.make ~print:print_shop tiny_shop_gen)
+    (fun shop ->
+      let inst = Openshop.to_coflow_instance shop in
+      QCheck.assume (Instance.total_units inst <= 14);
+      QCheck.assume (Instance.total_units inst > 0);
+      let opt = Brute.optimal_twct inst in
+      QCheck.assume (opt > 0.0);
+      let pd = Openshop.twct shop (Openshop.primal_dual_order shop) in
+      pd <= (2.0 *. opt) +. 1e-6)
+
+let prop_lp_order_valid =
+  QCheck.Test.make ~name:"LP order is a valid permutation" ~count:50 arb_shop
+    (fun shop ->
+      Core.Ordering.is_permutation (Openshop.num_jobs shop)
+        (Openshop.lp_order shop))
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pd_is_permutation;
+      prop_pd_beats_arrival_usually_valid;
+      prop_embedding_equivalence;
+      prop_pd_2_approx;
+      prop_lp_order_valid;
+    ]
+
+let () =
+  Alcotest.run "openshop"
+    [ ( "shop",
+        [ Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "completion formula" `Quick
+            test_completion_formula;
+          Alcotest.test_case "skips empty machines" `Quick
+            test_completion_skips_empty_machines;
+          Alcotest.test_case "releases" `Quick test_completion_with_releases;
+          Alcotest.test_case "embedding roundtrip" `Quick
+            test_roundtrip_embedding;
+          Alcotest.test_case "non-diagonal rejected" `Quick
+            test_of_coflow_rejects_non_diagonal;
+          Alcotest.test_case "Smith's rule on one machine" `Quick
+            test_primal_dual_smith_rule_single_machine;
+        ] );
+      ("properties", properties);
+    ]

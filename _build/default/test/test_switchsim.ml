@@ -1,0 +1,371 @@
+(* Tests for the non-blocking switch simulator. *)
+
+open Matrix
+open Switchsim
+
+let fig1 () = Mat.of_arrays [| [| 1; 2 |]; [| 2; 1 |] |]
+
+let check_int = Alcotest.(check int)
+
+let t i j k = { Simulator.src = i; dst = j; coflow = k }
+
+let test_create () =
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
+  check_int "ports" 2 (Simulator.ports sim);
+  check_int "coflows" 1 (Simulator.num_coflows sim);
+  check_int "clock" 0 (Simulator.now sim);
+  check_int "remaining" 6 (Simulator.remaining_total sim 0);
+  Alcotest.(check bool) "released at 0" true (Simulator.released sim 0)
+
+let test_create_mismatch () =
+  (try
+     ignore (Simulator.create ~ports:3 [ (0, fig1 ()) ]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_empty_coflow_complete_immediately () =
+  let sim = Simulator.create ~ports:2 [ (0, Mat.make 2) ] in
+  Alcotest.(check bool) "complete" true (Simulator.is_complete sim 0);
+  Alcotest.(check (option int)) "time 0" (Some 0)
+    (Simulator.completion_time sim 0);
+  Alcotest.(check bool) "all complete" true (Simulator.all_complete sim)
+
+let test_step_moves_data () =
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
+  Simulator.step sim [ t 0 0 0; t 1 1 0 ];
+  check_int "clock" 1 (Simulator.now sim);
+  check_int "left" 4 (Simulator.remaining_total sim 0);
+  check_int "entry drained" 0 (Simulator.remaining_at sim 0 0 0)
+
+let test_fig1_completes_in_3 () =
+  (* The paper's slot-by-slot schedule for Figure 1. *)
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
+  Simulator.step sim [ t 0 0 0; t 1 1 0 ];
+  Simulator.step sim [ t 0 1 0; t 1 0 0 ];
+  Simulator.step sim [ t 0 1 0; t 1 0 0 ];
+  Alcotest.(check bool) "complete" true (Simulator.all_complete sim);
+  check_int "C = 3" 3 (Simulator.completion_time_exn sim 0)
+
+let test_port_conflict_src () =
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
+  (try
+     Simulator.step sim [ t 0 0 0; t 0 1 0 ];
+     Alcotest.fail "expected Invalid_slot"
+   with Simulator.Invalid_slot _ -> ());
+  (* state unchanged on failure *)
+  check_int "clock" 0 (Simulator.now sim);
+  check_int "nothing moved" 6 (Simulator.remaining_total sim 0)
+
+let test_port_conflict_dst () =
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
+  (try
+     Simulator.step sim [ t 0 0 0; t 1 0 0 ];
+     Alcotest.fail "expected Invalid_slot"
+   with Simulator.Invalid_slot _ -> ())
+
+let test_no_demand_rejected () =
+  let sim = Simulator.create ~ports:2 [ (0, Mat.of_arrays [| [| 1; 0 |]; [| 0; 0 |] |]) ] in
+  (try
+     Simulator.step sim [ t 0 1 0 ];
+     Alcotest.fail "expected Invalid_slot"
+   with Simulator.Invalid_slot _ -> ())
+
+let test_release_gating () =
+  let sim = Simulator.create ~ports:2 [ (2, fig1 ()) ] in
+  Alcotest.(check bool) "not yet released" false (Simulator.released sim 0);
+  (try
+     Simulator.step sim [ t 0 0 0 ];
+     Alcotest.fail "expected Invalid_slot"
+   with Simulator.Invalid_slot _ -> ());
+  Simulator.step sim [];
+  Simulator.step sim [];
+  Alcotest.(check bool) "released at t=2" true (Simulator.released sim 0);
+  Simulator.step sim [ t 0 0 0 ];
+  check_int "moved after release" 5 (Simulator.remaining_total sim 0)
+
+let test_idle_slots_count () =
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
+  Simulator.step sim [];
+  Simulator.step sim [ t 0 0 0 ];
+  check_int "busy slots" 1 (Simulator.busy_slots sim);
+  check_int "units moved" 1 (Simulator.units_moved sim)
+
+let test_multi_coflow_slot () =
+  let d0 = Mat.of_arrays [| [| 1; 0 |]; [| 0; 0 |] |] in
+  let d1 = Mat.of_arrays [| [| 0; 0 |]; [| 0; 1 |] |] in
+  let sim = Simulator.create ~ports:2 [ (0, d0); (0, d1) ] in
+  Simulator.step sim [ t 0 0 0; t 1 1 1 ];
+  Alcotest.(check bool) "both done" true (Simulator.all_complete sim);
+  check_int "C0" 1 (Simulator.completion_time_exn sim 0);
+  check_int "C1" 1 (Simulator.completion_time_exn sim 1)
+
+let test_run_policy () =
+  (* trivial policy: greedy first-fit on coflow 0's remaining demand *)
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
+  let policy s =
+    let used_src = Array.make 2 false and used_dst = Array.make 2 false in
+    let out = ref [] in
+    Mat.iter_nonzero
+      (fun i j _ ->
+        if not (used_src.(i) || used_dst.(j)) then begin
+          used_src.(i) <- true;
+          used_dst.(j) <- true;
+          out := t i j 0 :: !out
+        end)
+      (Simulator.remaining s 0);
+    !out
+  in
+  Simulator.run sim ~policy;
+  Alcotest.(check bool) "complete" true (Simulator.all_complete sim);
+  Alcotest.(check bool) "no slower than total units" true
+    (Simulator.now sim <= 6)
+
+let test_run_budget () =
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
+  (try
+     Simulator.run ~max_slots:3 sim ~policy:(fun _ -> []);
+     Alcotest.fail "expected Failure"
+   with Failure _ -> ())
+
+let test_twct () =
+  let d0 = Mat.of_arrays [| [| 1; 0 |]; [| 0; 0 |] |] in
+  let d1 = Mat.of_arrays [| [| 2; 0 |]; [| 0; 0 |] |] in
+  let sim = Simulator.create ~ports:2 [ (0, d0); (0, d1) ] in
+  Simulator.step sim [ t 0 0 0 ];
+  Simulator.step sim [ t 0 0 1 ];
+  Simulator.step sim [ t 0 0 1 ];
+  Alcotest.(check (float 1e-9)) "weighted" (1.0 +. (2.0 *. 3.0))
+    (Simulator.total_weighted_completion sim [| 1.0; 2.0 |])
+
+let test_twct_unfinished () =
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
+  (try
+     ignore (Simulator.total_weighted_completion sim [| 1.0 |]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_utilization () =
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
+  Simulator.step sim [ t 0 0 0; t 1 1 0 ];
+  Alcotest.(check (float 1e-9)) "full slot" 1.0 (Simulator.utilization sim)
+
+(* ---------- dynamic releases ---------- *)
+
+let test_set_release () =
+  let sim = Simulator.create ~ports:2 [ (max_int, fig1 ()) ] in
+  Alcotest.(check bool) "pending" false (Simulator.released sim 0);
+  Simulator.step sim [];
+  Simulator.set_release sim 0 (Simulator.now sim);
+  Alcotest.(check bool) "released now" true (Simulator.released sim 0);
+  Simulator.step sim [ t 0 0 0 ];
+  check_int "served" 5 (Simulator.remaining_total sim 0)
+
+let test_set_release_validation () =
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()); (10, fig1 ()) ] in
+  (try
+     Simulator.set_release sim 0 5;
+     Alcotest.fail "already released"
+   with Invalid_argument _ -> ());
+  Simulator.step sim [];
+  (try
+     Simulator.set_release sim 1 0;
+     Alcotest.fail "cannot release in the past"
+   with Invalid_argument _ -> ());
+  Simulator.set_release sim 1 1 (* = now; fine *)
+
+let test_validate_hook () =
+  let validate transfers =
+    if List.length transfers > 1 then Error "one at a time" else Ok ()
+  in
+  let sim = Simulator.create ~validate ~ports:2 [ (0, fig1 ()) ] in
+  (try
+     Simulator.step sim [ t 0 0 0; t 1 1 0 ];
+     Alcotest.fail "expected Invalid_slot"
+   with Simulator.Invalid_slot m ->
+     Alcotest.(check string) "hook message" "one at a time" m);
+  check_int "state unchanged" 0 (Simulator.now sim);
+  Simulator.step sim [ t 0 0 0 ];
+  check_int "single ok" 1 (Simulator.now sim)
+
+(* ---------- fabric ---------- *)
+
+let test_fabric_topology () =
+  let topo = Fabric.topology ~ports:6 ~rack_size:2 ~core_capacity:2 in
+  check_int "rack of 0" 0 (Fabric.rack_of topo 0);
+  check_int "rack of 3" 1 (Fabric.rack_of topo 3);
+  Alcotest.(check bool) "intra" false
+    (Fabric.crosses_core topo (t 0 1 0));
+  Alcotest.(check bool) "inter" true (Fabric.crosses_core topo (t 0 2 0));
+  check_int "usage" 1 (Fabric.core_usage topo [ t 0 1 0; t 1 2 0 ])
+
+let test_fabric_topology_validation () =
+  (try
+     ignore (Fabric.topology ~ports:4 ~rack_size:0 ~core_capacity:1);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Fabric.topology ~ports:4 ~rack_size:2 ~core_capacity:(-1));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_fabric_enforces_core () =
+  (* 4 ports, racks of 2, core capacity 1: two simultaneous inter-rack
+     transfers must be rejected *)
+  let topo = Fabric.topology ~ports:4 ~rack_size:2 ~core_capacity:1 in
+  let d = Mat.make 4 in
+  Mat.set d 0 2 1;
+  Mat.set d 1 3 1;
+  let sim = Fabric.create topo [ (0, d) ] in
+  (try
+     Simulator.step sim [ t 0 2 0; t 1 3 0 ];
+     Alcotest.fail "expected Invalid_slot"
+   with Simulator.Invalid_slot _ -> ());
+  Simulator.step sim [ t 0 2 0 ];
+  check_int "one unit moved" 1 (Simulator.units_moved sim)
+
+let test_fabric_greedy_respects_core () =
+  let topo = Fabric.topology ~ports:4 ~rack_size:2 ~core_capacity:1 in
+  let st = Random.State.make [| 5 |] in
+  let d = Mat.random ~density:0.8 ~max_entry:3 st 4 in
+  let sim = Fabric.run_greedy topo ~priority:[| 0 |] [ (0, d) ] in
+  Alcotest.(check bool) "completes" true (Simulator.all_complete sim)
+
+let test_fabric_nonblocking_equals_plain_greedy () =
+  (* with core capacity = ports the fabric constraint is vacuous *)
+  let topo = Fabric.topology ~ports:4 ~rack_size:2 ~core_capacity:4 in
+  let st = Random.State.make [| 6 |] in
+  let d = Mat.random ~density:0.6 ~max_entry:3 st 4 in
+  let sim = Fabric.run_greedy topo ~priority:[| 0 |] [ (0, d) ] in
+  (* a single coflow under greedy completes in at most total units slots
+     and at least rho slots *)
+  let c = Simulator.completion_time_exn sim 0 in
+  Alcotest.(check bool) "bounded" true (c >= Mat.load d && c <= Mat.total d)
+
+(* ---------- recorder ---------- *)
+
+let greedy_single_policy s =
+  let used_src = Array.make (Simulator.ports s) false in
+  let used_dst = Array.make (Simulator.ports s) false in
+  let out = ref [] in
+  for k = 0 to Simulator.num_coflows s - 1 do
+    if Simulator.released s k && not (Simulator.is_complete s k) then
+      Mat.iter_nonzero
+        (fun i j _ ->
+          if not (used_src.(i) || used_dst.(j)) then begin
+            used_src.(i) <- true;
+            used_dst.(j) <- true;
+            out := t i j k :: !out
+          end)
+        (Simulator.remaining s k)
+  done;
+  !out
+
+let test_record_and_replay () =
+  let demands = [ (0, fig1 ()); (2, fig1 ()) ] in
+  let sim = Simulator.create ~ports:2 demands in
+  let recording = Recorder.record sim ~policy:greedy_single_policy in
+  let sim' = Recorder.replay recording demands in
+  Alcotest.(check bool) "replay completes" true (Simulator.all_complete sim');
+  check_int "same completion 0"
+    (Simulator.completion_time_exn sim 0)
+    (Simulator.completion_time_exn sim' 0);
+  check_int "same completion 1"
+    (Simulator.completion_time_exn sim 1)
+    (Simulator.completion_time_exn sim' 1)
+
+let test_recorder_csv_roundtrip () =
+  let demands = [ (0, fig1 ()) ] in
+  let sim = Simulator.create ~ports:2 demands in
+  let recording = Recorder.record sim ~policy:greedy_single_policy in
+  let recording' = Recorder.of_csv (Recorder.to_csv recording) in
+  let sim' = Recorder.replay recording' demands in
+  check_int "same makespan" (Simulator.now sim) (Simulator.now sim')
+
+let test_recorder_detects_tampering () =
+  let demands = [ (0, fig1 ()) ] in
+  let sim = Simulator.create ~ports:2 demands in
+  let recording = Recorder.record sim ~policy:greedy_single_policy in
+  let csv = Recorder.to_csv recording in
+  (* claim two transfers from the same ingress in slot 1 *)
+  let tampered = csv ^ "1,0,1,0\n" in
+  let recording' = Recorder.of_csv tampered in
+  (try
+     ignore (Recorder.replay recording' demands);
+     Alcotest.fail "expected Invalid_slot"
+   with Simulator.Invalid_slot _ -> ())
+
+let test_recorder_bad_csv () =
+  List.iter
+    (fun text ->
+      try
+        ignore (Recorder.of_csv text);
+        Alcotest.fail "expected Failure"
+      with Failure _ -> ())
+    [ "";
+      "nonsense\nslot,src,dst,coflow\n";
+      "# ports=2 slots=1\nwrong,header\n";
+      "# ports=2 slots=1\nslot,src,dst,coflow\n9,0,0,0\n";
+      "# ports=2 slots=1\nslot,src,dst,coflow\n1,0,x,0\n";
+    ]
+
+let test_recorder_file_roundtrip () =
+  let demands = [ (0, fig1 ()) ] in
+  let sim = Simulator.create ~ports:2 demands in
+  let recording = Recorder.record sim ~policy:greedy_single_policy in
+  let path = Filename.temp_file "sched" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Recorder.save path recording;
+      let recording' = Recorder.load path in
+      check_int "slots" (Array.length recording.Recorder.slots)
+        (Array.length recording'.Recorder.slots))
+
+let () =
+  Alcotest.run "switchsim"
+    [ ( "simulator",
+        [ Alcotest.test_case "create" `Quick test_create;
+          Alcotest.test_case "create mismatch" `Quick test_create_mismatch;
+          Alcotest.test_case "empty coflow" `Quick
+            test_empty_coflow_complete_immediately;
+          Alcotest.test_case "step moves data" `Quick test_step_moves_data;
+          Alcotest.test_case "Figure 1 in 3 slots" `Quick
+            test_fig1_completes_in_3;
+          Alcotest.test_case "ingress conflict" `Quick test_port_conflict_src;
+          Alcotest.test_case "egress conflict" `Quick test_port_conflict_dst;
+          Alcotest.test_case "no-demand transfer" `Quick test_no_demand_rejected;
+          Alcotest.test_case "release gating" `Quick test_release_gating;
+          Alcotest.test_case "idle accounting" `Quick test_idle_slots_count;
+          Alcotest.test_case "multi-coflow slot" `Quick test_multi_coflow_slot;
+          Alcotest.test_case "run with policy" `Quick test_run_policy;
+          Alcotest.test_case "run budget" `Quick test_run_budget;
+          Alcotest.test_case "weighted completion" `Quick test_twct;
+          Alcotest.test_case "twct unfinished" `Quick test_twct_unfinished;
+          Alcotest.test_case "utilization" `Quick test_utilization;
+        ] );
+      ( "dynamic-releases",
+        [ Alcotest.test_case "set_release" `Quick test_set_release;
+          Alcotest.test_case "validation" `Quick test_set_release_validation;
+          Alcotest.test_case "validate hook" `Quick test_validate_hook;
+        ] );
+      ( "recorder",
+        [ Alcotest.test_case "record & replay" `Quick test_record_and_replay;
+          Alcotest.test_case "csv roundtrip" `Quick
+            test_recorder_csv_roundtrip;
+          Alcotest.test_case "tampering detected" `Quick
+            test_recorder_detects_tampering;
+          Alcotest.test_case "bad csv" `Quick test_recorder_bad_csv;
+          Alcotest.test_case "file roundtrip" `Quick
+            test_recorder_file_roundtrip;
+        ] );
+      ( "fabric",
+        [ Alcotest.test_case "topology" `Quick test_fabric_topology;
+          Alcotest.test_case "topology validation" `Quick
+            test_fabric_topology_validation;
+          Alcotest.test_case "core enforced" `Quick test_fabric_enforces_core;
+          Alcotest.test_case "greedy respects core" `Quick
+            test_fabric_greedy_respects_core;
+          Alcotest.test_case "non-blocking degenerates" `Quick
+            test_fabric_nonblocking_equals_plain_greedy;
+        ] );
+    ]
