@@ -1,12 +1,13 @@
 (* Benchmark / reproduction harness.
 
    Modes:
-     main.exe                 — regenerate every table and figure (E1..E15)
+     main.exe                 — regenerate every table and figure (E1..E16)
                                 at the default scale, then run the Bechamel
                                 kernel benchmarks.
      main.exe tables          — only the tables/figures.
      main.exe kernels         — only the Bechamel micro-benchmarks.
      main.exe table1|fig2a|fig2b|lowerbound|audit|randomized|releases|openshop
+              |...|fabric|faults
                               — a single experiment.
    Scale is chosen with "--scale quick|default|large". *)
 
@@ -139,6 +140,10 @@ let run_fabric cfg =
   section "E15 - oversubscribed fabric (non-blocking assumption relaxed)";
   print_string (Experiments.Exp_fabric.render cfg)
 
+let run_faults cfg =
+  section "E16 - fault injection and degradation-aware rescheduling";
+  print_string (Experiments.Exp_faults.render cfg)
+
 let all_experiments =
   [ ("table1", run_table1);
     ("fig2a", run_fig2a);
@@ -155,6 +160,7 @@ let all_experiments =
     ("robust", run_robust);
     ("dag", run_dag);
     ("fabric", run_fabric);
+    ("faults", run_faults);
   ]
 
 let run_tables cfg = List.iter (fun (_, f) -> f cfg) all_experiments

@@ -5,7 +5,8 @@
 
    Experiment ids: E1 table1, E2 fig2a, E3 fig2b, E4 lowerbound, E5 audit,
    E6 randomized, E7 releases, E8 openshop is bench-only, E9 ablation,
-   E10 orderings, E11 lpgrid, E12 online, E13 robust, E14 dag, E15 fabric. *)
+   E10 orderings, E11 lpgrid, E12 online, E13 robust, E14 dag, E15 fabric,
+   E16 faults. *)
 
 open Cmdliner
 
@@ -100,6 +101,10 @@ let run_all scale only csv_dir =
     print_string (Experiments.Exp_fabric.render cfg);
     print_newline ()
   end;
+  if wants "E16" then begin
+    print_string (Experiments.Exp_faults.render cfg);
+    print_newline ()
+  end;
   0
 
 let scale_conv =
@@ -128,7 +133,7 @@ let only_arg =
     value
     & opt (list string) []
     & info [ "only" ] ~docv:"IDS"
-        ~doc:"Comma-separated experiment ids (E1..E15); default all")
+        ~doc:"Comma-separated experiment ids (E1..E16); default all")
 
 let csv_arg =
   Arg.(

@@ -41,7 +41,7 @@ let trivial_result n =
    [obj_at] selects the objective coefficient of the variable "coflow k
    completes at grid point l": the interval LP uses the left endpoint
    tau_(l-1), LP-EXP the right endpoint tau_l. *)
-let solve_on_grid ~solver ~taus ~obj_at inst =
+let solve_on_grid ~solver ?max_iterations ?deadline ~taus ~obj_at inst =
   let n = Instance.num_coflows inst in
   let m = Instance.ports inst in
   let coflows = Instance.coflows inst in
@@ -142,8 +142,9 @@ let solve_on_grid ~solver ~taus ~obj_at inst =
   let warm_basis = Array.of_list (List.rev !basis_rows) in
   let solution =
     match solver with
-    | `Revised -> Lp.Revised_simplex.solve ~warm_basis model
-    | `Dense -> Lp.Dense_simplex.solve model
+    | `Revised ->
+      Lp.Revised_simplex.solve ?max_iterations ?deadline ~warm_basis model
+    | `Dense -> Lp.Dense_simplex.solve ?max_iterations model
   in
   (match solution.Lp.Solution.status with
   | Lp.Solution.Optimal -> ()
@@ -179,14 +180,14 @@ let solve_on_grid ~solver ~taus ~obj_at inst =
     values = !values;
   }
 
-let solve_interval ?(solver = `Revised) inst =
+let solve_interval ?(solver = `Revised) ?max_iterations ?deadline inst =
   let n = Instance.num_coflows inst in
   if n = 0 || Instance.total_units inst = 0 then trivial_result n
   else begin
     let big_l = interval_count inst in
     let taus = Array.init big_l (fun i -> 1 lsl i) in
     (* taus.(l-1) = 2^(l-1) = tau_l *)
-    solve_on_grid ~solver ~taus ~obj_at:`Left inst
+    solve_on_grid ~solver ?max_iterations ?deadline ~taus ~obj_at:`Left inst
   end
 
 let solve_interval_base ?(solver = `Revised) ~base inst =

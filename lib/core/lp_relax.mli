@@ -32,11 +32,17 @@ exception Too_large of string
     [max_vars] variables. *)
 
 val solve_interval :
-  ?solver:[ `Revised | `Dense ] -> Workload.Instance.t -> result
+  ?solver:[ `Revised | `Dense ] ->
+  ?max_iterations:int ->
+  ?deadline:float ->
+  Workload.Instance.t ->
+  result
 (** Build and solve (LP).  [`Revised] (default) warm-starts from the crash
     basis "every coflow completes in the last interval", which is always
-    primal feasible, so phase 1 is skipped.  @raise Failure if the simplex
-    hits its iteration budget. *)
+    primal feasible, so phase 1 is skipped.  [max_iterations] and [deadline]
+    (seconds, [`Revised] only) bound the solve — see
+    {!Lp.Revised_simplex.solve}.  @raise Failure if the simplex stops on
+    either budget before proving optimality. *)
 
 val solve_interval_base :
   ?solver:[ `Revised | `Dense ] -> base:float -> Workload.Instance.t -> result

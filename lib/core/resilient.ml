@@ -1,0 +1,153 @@
+open Workload
+open Switchsim
+open Faults
+
+type tier = Lp | Rho | Arrival
+
+let tier_name = function Lp -> "lp" | Rho -> "rho" | Arrival -> "arrival"
+
+let tier_index = function Lp -> 0 | Rho -> 1 | Arrival -> 2
+
+let all_tiers = [ Lp; Rho; Arrival ]
+
+type config = {
+  primary : tier;
+  lp_deadline : float option;
+  lp_max_iterations : int;
+  lp_retries : int;
+  replan_on_fault : bool;
+  max_slots : int;
+}
+
+let default_config =
+  { primary = Lp;
+    lp_deadline = Some 5.0;
+    lp_max_iterations = 200_000;
+    lp_retries = 1;
+    replan_on_fault = true;
+    max_slots = 10_000_000;
+  }
+
+type result = {
+  completion : int array;
+  twct : float;
+  slots : int;
+  tier_slots : (tier * int) list;
+  replans : int;
+  lp_failures : int;
+  audit : Audit.t;
+}
+
+(* The unfinished part of the run as a fresh instance: remaining demands,
+   releases shifted to be relative to [now].  [keep.(i)] maps residual index
+   [i] back to the original coflow index. *)
+let residual_instance inst sim =
+  let now = Simulator.now sim in
+  let n = Instance.num_coflows inst in
+  let keep = ref [] in
+  for k = n - 1 downto 0 do
+    if not (Simulator.is_complete sim k) then keep := k :: !keep
+  done;
+  let keep = Array.of_list !keep in
+  let coflows =
+    Array.to_list
+      (Array.map
+         (fun k ->
+           let c = Instance.coflow inst k in
+           let release = max 0 (Simulator.release_time sim k - now) in
+           { c with Instance.release; demand = Simulator.remaining sim k })
+         keep)
+  in
+  (keep, Instance.make ~ports:(Instance.ports inst) coflows)
+
+(* One re-planning round: walk the policy chain from [cfg.primary] down,
+   honouring solver outages, and return the first tier that yields an
+   order over original coflow indices. *)
+let replan cfg inj inst ~on_lp_failure =
+  let sim = Injector.sim inj in
+  let now = Simulator.now sim in
+  let outage = Fault_plan.solver_outage (Injector.plan inj) ~slot:now in
+  let start =
+    match (cfg.primary, outage) with
+    | _, `Full -> Arrival
+    | Lp, `Lp_only -> Rho
+    | t, _ -> t
+  in
+  match start with
+  | Arrival -> (Arrival, Ordering.arrival inst)
+  | Rho ->
+    let keep, resid = residual_instance inst sim in
+    (Rho, Array.map (fun i -> keep.(i)) (Ordering.by_load_over_weight resid))
+  | Lp ->
+    let keep, resid = residual_instance inst sim in
+    let rec attempt i deadline =
+      match
+        Lp_relax.solve_interval ~max_iterations:cfg.lp_max_iterations
+          ?deadline resid
+      with
+      | lp -> Some lp.Lp_relax.order
+      | exception (Failure _ | Lp_relax.Too_large _ | Invalid_argument _) ->
+        on_lp_failure ();
+        if i < cfg.lp_retries then
+          (* back off by doubling the time budget before retrying *)
+          attempt (i + 1) (Option.map (fun d -> 2.0 *. d) deadline)
+        else None
+    in
+    (match attempt 0 cfg.lp_deadline with
+    | Some order -> (Lp, Array.map (fun i -> keep.(i)) order)
+    | None ->
+      (Rho, Array.map (fun i -> keep.(i)) (Ordering.by_load_over_weight resid)))
+
+let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
+  let ports = Instance.ports inst in
+  let inj = Injector.create ?topo ~plan ~ports (Instance.demands inst) in
+  let sim = Injector.sim inj in
+  let lp_failures = ref 0 and replans = ref 0 in
+  let on_lp_failure () = incr lp_failures in
+  let tier_counts = Array.make 3 0 in
+  let log = ref [] in
+  let order = ref [||] in
+  let tier = ref config.primary in
+  let need_replan = ref true in
+  let boundaries = ref (Fault_plan.boundaries plan) in
+  let budget = ref config.max_slots in
+  while not (Simulator.all_complete sim) do
+    if !budget <= 0 then failwith "Resilient.run: slot budget exhausted";
+    decr budget;
+    Injector.tick inj;
+    let now = Simulator.now sim in
+    (* a fault boundary invalidates the current plan *)
+    let rec drain () =
+      match !boundaries with
+      | b :: rest when b <= now ->
+        boundaries := rest;
+        if config.replan_on_fault then need_replan := true;
+        drain ()
+      | _ -> ()
+    in
+    drain ();
+    if !need_replan then begin
+      let t, o = replan config inj inst ~on_lp_failure in
+      tier := t;
+      order := o;
+      incr replans;
+      need_replan := false
+    end;
+    let transfers = Injector.greedy_policy inj !order sim in
+    Simulator.step sim transfers;
+    tier_counts.(tier_index !tier) <- tier_counts.(tier_index !tier) + 1;
+    log := { Audit.tier = tier_name !tier; transfers } :: !log
+  done;
+  let n = Instance.num_coflows inst in
+  let completion = Array.init n (fun k -> Simulator.completion_time_exn sim k) in
+  let w = Instance.weights inst in
+  let twct = ref 0.0 in
+  Array.iteri (fun k c -> twct := !twct +. (w.(k) *. float_of_int c)) completion;
+  { completion;
+    twct = !twct;
+    slots = Simulator.now sim;
+    tier_slots = List.map (fun t -> (t, tier_counts.(tier_index t))) all_tiers;
+    replans = !replans;
+    lp_failures = !lp_failures;
+    audit = Audit.make ~ports (List.rev !log);
+  }

@@ -1,0 +1,78 @@
+(** Degradation-aware scheduling loop: ordering-based service that survives
+    runtime faults.
+
+    The paper's algorithms assume exact demands and a fault-free switch.
+    This module runs any of the paper's orderings against a
+    {!Faults.Fault_plan}, re-planning whenever the fault environment
+    changes: at every fault boundary it recomputes the coflow order on the
+    {e residual} instance (remaining demands, releases shifted to "now"),
+    walking a policy chain
+
+    {v H_LP  ->  H_rho  ->  H_A v}
+
+    - [H_LP] re-solves the interval-indexed LP under an iteration budget
+      and an optional real-time deadline, retrying with a doubled budget
+      ([lp_retries] times) before falling through;
+    - [H_rho] (load over weight) needs only demand statistics;
+    - [H_A] (arrival order) needs nothing and always succeeds.
+
+    A {!Faults.Fault_plan.Solver_outage} forces the chain down explicitly:
+    [`Lp_only] skips the LP tier, [`Full] also skips [H_rho] (the demand
+    statistics plane is gone).  Which tier served each slot is recorded in
+    the audit log and summed in [tier_slots].
+
+    Service itself is the fault-aware greedy priority matching of
+    {!Faults.Injector}, so every emitted slot is also checked by the
+    simulator's validate hook; the returned {!Faults.Audit.t} can be
+    re-certified independently with {!Faults.Audit.check}.
+
+    Determinism: with [lp_deadline = None] (or a deadline the solves never
+    approach) the whole run is a pure function of instance, plan and
+    config — replaying a seeded plan twice yields byte-identical audit
+    logs.  A wall-clock deadline trades that for bounded re-planning
+    latency. *)
+
+type tier = Lp | Rho | Arrival
+
+val tier_name : tier -> string
+(** ["lp"], ["rho"], ["arrival"] — the audit-log labels. *)
+
+val all_tiers : tier list
+
+type config = {
+  primary : tier;  (** top of the chain; [Rho]/[Arrival] skip tiers above *)
+  lp_deadline : float option;
+      (** real-time budget (seconds) per LP attempt, [None] = unlimited *)
+  lp_max_iterations : int;  (** simplex pivot budget per LP attempt *)
+  lp_retries : int;
+      (** extra LP attempts after a failure, each with a doubled deadline *)
+  replan_on_fault : bool;
+      (** recompute the order at fault boundaries (otherwise only once) *)
+  max_slots : int;  (** safety valve against never-ending plans *)
+}
+
+val default_config : config
+(** [Lp] primary, 5 s deadline, 200k pivots, one retry, re-planning on. *)
+
+type result = {
+  completion : int array;
+  twct : float;
+  slots : int;
+  tier_slots : (tier * int) list;
+      (** slots served per tier, in [all_tiers] order *)
+  replans : int;  (** re-planning rounds, including the initial one *)
+  lp_failures : int;  (** LP attempts that timed out, diverged or failed *)
+  audit : Faults.Audit.t;
+      (** per-slot tier + transfers, ready for {!Faults.Audit.check} *)
+}
+
+val run :
+  ?config:config ->
+  ?topo:Switchsim.Fabric.topology ->
+  ?plan:Faults.Fault_plan.t ->
+  Workload.Instance.t ->
+  result
+(** Run to completion under the plan (default: no faults).  With [topo],
+    core degradation tightens the fabric budget and the greedy service
+    respects rack locality.  @raise Failure when [max_slots] is exhausted
+    (a plan that never lifts an outage). *)

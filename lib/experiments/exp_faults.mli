@@ -1,0 +1,40 @@
+(** E16 — fault-injection study (the robustness analogue of Fig. 2).
+
+    Sweeps seeded random fault plans of increasing intensity over one
+    instance and compares the three orderings ([H_A], [H_rho], [H_LP]) when
+    each is run through the degradation-aware loop of {!Core.Resilient};
+    every run's audit log is re-certified with {!Faults.Audit.check}.  A
+    second table reports the [H_LP] chain diagnostics (slots per tier,
+    re-planning rounds, LP failures), and a third demonstrates the
+    H_LP -> H_rho -> H_A fallback under injected solver outages and a
+    zero-second solver deadline.
+
+    The sweep uses a pivot budget rather than a wall-clock deadline, so
+    every run is a deterministic function of the configuration seed. *)
+
+type entry = {
+  primary : Core.Resilient.tier;
+  result : Core.Resilient.result;
+  audit_ok : bool;
+}
+
+type row = {
+  intensity : float;
+  plan : Faults.Fault_plan.t;
+  entries : entry list;  (** one per ordering: [Arrival; Rho; Lp] *)
+}
+
+val run : ?intensities:float list -> Config.t -> row list
+(** Default intensities [0; 0.5; 1; 2]; intensity [0] is the fault-free
+    baseline the "vs 0" columns normalise against. *)
+
+type demo = {
+  label : string;
+  demo_plan : Faults.Fault_plan.t;
+  demo_result : Core.Resilient.result;
+  demo_audit_ok : bool;
+}
+
+val chain_demo : Config.t -> demo list
+
+val render : ?intensities:float list -> Config.t -> string

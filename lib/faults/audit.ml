@@ -1,0 +1,183 @@
+open Switchsim
+
+type slot_record = { tier : string; transfers : Simulator.transfer list }
+
+type t = { ports : int; slots : slot_record array }
+
+let make ~ports slots =
+  if ports <= 0 then invalid_arg "Audit.make: ports must be positive";
+  { ports; slots = Array.of_list slots }
+
+let ports t = t.ports
+
+let num_slots t = Array.length t.slots
+
+let slot t s =
+  if s < 0 || s >= num_slots t then invalid_arg "Audit.slot: out of range";
+  t.slots.(s)
+
+let tier_slot_counts t =
+  let tbl = Hashtbl.create 4 in
+  Array.iter
+    (fun { tier; _ } ->
+      Hashtbl.replace tbl tier (1 + Option.value ~default:0 (Hashtbl.find_opt tbl tier)))
+    t.slots;
+  Hashtbl.fold (fun tier n acc -> (tier, n) :: acc) tbl []
+  |> List.sort compare
+
+(* ---------- certification ---------- *)
+
+let check ?topo ~plan t =
+  let ports = t.ports in
+  let src_used = Array.make ports false and dst_used = Array.make ports false in
+  let rec scan s =
+    if s >= num_slots t then Ok ()
+    else begin
+      let { transfers; _ } = t.slots.(s) in
+      Array.fill src_used 0 ports false;
+      Array.fill dst_used 0 ports false;
+      let matching_ok =
+        List.fold_left
+          (fun acc { Simulator.src; dst; _ } ->
+            match acc with
+            | Error _ -> acc
+            | Ok () ->
+              if src < 0 || src >= ports || dst < 0 || dst >= ports then
+                Error
+                  (Printf.sprintf "slot %d: port out of range %d->%d" s src
+                     dst)
+              else if src_used.(src) then
+                Error (Printf.sprintf "slot %d: ingress %d used twice" s src)
+              else if dst_used.(dst) then
+                Error (Printf.sprintf "slot %d: egress %d used twice" s dst)
+              else begin
+                src_used.(src) <- true;
+                dst_used.(dst) <- true;
+                Ok ()
+              end)
+          (Ok ()) transfers
+      in
+      match matching_ok with
+      | Error _ as e -> e
+      | Ok () -> (
+        let capacity =
+          let base =
+            match topo with
+            | Some tp -> tp.Fabric.core_capacity
+            | None -> ports
+          in
+          match Fault_plan.core_capacity plan ~slot:s with
+          | Some c -> min base c
+          | None -> base
+        in
+        match
+          Injector.check_slot ?topo ~plan ~ports ~capacity ~slot:s transfers
+        with
+        | Error _ as e -> e
+        | Ok () -> scan (s + 1))
+    end
+  in
+  scan 0
+
+(* ---------- text format ---------- *)
+
+let magic = "coflow-fault-audit v1"
+
+let tier_ok tier =
+  tier <> "" && String.for_all (fun c -> c <> ' ' && c <> '\n') tier
+
+let to_string t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Printf.sprintf "ports %d slots %d\n" t.ports (Array.length t.slots));
+  Array.iteri
+    (fun s { tier; transfers } ->
+      if not (tier_ok tier) then
+        invalid_arg (Printf.sprintf "Audit.to_string: bad tier name %S" tier);
+      Buffer.add_string b
+        (Printf.sprintf "slot %d %s %d\n" s tier (List.length transfers));
+      List.iter
+        (fun { Simulator.src; dst; coflow } ->
+          Buffer.add_string b (Printf.sprintf "%d %d %d\n" src dst coflow))
+        transfers)
+    t.slots;
+  Buffer.contents b
+
+let of_string s =
+  let fail lineno msg =
+    failwith (Printf.sprintf "Audit.of_string: line %d: %s" lineno msg)
+  in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let parse_int lineno s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail lineno (Printf.sprintf "expected integer, got %S" s)
+  in
+  match lines with
+  | header :: dims :: rest ->
+    if header <> magic then
+      fail 1 (Printf.sprintf "bad header %S (expected %S)" header magic);
+    let ports, nslots =
+      match String.split_on_char ' ' dims |> List.filter (( <> ) "") with
+      | [ "ports"; p; "slots"; n ] -> (parse_int 2 p, parse_int 2 n)
+      | _ -> fail 2 "expected 'ports <m> slots <n>'"
+    in
+    if ports <= 0 || nslots < 0 then fail 2 "bad geometry";
+    let lineno = ref 2 in
+    let body = ref rest in
+    let next () =
+      match !body with
+      | [] -> fail !lineno "unexpected end of file"
+      | l :: tl ->
+        incr lineno;
+        body := tl;
+        l
+    in
+    let slots =
+      Array.init nslots (fun s ->
+          let l = next () in
+          match String.split_on_char ' ' l |> List.filter (( <> ) "") with
+          | [ "slot"; idx; tier; n ] ->
+            if parse_int !lineno idx <> s then
+              fail !lineno (Printf.sprintf "expected slot %d" s);
+            let n = parse_int !lineno n in
+            if n < 0 then fail !lineno "negative transfer count";
+            let transfers =
+              List.init n (fun _ ->
+                  let fl = next () in
+                  match
+                    String.split_on_char ' ' fl |> List.filter (( <> ) "")
+                  with
+                  | [ i; j; k ] ->
+                    { Simulator.src = parse_int !lineno i;
+                      dst = parse_int !lineno j;
+                      coflow = parse_int !lineno k;
+                    }
+                  | _ -> fail !lineno "expected '<src> <dst> <coflow>'")
+            in
+            { tier; transfers }
+          | _ -> fail !lineno "expected 'slot <idx> <tier> <ntransfers>'")
+    in
+    if !body <> [] then fail (!lineno + 1) "trailing content";
+    { ports; slots }
+  | _ -> failwith "Audit.of_string: missing header or dimensions"
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

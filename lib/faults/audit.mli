@@ -1,0 +1,59 @@
+(** Replayable audit log of a faulted run.
+
+    One record per slot: which policy tier produced the slot and the exact
+    transfers committed.  {!check} re-derives the fault constraints from the
+    plan (via {!Injector.check_slot}) and certifies that no transfer ever
+    used a dead port, rode a degraded link off its duty cycle, or exceeded
+    the degraded (core) capacity — independently of the simulator that
+    produced the log, so a buggy injector cannot certify itself.
+
+    The text format is canonical: the same run serialises to the same bytes,
+    which is how determinism-under-injection is asserted in the tests. *)
+
+type slot_record = {
+  tier : string;  (** policy tier that served the slot, e.g. ["lp"] *)
+  transfers : Switchsim.Simulator.transfer list;
+}
+
+type t
+
+val make : ports:int -> slot_record list -> t
+(** Records in slot order (index 0 = first slot).
+    @raise Invalid_argument if [ports <= 0]. *)
+
+val ports : t -> int
+
+val num_slots : t -> int
+
+val slot : t -> int -> slot_record
+
+val tier_slot_counts : t -> (string * int) list
+(** How many slots each tier served, sorted by tier name. *)
+
+val check :
+  ?topo:Switchsim.Fabric.topology ->
+  plan:Fault_plan.t ->
+  t ->
+  (unit, string) result
+(** Certify the log against the plan: per-slot matching constraints plus
+    every fault constraint.  [Error] carries the first violation with its
+    slot number. *)
+
+(** {2 Text format}
+
+    {v
+    coflow-fault-audit v1
+    ports <m> slots <n>
+    slot <idx> <tier> <ntransfers>
+    <src> <dst> <coflow>        (ntransfers lines)
+    v} *)
+
+val to_string : t -> string
+(** @raise Invalid_argument if a tier name contains whitespace. *)
+
+val of_string : string -> t
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+val save : string -> t -> unit
+
+val load : string -> t

@@ -1,0 +1,344 @@
+type event =
+  | Port_down of { port : int; from_ : int; until : int }
+  | Link_degraded of {
+      src : int;
+      dst : int;
+      from_ : int;
+      until : int;
+      period : int;
+    }
+  | Core_degraded of { from_ : int; until : int; capacity : int }
+  | Straggler of { coflow : int; at : int; factor : int }
+  | Release_delay of { coflow : int; delay : int }
+  | Solver_outage of { from_ : int; until : int; full : bool }
+
+type t = { events : event list }
+
+let empty = { events = [] }
+
+let make events = { events }
+
+let events t = t.events
+
+let is_empty t = t.events = []
+
+let active ~from_ ~until slot = from_ <= slot && slot < until
+
+(* ---------- validation ---------- *)
+
+let event_error i msg = Error (Printf.sprintf "event %d: %s" i msg)
+
+let check_interval i ~from_ ~until =
+  if from_ < 0 then event_error i "negative start slot"
+  else if until <= from_ then event_error i "empty or inverted interval"
+  else Ok ()
+
+let check_event ~ports ~coflows i = function
+  | Port_down { port; from_; until } ->
+    if port < 0 || port >= ports then event_error i "port out of range"
+    else check_interval i ~from_ ~until
+  | Link_degraded { src; dst; from_; until; period } ->
+    if src < 0 || src >= ports || dst < 0 || dst >= ports then
+      event_error i "link endpoint out of range"
+    else if period < 2 then
+      event_error i "degradation period must be at least 2"
+    else check_interval i ~from_ ~until
+  | Core_degraded { from_; until; capacity } ->
+    if capacity < 0 then event_error i "negative degraded capacity"
+    else check_interval i ~from_ ~until
+  | Straggler { coflow; at; factor } ->
+    if coflow < 0 || coflow >= coflows then event_error i "coflow out of range"
+    else if at < 0 then event_error i "negative straggler slot"
+    else if factor < 2 then event_error i "straggler factor must be at least 2"
+    else Ok ()
+  | Release_delay { coflow; delay } ->
+    if coflow < 0 || coflow >= coflows then event_error i "coflow out of range"
+    else if delay <= 0 then event_error i "delay must be positive"
+    else Ok ()
+  | Solver_outage { from_; until; full = _ } ->
+    check_interval i ~from_ ~until
+
+let validate ~ports ~coflows t =
+  if ports <= 0 then Error "ports must be positive"
+  else begin
+    let rec scan i = function
+      | [] -> Ok ()
+      | e :: rest -> (
+        match check_event ~ports ~coflows i e with
+        | Ok () -> scan (i + 1) rest
+        | err -> err)
+    in
+    scan 0 t.events
+  end
+
+let validate_exn ~ports ~coflows t =
+  match validate ~ports ~coflows t with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Fault_plan.validate: " ^ msg)
+
+(* ---------- per-slot queries ---------- *)
+
+let port_down t ~slot p =
+  List.exists
+    (function
+      | Port_down { port; from_; until } ->
+        port = p && active ~from_ ~until slot
+      | _ -> false)
+    t.events
+
+let link_period t ~slot ~src ~dst =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Link_degraded { src = s; dst = d; from_; until; period }
+        when s = src && d = dst && active ~from_ ~until slot ->
+        max acc period
+      | _ -> acc)
+    1 t.events
+
+(* A link degraded to period [p] carries at most one unit every [p] slots;
+   the usable slots are the multiples of [p] so two plans composed by [max]
+   stay deterministic. *)
+let link_usable t ~slot ~src ~dst =
+  let p = link_period t ~slot ~src ~dst in
+  p = 1 || slot mod p = 0
+
+let core_capacity t ~slot =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Core_degraded { from_; until; capacity } when active ~from_ ~until slot
+        -> (
+        match acc with
+        | None -> Some capacity
+        | Some c -> Some (min c capacity))
+      | _ -> acc)
+    None t.events
+
+let solver_outage t ~slot =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Solver_outage { from_; until; full } when active ~from_ ~until slot ->
+        if full then `Full else if acc = `Full then `Full else `Lp_only
+      | _ -> acc)
+    `None t.events
+
+let release_delay t k =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Release_delay { coflow; delay } when coflow = k -> acc + delay
+      | _ -> acc)
+    0 t.events
+
+let stragglers t =
+  List.filter_map
+    (function
+      | Straggler { coflow; at; factor } -> Some (at, coflow, factor)
+      | _ -> None)
+    t.events
+  |> List.stable_sort compare
+
+(* Slots at which the fault environment changes — the re-planning triggers
+   of the resilient scheduling loop. *)
+let boundaries t =
+  let add acc s = if s < 0 then acc else s :: acc in
+  let slots =
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | Port_down { from_; until; _ }
+        | Link_degraded { from_; until; _ }
+        | Core_degraded { from_; until; _ }
+        | Solver_outage { from_; until; _ } ->
+          add (add acc from_) until
+        | Straggler { at; _ } -> add acc at
+        | Release_delay _ -> acc)
+      [] t.events
+  in
+  List.sort_uniq compare slots
+
+(* ---------- text format ---------- *)
+
+let magic = "coflow-faults v1"
+
+let event_to_string = function
+  | Port_down { port; from_; until } ->
+    Printf.sprintf "port_down %d %d %d" port from_ until
+  | Link_degraded { src; dst; from_; until; period } ->
+    Printf.sprintf "link_slow %d %d %d %d %d" src dst from_ until period
+  | Core_degraded { from_; until; capacity } ->
+    Printf.sprintf "core_cap %d %d %d" from_ until capacity
+  | Straggler { coflow; at; factor } ->
+    Printf.sprintf "straggler %d %d %d" coflow at factor
+  | Release_delay { coflow; delay } ->
+    Printf.sprintf "release_delay %d %d" coflow delay
+  | Solver_outage { from_; until; full } ->
+    Printf.sprintf "solver_outage %d %d %d" from_ until (if full then 1 else 0)
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string b (event_to_string e);
+      Buffer.add_char b '\n')
+    t.events;
+  Buffer.contents b
+
+let of_string s =
+  let fail lineno msg =
+    failwith (Printf.sprintf "Fault_plan.of_string: line %d: %s" lineno msg)
+  in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  match lines with
+  | [] -> failwith "Fault_plan.of_string: empty input"
+  | (lineno, header) :: rest ->
+    if header <> magic then
+      fail lineno (Printf.sprintf "bad header %S (expected %S)" header magic);
+    let parse_int lineno s =
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> fail lineno (Printf.sprintf "expected integer, got %S" s)
+    in
+    let parse (lineno, l) =
+      let toks =
+        String.split_on_char ' ' l |> List.filter (fun t -> t <> "")
+      in
+      let ints = List.map (parse_int lineno) in
+      (* geometry-independent sanity (port/coflow ranges need [validate]) *)
+      let interval from_ until =
+        if from_ < 0 then fail lineno "negative start slot"
+        else if until <= from_ then fail lineno "empty or inverted interval"
+      in
+      match toks with
+      | "port_down" :: args -> (
+        match ints args with
+        | [ port; from_; until ] ->
+          interval from_ until;
+          Port_down { port; from_; until }
+        | _ -> fail lineno "port_down expects <port> <from> <until>")
+      | "link_slow" :: args -> (
+        match ints args with
+        | [ src; dst; from_; until; period ] ->
+          interval from_ until;
+          if period < 2 then
+            fail lineno "degradation period must be at least 2";
+          Link_degraded { src; dst; from_; until; period }
+        | _ -> fail lineno "link_slow expects <src> <dst> <from> <until> <period>")
+      | "core_cap" :: args -> (
+        match ints args with
+        | [ from_; until; capacity ] ->
+          interval from_ until;
+          if capacity < 0 then fail lineno "negative degraded capacity";
+          Core_degraded { from_; until; capacity }
+        | _ -> fail lineno "core_cap expects <from> <until> <capacity>")
+      | "straggler" :: args -> (
+        match ints args with
+        | [ coflow; at; factor ] ->
+          if at < 0 then fail lineno "negative straggler slot";
+          if factor < 2 then
+            fail lineno "straggler factor must be at least 2";
+          Straggler { coflow; at; factor }
+        | _ -> fail lineno "straggler expects <coflow> <at> <factor>")
+      | "release_delay" :: args -> (
+        match ints args with
+        | [ coflow; delay ] ->
+          if delay <= 0 then fail lineno "delay must be positive";
+          Release_delay { coflow; delay }
+        | _ -> fail lineno "release_delay expects <coflow> <delay>")
+      | "solver_outage" :: args -> (
+        match ints args with
+        | [ from_; until; full ] ->
+          interval from_ until;
+          if full <> 0 && full <> 1 then
+            fail lineno "solver_outage full flag must be 0 or 1"
+          else Solver_outage { from_; until; full = full = 1 }
+        | _ -> fail lineno "solver_outage expects <from> <until> <0|1>")
+      | kind :: _ -> fail lineno (Printf.sprintf "unknown event kind %S" kind)
+      | [] -> assert false
+    in
+    { events = List.map parse rest }
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))
+
+(* ---------- seeded random plans ---------- *)
+
+let random ?(intensity = 1.0) ~ports ~coflows ~horizon st =
+  if intensity < 0.0 then invalid_arg "Fault_plan.random: negative intensity";
+  if ports <= 0 then invalid_arg "Fault_plan.random: ports must be positive";
+  if intensity = 0.0 then empty
+  else begin
+    let horizon = max 8 horizon in
+    let count per = int_of_float (Float.round (intensity *. per)) in
+    let interval max_len =
+      let from_ = Random.State.int st horizon in
+      let len = 1 + Random.State.int st (max 1 max_len) in
+      (from_, from_ + len)
+    in
+    let events = ref [] in
+    let push e = events := e :: !events in
+    (* port outages: short-lived, never permanent *)
+    for _ = 1 to count (float_of_int ports /. 6.0) do
+      let port = Random.State.int st ports in
+      let from_, until = interval (horizon / 6) in
+      push (Port_down { port; from_; until })
+    done;
+    (* per-link slowdowns *)
+    for _ = 1 to count (float_of_int ports /. 4.0) do
+      let src = Random.State.int st ports in
+      let dst = Random.State.int st ports in
+      let from_, until = interval (horizon / 4) in
+      let period = 2 + Random.State.int st 3 in
+      push (Link_degraded { src; dst; from_; until; period })
+    done;
+    (* core-capacity degradation, deeper with intensity *)
+    if intensity >= 0.5 then begin
+      let capacity =
+        max 1 (int_of_float (float_of_int ports /. (1.0 +. intensity)))
+      in
+      let from_, until = interval (horizon / 3) in
+      push (Core_degraded { from_; until; capacity })
+    end;
+    (* stragglers: announced demand doubles mid-run *)
+    for _ = 1 to count (float_of_int coflows /. 12.0) do
+      let coflow = Random.State.int st (max 1 coflows) in
+      let at = Random.State.int st (max 1 (horizon / 2)) in
+      push (Straggler { coflow; at; factor = 2 })
+    done;
+    (* delayed releases *)
+    for _ = 1 to count (float_of_int coflows /. 16.0) do
+      let coflow = Random.State.int st (max 1 coflows) in
+      let delay = 1 + Random.State.int st (max 1 (horizon / 10)) in
+      push (Release_delay { coflow; delay })
+    done;
+    (* solver outages: the LP tier goes first, the stats plane second *)
+    if intensity >= 0.75 then begin
+      let from_, until = interval (horizon / 4) in
+      push (Solver_outage { from_; until; full = false })
+    end;
+    if intensity >= 1.5 then begin
+      let from_, until = interval (horizon / 6) in
+      push (Solver_outage { from_; until; full = true })
+    end;
+    { events = List.rev !events }
+  end

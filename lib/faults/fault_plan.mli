@@ -1,0 +1,119 @@
+(** Scripted, seeded fault plans for the switch simulator.
+
+    A plan is a list of timed events describing runtime degradation of the
+    [m x m] switch and of the workload information the scheduler relies on:
+    port outages, per-link slowdowns, core-capacity degradation (see
+    {!Switchsim.Fabric}), straggler coflows whose remaining demand inflates
+    mid-run, delayed releases, and solver outages that knock out tiers of
+    the scheduling stack.
+
+    Slot indexing matches [Switchsim.Simulator.now] {e before} a step: an
+    event with interval [[from_, until)] affects exactly the slots whose
+    pre-step clock lies in the interval.  All queries are pure, so a plan
+    can be replayed or audited independently of any simulator. *)
+
+type event =
+  | Port_down of { port : int; from_ : int; until : int }
+      (** Both the ingress and egress side of [port] are unusable. *)
+  | Link_degraded of {
+      src : int;
+      dst : int;
+      from_ : int;
+      until : int;
+      period : int;
+    }
+      (** Link [(src, dst)] carries at most one unit every [period >= 2]
+          slots (usable only when [slot mod period = 0]). *)
+  | Core_degraded of { from_ : int; until : int; capacity : int }
+      (** The fabric core carries at most [capacity] transfers per slot:
+          inter-rack transfers when a {!Switchsim.Fabric.topology} is in
+          play, all transfers otherwise (aggregate switch degradation). *)
+  | Straggler of { coflow : int; at : int; factor : int }
+      (** At slot [at], the remaining demand of [coflow] is multiplied by
+          [factor >= 2] (skipped if the coflow already completed). *)
+  | Release_delay of { coflow : int; delay : int }
+      (** The coflow's release date is pushed [delay > 0] slots later. *)
+  | Solver_outage of { from_ : int; until : int; full : bool }
+      (** The LP tier of the scheduler is unavailable; with [full] the
+          demand-statistics plane is also gone, so only arrival order
+          remains computable. *)
+
+type t
+
+val empty : t
+
+val make : event list -> t
+
+val events : t -> event list
+
+val is_empty : t -> bool
+
+val validate : ports:int -> coflows:int -> t -> (unit, string) result
+(** Structural check of every event against the instance geometry. *)
+
+val validate_exn : ports:int -> coflows:int -> t -> unit
+(** @raise Invalid_argument with the first offending event. *)
+
+(** {2 Per-slot queries} *)
+
+val port_down : t -> slot:int -> int -> bool
+
+val link_period : t -> slot:int -> src:int -> dst:int -> int
+(** Max active degradation period for the pair, [1] when healthy. *)
+
+val link_usable : t -> slot:int -> src:int -> dst:int -> bool
+
+val core_capacity : t -> slot:int -> int option
+(** Tightest active core cap, [None] when undegraded. *)
+
+val solver_outage : t -> slot:int -> [ `None | `Lp_only | `Full ]
+
+val release_delay : t -> int -> int
+(** Total release delay of coflow [k] across the plan. *)
+
+val stragglers : t -> (int * int * int) list
+(** [(at, coflow, factor)] sorted by slot — the injector's event feed. *)
+
+val boundaries : t -> int list
+(** Sorted slots at which any fault begins, ends or fires — the re-planning
+    triggers of {!Core.Resilient}. *)
+
+(** {2 Text format}
+
+    Line-oriented and diff-friendly:
+    {v
+    coflow-faults v1
+    port_down <port> <from> <until>
+    link_slow <src> <dst> <from> <until> <period>
+    core_cap <from> <until> <capacity>
+    straggler <coflow> <at> <factor>
+    release_delay <coflow> <delay>
+    solver_outage <from> <until> <0|1>
+    v}
+    Blank lines and [#] comments are ignored on input. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** @raise Failure with a line-numbered message on malformed input,
+    including geometry-independent semantic errors (empty intervals, bad
+    periods / factors / delays); port and coflow ranges still need
+    {!validate}. *)
+
+val save : string -> t -> unit
+
+val load : string -> t
+
+val random :
+  ?intensity:float ->
+  ports:int ->
+  coflows:int ->
+  horizon:int ->
+  Random.State.t ->
+  t
+(** Seeded random plan whose event count scales with [intensity] (default
+    [1.0]; [0.0] is the empty plan).  Every generated interval is finite and
+    no fault outlives roughly [2 * horizon], so any work-conserving policy
+    still completes.  Outages of the solver stack appear from intensity
+    [0.75] (LP only) and [1.5] (full).  @raise Invalid_argument on negative
+    intensity. *)

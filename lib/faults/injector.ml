@@ -1,0 +1,160 @@
+open Switchsim
+
+type t = {
+  plan : Fault_plan.t;
+  topo : Fabric.topology option;
+  sim : Simulator.t;
+  stragglers : (int * int * int) array; (* (at, coflow, factor), by slot *)
+  mutable next_straggler : int;
+}
+
+let sim t = t.sim
+
+let plan t = t.plan
+
+let pair_ok t ~slot ~src ~dst =
+  (not (Fault_plan.port_down t.plan ~slot src))
+  && (not (Fault_plan.port_down t.plan ~slot dst))
+  && Fault_plan.link_usable t.plan ~slot ~src ~dst
+
+let counts_toward_core t tr =
+  match t.topo with Some topo -> Fabric.crosses_core topo tr | None -> true
+
+let effective_capacity t ~slot =
+  let base =
+    match t.topo with
+    | Some topo -> topo.Fabric.core_capacity
+    | None -> Simulator.ports t.sim
+  in
+  match Fault_plan.core_capacity t.plan ~slot with
+  | Some c -> min base c
+  | None -> base
+
+(* Shared by the simulator's validate hook and by {!Audit.check}: the fault
+   constraints one slot must satisfy, independent of demand state. *)
+let check_slot ?topo ~plan ~ports ~capacity ~slot transfers =
+  let rec scan used = function
+    | [] -> if used > capacity then
+        Error
+          (Printf.sprintf
+             "slot %d: %d transfers exceed degraded capacity %d" slot used
+             capacity)
+      else Ok ()
+    | ({ Simulator.src; dst; _ } as tr) :: rest ->
+      if src < 0 || src >= ports || dst < 0 || dst >= ports then
+        Error (Printf.sprintf "slot %d: port out of range %d->%d" slot src dst)
+      else if Fault_plan.port_down plan ~slot src then
+        Error (Printf.sprintf "slot %d: ingress %d is down" slot src)
+      else if Fault_plan.port_down plan ~slot dst then
+        Error (Printf.sprintf "slot %d: egress %d is down" slot dst)
+      else if not (Fault_plan.link_usable plan ~slot ~src ~dst) then
+        Error
+          (Printf.sprintf "slot %d: link (%d, %d) degraded (period %d)" slot
+             src dst
+             (Fault_plan.link_period plan ~slot ~src ~dst))
+      else begin
+        let core =
+          match topo with
+          | Some t -> if Fabric.crosses_core t tr then 1 else 0
+          | None -> 1
+        in
+        scan (used + core) rest
+      end
+  in
+  scan 0 transfers
+
+let create ?topo ~plan ~ports demands =
+  Fault_plan.validate_exn ~ports ~coflows:(List.length demands) plan;
+  (match topo with
+  | Some t when t.Fabric.ports <> ports ->
+    invalid_arg "Injector.create: topology port count mismatch"
+  | _ -> ());
+  (* delayed releases are known at admission time: fold them into the
+     release dates before the simulator is built *)
+  let demands =
+    List.mapi
+      (fun k (r, d) -> (r + Fault_plan.release_delay plan k, d))
+      demands
+  in
+  let sim_cell = ref None in
+  let validate transfers =
+    match !sim_cell with
+    | None -> Ok ()
+    | Some sim ->
+      let slot = Simulator.now sim in
+      let capacity =
+        let base =
+          match topo with
+          | Some t -> t.Fabric.core_capacity
+          | None -> ports
+        in
+        match Fault_plan.core_capacity plan ~slot with
+        | Some c -> min base c
+        | None -> base
+      in
+      check_slot ?topo ~plan ~ports ~capacity ~slot transfers
+  in
+  let sim = Simulator.create ~validate ~ports demands in
+  sim_cell := Some sim;
+  { plan;
+    topo;
+    sim;
+    stragglers = Array.of_list (Fault_plan.stragglers plan);
+    next_straggler = 0;
+  }
+
+let tick t =
+  let slot = Simulator.now t.sim in
+  while
+    t.next_straggler < Array.length t.stragglers
+    && (let at, _, _ = t.stragglers.(t.next_straggler) in
+        at <= slot)
+  do
+    let _, k, factor = t.stragglers.(t.next_straggler) in
+    t.next_straggler <- t.next_straggler + 1;
+    if not (Simulator.is_complete t.sim k) then begin
+      (* collect first: the demand matrix must not grow mid-iteration *)
+      let entries = ref [] in
+      Simulator.iter_remaining t.sim k (fun i j v ->
+          entries := (i, j, v) :: !entries);
+      List.iter
+        (fun (i, j, v) ->
+          Simulator.add_demand t.sim k ~src:i ~dst:j ((factor - 1) * v))
+        !entries
+    end
+  done
+
+let greedy_policy t priority sim =
+  let slot = Simulator.now sim in
+  let m = Simulator.ports sim in
+  let src_used = Array.make m false and dst_used = Array.make m false in
+  let core_left = ref (effective_capacity t ~slot) in
+  let transfers = ref [] in
+  Array.iter
+    (fun k ->
+      if Simulator.released sim k && not (Simulator.is_complete sim k) then
+        Simulator.iter_remaining sim k (fun i j _ ->
+            if
+              (not (src_used.(i) || dst_used.(j)))
+              && pair_ok t ~slot ~src:i ~dst:j
+            then begin
+              let tr = { Simulator.src = i; dst = j; coflow = k } in
+              let core = counts_toward_core t tr in
+              if (not core) || !core_left > 0 then begin
+                src_used.(i) <- true;
+                dst_used.(j) <- true;
+                if core then decr core_left;
+                transfers := tr :: !transfers
+              end
+            end))
+    priority;
+  !transfers
+
+let run ?(max_slots = 10_000_000) t ~priority =
+  let budget = ref max_slots in
+  while not (Simulator.all_complete t.sim) do
+    if !budget <= 0 then failwith "Injector.run: slot budget exhausted";
+    decr budget;
+    tick t;
+    Simulator.step t.sim (greedy_policy t priority t.sim)
+  done

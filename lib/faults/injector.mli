@@ -1,0 +1,68 @@
+(** Wires a {!Fault_plan} into a {!Switchsim.Simulator}.
+
+    The injector owns three jobs:
+    - {b enforcement}: the simulator is created with a [validate] hook that
+      rejects any slot using a dead port, a degraded link off its duty
+      cycle, or more (core) transfers than the degraded capacity allows —
+      so a policy cannot cheat the faults any more than it can cheat the
+      matching constraints;
+    - {b the fault clock}: {!tick}, called once per slot before the policy,
+      fires due straggler events by growing remaining demand in place
+      (release delays are folded into the release dates at creation);
+    - {b fault-aware service}: {!greedy_policy} is the work-conserving
+      priority matching that only claims currently-usable port pairs.
+
+    Any existing per-slot policy can run against any plan: pass
+    [sim injector] to it and let the validate hook arbitrate. *)
+
+type t
+
+val create :
+  ?topo:Switchsim.Fabric.topology ->
+  plan:Fault_plan.t ->
+  ports:int ->
+  (int * Matrix.Mat.t) list ->
+  t
+(** Build the faulted simulator.  With [topo], core-capacity degradation
+    tightens the fabric's inter-rack budget; without it, a degraded core
+    caps the total transfers of a slot (aggregate switch degradation).
+    @raise Invalid_argument if the plan fails {!Fault_plan.validate} or the
+    topology geometry disagrees with [ports]. *)
+
+val sim : t -> Switchsim.Simulator.t
+
+val plan : t -> Fault_plan.t
+
+val tick : t -> unit
+(** Apply every fault event due at the current slot (idempotent per slot;
+    call exactly once before querying a policy). *)
+
+val pair_ok : t -> slot:int -> src:int -> dst:int -> bool
+(** Both ports up and the link on its duty cycle. *)
+
+val counts_toward_core : t -> Switchsim.Simulator.transfer -> bool
+
+val effective_capacity : t -> slot:int -> int
+(** Core budget for the slot: topology capacity (or [ports]) tightened by
+    any active {!Fault_plan.Core_degraded} event. *)
+
+val check_slot :
+  ?topo:Switchsim.Fabric.topology ->
+  plan:Fault_plan.t ->
+  ports:int ->
+  capacity:int ->
+  slot:int ->
+  Switchsim.Simulator.transfer list ->
+  (unit, string) result
+(** The pure fault-feasibility check one slot must pass — shared with
+    {!Audit.check} so the auditor re-derives the constraints rather than
+    trusting the injector. *)
+
+val greedy_policy :
+  t -> int array -> Switchsim.Simulator.t -> Switchsim.Simulator.transfer list
+(** Fault-aware maximal matching in the given coflow priority order. *)
+
+val run : ?max_slots:int -> t -> priority:int array -> unit
+(** Tick + greedy-serve until completion.  @raise Failure when [max_slots]
+    (default [10_000_000]) is exhausted — e.g. a hand-written plan that
+    never lifts an outage. *)

@@ -315,15 +315,24 @@ let ratio_test st d =
   done;
   if !leave = -1 then None else Some (!leave, !best_ratio)
 
-type phase_outcome = P_optimal | P_unbounded | P_limit
+type phase_outcome = P_optimal | P_unbounded | P_limit | P_deadline
 
-let run_phase st cost allowed ~max_iterations ~refactor =
+(* The deadline is wall-clock-ish (Sys.time, so CPU seconds): checked every
+   32 pivots to keep the clock read off the pivot hot path, and once before
+   the very first pivot so a zero deadline aborts immediately. *)
+let past_deadline st stop_at =
+  match stop_at with
+  | None -> false
+  | Some t -> st.iterations land 31 = 0 && Sys.time () >= t
+
+let run_phase st cost allowed ~max_iterations ~refactor ~stop_at =
   let n = n_of st in
   let y = Array.make n 0.0 in
   let cb = Array.make n 0.0 in
   let d = Array.make n 0.0 in
   let rec loop () =
     if st.iterations >= max_iterations then P_limit
+    else if past_deadline st stop_at then P_deadline
     else begin
       if st.iterations > 0 && st.iterations mod refactor = 0 then
         if not (refactorize st) then
@@ -447,7 +456,15 @@ let expel_artificials st =
     end
   done
 
-let solve ?(max_iterations = 200_000) ?warm_basis ?(refactor = 256) model =
+let solve ?(max_iterations = 200_000) ?deadline ?warm_basis ?(refactor = 256)
+    model =
+  let stop_at =
+    match deadline with
+    | None -> None
+    | Some d ->
+      if d < 0.0 then invalid_arg "Revised_simplex.solve: negative deadline";
+      Some (Sys.time () +. d)
+  in
   let std = Std_form.of_model model in
   let p = normalise std in
   let st = make_state p in
@@ -503,9 +520,10 @@ let solve ?(max_iterations = 200_000) ?warm_basis ?(refactor = 256) model =
     let allowed c = c < first_art in
     st.bland <- false;
     st.degenerate_streak <- 0;
-    match run_phase st cost allowed ~max_iterations ~refactor with
+    match run_phase st cost allowed ~max_iterations ~refactor ~stop_at with
     | P_optimal -> finish Solution.Optimal
     | P_limit -> finish Solution.Iteration_limit
+    | P_deadline -> finish Solution.Time_limit
     | P_unbounded ->
       { Solution.status = Solution.Unbounded;
         objective = (if std.Std_form.maximize then infinity else neg_infinity);
@@ -524,8 +542,9 @@ let solve ?(max_iterations = 200_000) ?warm_basis ?(refactor = 256) model =
     else begin
       let cost c = if c >= first_art then 1.0 else 0.0 in
       let allowed _ = true in
-      match run_phase st cost allowed ~max_iterations ~refactor with
+      match run_phase st cost allowed ~max_iterations ~refactor ~stop_at with
       | P_limit -> finish Solution.Iteration_limit
+      | P_deadline -> finish Solution.Time_limit
       | P_unbounded -> assert false (* phase 1 is bounded below by 0 *)
       | P_optimal ->
         let level = ref 0.0 in

@@ -20,6 +20,7 @@ type warm_basis = int array
 
 val solve :
   ?max_iterations:int ->
+  ?deadline:float ->
   ?warm_basis:warm_basis ->
   ?refactor:int ->
   Model.t ->
@@ -27,6 +28,13 @@ val solve :
 (** [solve m] minimises (or maximises) the model.  [max_iterations] defaults
     to [200_000] pivots across both phases; [refactor] (default [256]) is the
     inverse-rebuild period.
+
+    [deadline] is a real-time budget in seconds for the whole solve (both
+    phases), checked every 32 pivots: when it expires the solver stops with
+    {!Solution.Time_limit} and the best basis found so far.  A deadline of
+    [0.] aborts before the first pivot — the hook the resilient scheduling
+    loop uses to model a solver outage.  @raise Invalid_argument if
+    negative.
 
     At [Optimal] the solution carries the dual multipliers of every original
     row, oriented so that strong duality reads

@@ -1,4 +1,4 @@
-type status = Optimal | Infeasible | Unbounded | Iteration_limit
+type status = Optimal | Infeasible | Unbounded | Iteration_limit | Time_limit
 
 type t = {
   status : status;
@@ -15,6 +15,7 @@ let status_to_string = function
   | Infeasible -> "infeasible"
   | Unbounded -> "unbounded"
   | Iteration_limit -> "iteration-limit"
+  | Time_limit -> "time-limit"
 
 let pp ppf t =
   Format.fprintf ppf "%s: obj=%g (%d iterations)" (status_to_string t.status)

@@ -7,6 +7,10 @@ type status =
   | Iteration_limit
       (** The solver hit its iteration budget; [values] holds the best
           feasible point found (phase-2 iterates are always feasible). *)
+  | Time_limit
+      (** The solver hit its wall-clock deadline (see
+          {!Revised_simplex.solve}); like [Iteration_limit], [values] holds
+          the best feasible point found so far. *)
 
 type t = {
   status : status;

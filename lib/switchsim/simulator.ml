@@ -100,6 +100,16 @@ let is_complete t k =
   check_coflow t k;
   t.left.(k) = 0
 
+let add_demand t k ~src ~dst units =
+  check_coflow t k;
+  if src < 0 || src >= t.ports || dst < 0 || dst >= t.ports then
+    invalid_arg "Simulator.add_demand: port out of range";
+  if units <= 0 then invalid_arg "Simulator.add_demand: units must be positive";
+  if t.left.(k) = 0 then
+    invalid_arg "Simulator.add_demand: coflow already complete";
+  Mat.add_entry t.demand.(k) src dst units;
+  t.left.(k) <- t.left.(k) + units
+
 let all_complete t = t.unfinished = 0
 
 let completion_time t k =

@@ -69,6 +69,13 @@ val remaining_total : t -> int -> int
 
 val is_complete : t -> int -> bool
 
+val add_demand : t -> int -> src:int -> dst:int -> int -> unit
+(** [add_demand sim k ~src ~dst units] grows coflow [k]'s remaining demand on
+    pair [(src, dst)] by [units > 0] — the hook for straggler injection,
+    where a coflow's true size is discovered mid-run to exceed its
+    announced demand.  Only an unfinished coflow may grow (completion times
+    are immutable history).  @raise Invalid_argument otherwise. *)
+
 val all_complete : t -> bool
 
 val completion_time : t -> int -> int option

@@ -60,6 +60,9 @@ let of_string s =
         | [ p; n ] -> (parse_int 2 p, parse_int 2 n)
         | _ -> fail 2 "expected '<ports> <num_coflows>'"
       in
+      if ports <= 0 then fail 2 "ports must be positive";
+      if ncoflows < 0 then fail 2 "negative coflow count";
+      let seen_ids = Hashtbl.create 16 in
       let lineno = ref 2 in
       let body = ref body in
       let next () =
@@ -79,6 +82,15 @@ let of_string s =
           let release = parse_int !lineno release in
           let weight = parse_float !lineno weight in
           let nnz = parse_int !lineno nnz in
+          if Hashtbl.mem seen_ids id then
+            fail !lineno (Printf.sprintf "duplicate coflow id %d" id);
+          Hashtbl.add seen_ids id ();
+          if release < 0 then fail !lineno "negative release date";
+          if Float.is_nan weight || weight <= 0.0 then
+            fail !lineno
+              (Printf.sprintf "weight must be positive and finite, got %g"
+                 weight);
+          if nnz < 0 then fail !lineno "negative flow count";
           let d = Mat.make ports in
           for _ = 1 to nnz do
             let fl = next () in
@@ -87,8 +99,13 @@ let of_string s =
               let i = parse_int !lineno i
               and j = parse_int !lineno j
               and v = parse_int !lineno v in
-              (try Mat.set d i j v
-               with Invalid_argument m -> fail !lineno m)
+              if i < 0 || i >= ports || j < 0 || j >= ports then
+                fail !lineno
+                  (Printf.sprintf "port out of range: (%d, %d) with %d ports"
+                     i j ports);
+              if v <= 0 then
+                fail !lineno (Printf.sprintf "flow size must be positive, got %d" v);
+              Mat.set d i j v
             | _ -> fail !lineno "expected '<i> <j> <size>'"
           done;
           coflows :=

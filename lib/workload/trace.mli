@@ -17,8 +17,14 @@ val save : string -> Instance.t -> unit
 (** Write the instance to a file.  @raise Sys_error on IO failure. *)
 
 val load : string -> Instance.t
-(** @raise Failure with a line-numbered message on malformed input. *)
+(** @raise Failure with a line-numbered message on malformed input.
+
+    Beyond shape errors, the parser rejects semantically invalid records:
+    non-positive port counts, negative coflow counts, duplicate coflow ids,
+    negative release dates, NaN / non-positive weights, negative flow counts,
+    out-of-range ports and non-positive flow sizes. *)
 
 val to_string : Instance.t -> string
 
 val of_string : string -> Instance.t
+(** Same validation and error reporting as {!load}. *)

@@ -1,0 +1,570 @@
+(* Tests for the fault-injection layer (lib/faults) and the
+   degradation-aware scheduling loop (Core.Resilient). *)
+
+open Matrix
+open Switchsim
+open Faults
+
+let check_int = Alcotest.(check int)
+
+let t i j k = { Simulator.src = i; dst = j; coflow = k }
+
+let fig1 () = Mat.of_arrays [| [| 1; 2 |]; [| 2; 1 |] |]
+
+let expect_invalid_arg label f =
+  try
+    f ();
+    Alcotest.fail (label ^ ": expected Invalid_argument")
+  with Invalid_argument _ -> ()
+
+let expect_invalid_slot label f =
+  try
+    f ();
+    Alcotest.fail (label ^ ": expected Invalid_slot")
+  with Simulator.Invalid_slot _ -> ()
+
+(* ---------- fault plans ---------- *)
+
+let sample_plan () =
+  Fault_plan.make
+    [ Fault_plan.Port_down { port = 0; from_ = 2; until = 4 };
+      Fault_plan.Link_degraded
+        { src = 1; dst = 1; from_ = 0; until = 10; period = 2 };
+      Fault_plan.Core_degraded { from_ = 3; until = 6; capacity = 1 };
+      Fault_plan.Straggler { coflow = 0; at = 5; factor = 2 };
+      Fault_plan.Release_delay { coflow = 1; delay = 3 };
+      Fault_plan.Solver_outage { from_ = 1; until = 7; full = false };
+    ]
+
+let test_plan_validate () =
+  Alcotest.(check bool) "good plan" true
+    (Result.is_ok (Fault_plan.validate ~ports:2 ~coflows:2 (sample_plan ())));
+  let bad ev =
+    Alcotest.(check bool) "bad event rejected" true
+      (Result.is_error
+         (Fault_plan.validate ~ports:2 ~coflows:2 (Fault_plan.make [ ev ])))
+  in
+  bad (Fault_plan.Port_down { port = 2; from_ = 0; until = 1 });
+  bad (Fault_plan.Port_down { port = 0; from_ = 3; until = 3 });
+  bad (Fault_plan.Link_degraded
+         { src = 0; dst = 0; from_ = 0; until = 5; period = 1 });
+  bad (Fault_plan.Core_degraded { from_ = 0; until = 5; capacity = -1 });
+  bad (Fault_plan.Straggler { coflow = 2; at = 0; factor = 2 });
+  bad (Fault_plan.Straggler { coflow = 0; at = 0; factor = 1 });
+  bad (Fault_plan.Release_delay { coflow = 0; delay = 0 });
+  bad (Fault_plan.Solver_outage { from_ = 5; until = 2; full = true });
+  expect_invalid_arg "validate_exn" (fun () ->
+      Fault_plan.validate_exn ~ports:2 ~coflows:2
+        (Fault_plan.make
+           [ Fault_plan.Port_down { port = 9; from_ = 0; until = 1 } ]))
+
+let test_plan_queries () =
+  let p = sample_plan () in
+  Alcotest.(check bool) "port up before" false
+    (Fault_plan.port_down p ~slot:1 0);
+  Alcotest.(check bool) "port down inside" true
+    (Fault_plan.port_down p ~slot:2 0);
+  Alcotest.(check bool) "half-open interval" false
+    (Fault_plan.port_down p ~slot:4 0);
+  check_int "degraded period" 2 (Fault_plan.link_period p ~slot:0 ~src:1 ~dst:1);
+  check_int "healthy link" 1 (Fault_plan.link_period p ~slot:0 ~src:0 ~dst:1);
+  Alcotest.(check bool) "on duty cycle" true
+    (Fault_plan.link_usable p ~slot:2 ~src:1 ~dst:1);
+  Alcotest.(check bool) "off duty cycle" false
+    (Fault_plan.link_usable p ~slot:3 ~src:1 ~dst:1);
+  Alcotest.(check (option int)) "core degraded" (Some 1)
+    (Fault_plan.core_capacity p ~slot:4);
+  Alcotest.(check (option int)) "core healthy" None
+    (Fault_plan.core_capacity p ~slot:7);
+  Alcotest.(check bool) "lp outage" true
+    (Fault_plan.solver_outage p ~slot:3 = `Lp_only);
+  Alcotest.(check bool) "no outage" true
+    (Fault_plan.solver_outage p ~slot:0 = `None);
+  check_int "release delay" 3 (Fault_plan.release_delay p 1);
+  check_int "no delay" 0 (Fault_plan.release_delay p 0);
+  Alcotest.(check (list (triple int int int))) "stragglers" [ (5, 0, 2) ]
+    (Fault_plan.stragglers p);
+  Alcotest.(check bool) "boundaries sorted, includes 5" true
+    (let b = Fault_plan.boundaries p in
+     List.mem 5 b && List.sort_uniq compare b = b)
+
+let test_plan_text_roundtrip () =
+  let p = sample_plan () in
+  let p' = Fault_plan.of_string (Fault_plan.to_string p) in
+  Alcotest.(check string) "canonical text stable" (Fault_plan.to_string p)
+    (Fault_plan.to_string p');
+  (* comments and blank lines are tolerated *)
+  let with_noise =
+    "coflow-faults v1\n# a comment\n\nport_down 0 1 4\n"
+  in
+  check_int "one event" 1
+    (List.length (Fault_plan.events (Fault_plan.of_string with_noise)))
+
+let test_plan_bad_text () =
+  List.iter
+    (fun (label, text) ->
+      try
+        ignore (Fault_plan.of_string text);
+        Alcotest.fail (label ^ ": expected Failure")
+      with Failure msg ->
+        Alcotest.(check bool)
+          (label ^ ": named error") true
+          (Astring.String.is_infix ~affix:"Fault_plan.of_string" msg))
+    [ ("empty", "");
+      ("bad header", "not-a-plan\n");
+      ("unknown keyword", "coflow-faults v1\nfrobnicate 1 2 3\n");
+      ("missing fields", "coflow-faults v1\nport_down 0\n");
+      ("non-integer", "coflow-faults v1\nport_down a 0 1\n");
+      ("empty interval", "coflow-faults v1\nport_down 0 5 5\n");
+      ("bad period", "coflow-faults v1\nlink_slow 0 0 0 4 1\n");
+      ("bad factor", "coflow-faults v1\nstraggler 0 2 1\n");
+    ]
+
+let test_plan_file_roundtrip () =
+  let p = sample_plan () in
+  let path = Filename.temp_file "faults" ".plan" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Fault_plan.save path p;
+      Alcotest.(check string) "file roundtrip" (Fault_plan.to_string p)
+        (Fault_plan.to_string (Fault_plan.load path)))
+
+let test_plan_random () =
+  let gen seed intensity =
+    Fault_plan.random ~intensity ~ports:8 ~coflows:20 ~horizon:50
+      (Random.State.make [| seed |])
+  in
+  Alcotest.(check bool) "intensity 0 is empty" true
+    (Fault_plan.is_empty (gen 1 0.0));
+  let p = gen 2 1.0 in
+  Alcotest.(check bool) "nonempty at 1.0" false (Fault_plan.is_empty p);
+  Alcotest.(check bool) "validates" true
+    (Result.is_ok (Fault_plan.validate ~ports:8 ~coflows:20 p));
+  Alcotest.(check string) "seed-deterministic"
+    (Fault_plan.to_string (gen 3 1.5))
+    (Fault_plan.to_string (gen 3 1.5));
+  expect_invalid_arg "negative intensity" (fun () ->
+      ignore (gen 4 (-0.5)))
+
+(* ---------- injector enforcement ---------- *)
+
+let test_injector_dead_port () =
+  let plan =
+    Fault_plan.make [ Fault_plan.Port_down { port = 0; from_ = 0; until = 2 } ]
+  in
+  let inj = Injector.create ~plan ~ports:2 [ (0, fig1 ()) ] in
+  let sim = Injector.sim inj in
+  Injector.tick inj;
+  expect_invalid_slot "src on dead port" (fun () ->
+      Simulator.step sim [ t 0 1 0 ]);
+  expect_invalid_slot "dst on dead port" (fun () ->
+      Simulator.step sim [ t 1 0 0 ]);
+  Simulator.step sim [ t 1 1 0 ];
+  check_int "healthy pair served" 5 (Simulator.remaining_total sim 0);
+  Alcotest.(check bool) "pair_ok reflects outage" false
+    (Injector.pair_ok inj ~slot:1 ~src:0 ~dst:1);
+  (* outage lifts at slot 2 *)
+  Simulator.step sim [];
+  Injector.tick inj;
+  Simulator.step sim [ t 0 1 0 ];
+  check_int "port back up" 4 (Simulator.remaining_total sim 0)
+
+let test_injector_link_duty_cycle () =
+  let plan =
+    Fault_plan.make
+      [ Fault_plan.Link_degraded
+          { src = 0; dst = 1; from_ = 0; until = 10; period = 2 };
+      ]
+  in
+  (* fig1 has demand 2 on link (0, 1), enough for both attempts *)
+  let inj = Injector.create ~plan ~ports:2 [ (0, fig1 ()) ] in
+  let sim = Injector.sim inj in
+  Injector.tick inj;
+  Simulator.step sim [ t 0 1 0 ] (* slot 0: 0 mod 2 = 0, usable *);
+  Injector.tick inj;
+  expect_invalid_slot "off duty cycle" (fun () ->
+      Simulator.step sim [ t 0 1 0 ]);
+  Simulator.step sim [ t 1 1 0 ] (* healthy link still fine *);
+  check_int "two units moved" 4 (Simulator.remaining_total sim 0)
+
+let test_injector_aggregate_core_cap () =
+  (* no topology: a degraded core caps total transfers per slot *)
+  let plan =
+    Fault_plan.make
+      [ Fault_plan.Core_degraded { from_ = 0; until = 5; capacity = 1 } ]
+  in
+  let inj = Injector.create ~plan ~ports:2 [ (0, fig1 ()) ] in
+  let sim = Injector.sim inj in
+  Injector.tick inj;
+  check_int "capacity tightened" 1 (Injector.effective_capacity inj ~slot:0);
+  expect_invalid_slot "two transfers over cap" (fun () ->
+      Simulator.step sim [ t 0 0 0; t 1 1 0 ]);
+  Simulator.step sim [ t 0 0 0 ];
+  check_int "single transfer fine" 5 (Simulator.remaining_total sim 0)
+
+let test_injector_fabric_core_cap () =
+  (* topology core capacity 2, plan degrades it to 1: two inter-rack
+     transfers must be rejected, intra-rack traffic is unaffected *)
+  let topo = Fabric.topology ~ports:4 ~rack_size:2 ~core_capacity:2 in
+  let plan =
+    Fault_plan.make
+      [ Fault_plan.Core_degraded { from_ = 0; until = 5; capacity = 1 } ]
+  in
+  let d = Mat.make 4 in
+  Mat.set d 0 2 1;
+  Mat.set d 1 3 1;
+  Mat.set d 2 3 2;
+  let inj = Injector.create ~topo ~plan ~ports:4 [ (0, d) ] in
+  let sim = Injector.sim inj in
+  Injector.tick inj;
+  expect_invalid_slot "inter-rack over degraded cap" (fun () ->
+      Simulator.step sim [ t 0 2 0; t 1 3 0 ]);
+  Simulator.step sim [ t 0 2 0; t 2 3 0 ];
+  check_int "inter + intra ok" 2 (Simulator.remaining_total sim 0)
+
+let test_injector_straggler_tick () =
+  let plan =
+    Fault_plan.make
+      [ Fault_plan.Straggler { coflow = 0; at = 1; factor = 3 } ]
+  in
+  let inj = Injector.create ~plan ~ports:2 [ (0, fig1 ()) ] in
+  let sim = Injector.sim inj in
+  Injector.tick inj;
+  check_int "nothing yet" 6 (Simulator.remaining_total sim 0);
+  Simulator.step sim [];
+  Injector.tick inj;
+  check_int "remaining tripled" 18 (Simulator.remaining_total sim 0);
+  Injector.tick inj;
+  check_int "tick idempotent for past events" 18
+    (Simulator.remaining_total sim 0)
+
+let test_injector_release_delay () =
+  let plan =
+    Fault_plan.make [ Fault_plan.Release_delay { coflow = 0; delay = 2 } ]
+  in
+  let inj = Injector.create ~plan ~ports:2 [ (0, fig1 ()) ] in
+  let sim = Injector.sim inj in
+  check_int "release pushed" 2 (Simulator.release_time sim 0)
+
+let test_injector_rejects_bad_plan () =
+  let plan =
+    Fault_plan.make [ Fault_plan.Port_down { port = 7; from_ = 0; until = 1 } ]
+  in
+  expect_invalid_arg "plan outside geometry" (fun () ->
+      ignore (Injector.create ~plan ~ports:2 [ (0, fig1 ()) ]))
+
+let test_injector_run_completes () =
+  let plan = sample_plan () in
+  let inj = Injector.create ~plan ~ports:2 [ (0, fig1 ()); (0, fig1 ()) ] in
+  Injector.run inj ~priority:[| 0; 1 |];
+  Alcotest.(check bool) "all complete" true
+    (Simulator.all_complete (Injector.sim inj))
+
+let test_injector_run_budget () =
+  (* every port dead for a long stretch: the greedy policy can only idle *)
+  let plan =
+    Fault_plan.make
+      [ Fault_plan.Port_down { port = 0; from_ = 0; until = 1000 };
+        Fault_plan.Port_down { port = 1; from_ = 0; until = 1000 };
+      ]
+  in
+  let inj = Injector.create ~plan ~ports:2 [ (0, fig1 ()) ] in
+  (try
+     Injector.run ~max_slots:5 inj ~priority:[| 0 |];
+     Alcotest.fail "expected Failure"
+   with Failure _ -> ())
+
+(* ---------- audit ---------- *)
+
+let test_audit_roundtrip () =
+  let a =
+    Audit.make ~ports:2
+      [ { Audit.tier = "lp"; transfers = [ t 0 0 0; t 1 1 0 ] };
+        { Audit.tier = "rho"; transfers = [] };
+        { Audit.tier = "arrival"; transfers = [ t 0 1 0 ] };
+      ]
+  in
+  let a' = Audit.of_string (Audit.to_string a) in
+  Alcotest.(check string) "canonical bytes" (Audit.to_string a)
+    (Audit.to_string a');
+  check_int "slots" 3 (Audit.num_slots a');
+  Alcotest.(check (list (pair string int))) "tier counts"
+    [ ("arrival", 1); ("lp", 1); ("rho", 1) ]
+    (Audit.tier_slot_counts a')
+
+let test_audit_bad_text () =
+  List.iter
+    (fun (label, text) ->
+      try
+        ignore (Audit.of_string text);
+        Alcotest.fail (label ^ ": expected Failure")
+      with Failure _ -> ())
+    [ ("empty", "");
+      ("bad header", "garbage\n");
+      ("bad dims", "coflow-fault-audit v1\nports x slots 0\n");
+      ( "slot index gap",
+        "coflow-fault-audit v1\nports 2 slots 1\nslot 3 lp 0\n" );
+      ( "truncated transfers",
+        "coflow-fault-audit v1\nports 2 slots 1\nslot 0 lp 2\n0 0 0\n" );
+    ]
+
+let test_audit_certifies_clean_run () =
+  let plan = sample_plan () in
+  let a =
+    Audit.make ~ports:2
+      [ { Audit.tier = "lp"; transfers = [ t 0 0 0 ] };
+        { Audit.tier = "lp"; transfers = [ t 1 0 0 ] };
+        (* slot 2: port 0 down, only port 1 traffic; link (1,1) usable *)
+        { Audit.tier = "rho"; transfers = [ t 1 1 0 ] };
+      ]
+  in
+  (match Audit.check ~plan a with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("clean log rejected: " ^ m))
+
+let test_audit_catches_violations () =
+  let plan = sample_plan () in
+  let expect_error label a =
+    match Audit.check ~plan a with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail (label ^ ": violation not caught")
+  in
+  (* dead port: port 0 is down during [2, 4) *)
+  expect_error "dead port"
+    (Audit.make ~ports:2
+       [ { Audit.tier = "lp"; transfers = [] };
+         { Audit.tier = "lp"; transfers = [] };
+         { Audit.tier = "lp"; transfers = [ t 0 1 0 ] };
+       ]);
+  (* degraded link (1,1) used off its duty cycle at slot 1 *)
+  expect_error "link duty cycle"
+    (Audit.make ~ports:2
+       [ { Audit.tier = "lp"; transfers = [] };
+         { Audit.tier = "lp"; transfers = [ t 1 1 0 ] };
+       ]);
+  (* matching violation independent of the plan: ingress used twice *)
+  expect_error "double-booked ingress"
+    (Audit.make ~ports:2
+       [ { Audit.tier = "lp"; transfers = [ t 0 0 0; t 0 1 0 ] } ]);
+  (* port outside the switch *)
+  expect_error "port out of range"
+    (Audit.make ~ports:2 [ { Audit.tier = "lp"; transfers = [ t 2 0 0 ] } ])
+
+let test_audit_core_cap_violation () =
+  let plan =
+    Fault_plan.make
+      [ Fault_plan.Core_degraded { from_ = 0; until = 5; capacity = 1 } ]
+  in
+  let a =
+    Audit.make ~ports:2
+      [ { Audit.tier = "lp"; transfers = [ t 0 0 0; t 1 1 0 ] } ]
+  in
+  (match Audit.check ~plan a with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "core-cap violation not caught")
+
+(* ---------- resilient scheduling ---------- *)
+
+let small_instance () =
+  let mk id release weight rows =
+    { Workload.Instance.id; release; weight; demand = Mat.of_arrays rows }
+  in
+  Workload.Instance.make ~ports:3
+    [ mk 0 0 2.0 [| [| 2; 1; 0 |]; [| 0; 2; 1 |]; [| 1; 0; 2 |] |];
+      mk 1 1 1.0 [| [| 0; 2; 1 |]; [| 1; 0; 0 |]; [| 0; 1; 2 |] |];
+      mk 2 3 3.0 [| [| 1; 0; 0 |]; [| 0; 1; 0 |]; [| 0; 0; 1 |] |];
+    ]
+
+let det_config primary =
+  { Core.Resilient.default_config with
+    Core.Resilient.primary;
+    lp_deadline = None;
+    lp_max_iterations = 50_000;
+  }
+
+let test_resilient_fault_free () =
+  let r = Core.Resilient.run ~config:(det_config Core.Resilient.Lp)
+      (small_instance ())
+  in
+  Alcotest.(check bool) "positive twct" true (r.Core.Resilient.twct > 0.0);
+  check_int "all slots from the lp tier"
+    r.Core.Resilient.slots
+    (List.assoc Core.Resilient.Lp r.Core.Resilient.tier_slots);
+  check_int "no lp failures" 0 r.Core.Resilient.lp_failures;
+  (match Audit.check ~plan:Fault_plan.empty r.Core.Resilient.audit with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("audit failed: " ^ m))
+
+let test_resilient_completes_under_faults () =
+  let inst = small_instance () in
+  let plan =
+    Fault_plan.random ~intensity:1.0 ~ports:3 ~coflows:3 ~horizon:12
+      (Random.State.make [| 42 |])
+  in
+  let baseline = Core.Resilient.run ~config:(det_config Core.Resilient.Lp) inst in
+  let faulted =
+    Core.Resilient.run ~config:(det_config Core.Resilient.Lp) ~plan inst
+  in
+  Alcotest.(check bool) "every coflow completes" true
+    (Array.for_all (fun c -> c > 0) faulted.Core.Resilient.completion);
+  Alcotest.(check bool) "faults cannot speed up the schedule" true
+    (faulted.Core.Resilient.twct >= baseline.Core.Resilient.twct -. 1e-9);
+  (match Audit.check ~plan faulted.Core.Resilient.audit with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("audit failed: " ^ m))
+
+let test_resilient_deterministic_replay () =
+  (* acceptance criterion: a seeded plan replayed twice produces
+     byte-identical audit logs and identical schedules *)
+  let inst = small_instance () in
+  let plan () =
+    Fault_plan.random ~intensity:1.5 ~ports:3 ~coflows:3 ~horizon:12
+      (Random.State.make [| 7; 0xFA17 |])
+  in
+  let run () =
+    Core.Resilient.run ~config:(det_config Core.Resilient.Lp) ~plan:(plan ())
+      inst
+  in
+  let a = run () and b = run () in
+  Alcotest.(check string) "byte-identical audit logs"
+    (Audit.to_string a.Core.Resilient.audit)
+    (Audit.to_string b.Core.Resilient.audit);
+  Alcotest.(check (array int)) "identical completions"
+    a.Core.Resilient.completion b.Core.Resilient.completion;
+  Alcotest.(check (float 0.0)) "identical twct" a.Core.Resilient.twct
+    b.Core.Resilient.twct
+
+let test_resilient_full_outage_degrades_to_arrival () =
+  let plan =
+    Fault_plan.make
+      [ Fault_plan.Solver_outage { from_ = 0; until = 1000; full = true } ]
+  in
+  let r =
+    Core.Resilient.run ~config:(det_config Core.Resilient.Lp) ~plan
+      (small_instance ())
+  in
+  Alcotest.(check bool) "arrival tier used" true
+    (List.assoc Core.Resilient.Arrival r.Core.Resilient.tier_slots > 0);
+  check_int "lp never used during outage" 0
+    (List.assoc Core.Resilient.Lp r.Core.Resilient.tier_slots)
+
+let test_resilient_deadline_degrades_to_rho () =
+  (* a zero-second deadline makes every LP attempt time out before its
+     first pivot — deterministically — so the chain must land on H_rho *)
+  let config =
+    { (det_config Core.Resilient.Lp) with
+      Core.Resilient.lp_deadline = Some 0.0;
+      lp_retries = 0;
+    }
+  in
+  let r = Core.Resilient.run ~config (small_instance ()) in
+  Alcotest.(check bool) "lp failures recorded" true
+    (r.Core.Resilient.lp_failures > 0);
+  check_int "no lp slots" 0
+    (List.assoc Core.Resilient.Lp r.Core.Resilient.tier_slots);
+  Alcotest.(check bool) "rho served" true
+    (List.assoc Core.Resilient.Rho r.Core.Resilient.tier_slots > 0)
+
+let test_resilient_rho_primary_skips_lp () =
+  let r =
+    Core.Resilient.run ~config:(det_config Core.Resilient.Rho)
+      (small_instance ())
+  in
+  check_int "no lp slots" 0
+    (List.assoc Core.Resilient.Lp r.Core.Resilient.tier_slots);
+  check_int "all slots rho" r.Core.Resilient.slots
+    (List.assoc Core.Resilient.Rho r.Core.Resilient.tier_slots)
+
+let test_resilient_max_slots () =
+  let plan =
+    Fault_plan.make
+      [ Fault_plan.Port_down { port = 0; from_ = 0; until = 100_000 };
+        Fault_plan.Port_down { port = 1; from_ = 0; until = 100_000 };
+        Fault_plan.Port_down { port = 2; from_ = 0; until = 100_000 };
+      ]
+  in
+  let config =
+    { (det_config Core.Resilient.Arrival) with Core.Resilient.max_slots = 10 }
+  in
+  (try
+     ignore (Core.Resilient.run ~config ~plan (small_instance ()));
+     Alcotest.fail "expected Failure"
+   with Failure _ -> ())
+
+(* ---------- lp deadline plumbing ---------- *)
+
+let test_simplex_zero_deadline () =
+  (* deadline 0: the solver must abort before the first pivot, and do so
+     deterministically *)
+  let open Lp in
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x); (1.0, y) ] Model.Ge 1.0);
+  Model.minimize m [ (1.0, x); (2.0, y) ];
+  let s = Revised_simplex.solve ~deadline:0.0 m in
+  Alcotest.(check string) "time-limit status" "time-limit"
+    (Solution.status_to_string s.Solution.status);
+  let ok = Revised_simplex.solve m in
+  Alcotest.(check string) "no deadline still optimal" "optimal"
+    (Solution.status_to_string ok.Solution.status);
+  expect_invalid_arg "negative deadline" (fun () ->
+      ignore (Revised_simplex.solve ~deadline:(-1.0) m))
+
+let () =
+  Alcotest.run "faults"
+    [ ( "plan",
+        [ Alcotest.test_case "validate" `Quick test_plan_validate;
+          Alcotest.test_case "queries" `Quick test_plan_queries;
+          Alcotest.test_case "text roundtrip" `Quick test_plan_text_roundtrip;
+          Alcotest.test_case "bad text" `Quick test_plan_bad_text;
+          Alcotest.test_case "file roundtrip" `Quick test_plan_file_roundtrip;
+          Alcotest.test_case "random plans" `Quick test_plan_random;
+        ] );
+      ( "injector",
+        [ Alcotest.test_case "dead port" `Quick test_injector_dead_port;
+          Alcotest.test_case "link duty cycle" `Quick
+            test_injector_link_duty_cycle;
+          Alcotest.test_case "aggregate core cap" `Quick
+            test_injector_aggregate_core_cap;
+          Alcotest.test_case "fabric core cap" `Quick
+            test_injector_fabric_core_cap;
+          Alcotest.test_case "straggler tick" `Quick
+            test_injector_straggler_tick;
+          Alcotest.test_case "release delay" `Quick
+            test_injector_release_delay;
+          Alcotest.test_case "bad plan rejected" `Quick
+            test_injector_rejects_bad_plan;
+          Alcotest.test_case "run completes" `Quick
+            test_injector_run_completes;
+          Alcotest.test_case "run budget" `Quick test_injector_run_budget;
+        ] );
+      ( "audit",
+        [ Alcotest.test_case "roundtrip" `Quick test_audit_roundtrip;
+          Alcotest.test_case "bad text" `Quick test_audit_bad_text;
+          Alcotest.test_case "clean run certified" `Quick
+            test_audit_certifies_clean_run;
+          Alcotest.test_case "violations caught" `Quick
+            test_audit_catches_violations;
+          Alcotest.test_case "core cap violation" `Quick
+            test_audit_core_cap_violation;
+        ] );
+      ( "resilient",
+        [ Alcotest.test_case "fault-free all-lp" `Quick
+            test_resilient_fault_free;
+          Alcotest.test_case "completes under faults" `Quick
+            test_resilient_completes_under_faults;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_resilient_deterministic_replay;
+          Alcotest.test_case "full outage -> arrival" `Quick
+            test_resilient_full_outage_degrades_to_arrival;
+          Alcotest.test_case "deadline -> rho" `Quick
+            test_resilient_deadline_degrades_to_rho;
+          Alcotest.test_case "rho primary" `Quick
+            test_resilient_rho_primary_skips_lp;
+          Alcotest.test_case "max_slots" `Quick test_resilient_max_slots;
+        ] );
+      ( "lp-deadline",
+        [ Alcotest.test_case "zero deadline" `Quick test_simplex_zero_deadline ]
+      );
+    ]

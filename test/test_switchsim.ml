@@ -149,6 +149,67 @@ let test_utilization () =
   Simulator.step sim [ t 0 0 0; t 1 1 0 ];
   Alcotest.(check (float 1e-9)) "full slot" 1.0 (Simulator.utilization sim)
 
+let test_step_port_out_of_range () =
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
+  List.iter
+    (fun tr ->
+      try
+        Simulator.step sim [ tr ];
+        Alcotest.fail "expected Invalid_slot"
+      with Simulator.Invalid_slot _ ->
+        check_int "state unchanged" 0 (Simulator.now sim))
+    [ t 2 0 0; t (-1) 0 0; t 0 2 0; t 0 (-1) 0 ]
+
+let test_step_unknown_coflow () =
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
+  (try
+     Simulator.step sim [ t 0 0 1 ];
+     Alcotest.fail "expected Invalid_slot"
+   with Simulator.Invalid_slot _ -> ());
+  (try
+     Simulator.step sim [ t 0 0 (-1) ];
+     Alcotest.fail "expected Invalid_slot"
+   with Simulator.Invalid_slot _ -> ())
+
+let test_step_completed_coflow_rejected () =
+  let d = Mat.of_arrays [| [| 1; 0 |]; [| 0; 0 |] |] in
+  let sim = Simulator.create ~ports:2 [ (0, d) ] in
+  Simulator.step sim [ t 0 0 0 ];
+  Alcotest.(check bool) "done" true (Simulator.is_complete sim 0);
+  (try
+     Simulator.step sim [ t 0 0 0 ];
+     Alcotest.fail "expected Invalid_slot"
+   with Simulator.Invalid_slot _ -> ())
+
+(* ---------- add_demand (straggler support) ---------- *)
+
+let test_add_demand () =
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
+  Simulator.add_demand sim 0 ~src:0 ~dst:1 3;
+  check_int "total grew" 9 (Simulator.remaining_total sim 0);
+  check_int "entry grew" 5 (Simulator.remaining_at sim 0 0 1);
+  Simulator.add_demand sim 0 ~src:1 ~dst:0 1;
+  check_int "existing entry" 3 (Simulator.remaining_at sim 0 1 0)
+
+let test_add_demand_validation () =
+  let d = Mat.of_arrays [| [| 1; 0 |]; [| 0; 0 |] |] in
+  let sim = Simulator.create ~ports:2 [ (0, fig1 ()); (0, d) ] in
+  let bad f =
+    try
+      f ();
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  bad (fun () -> Simulator.add_demand sim 5 ~src:0 ~dst:0 1);
+  bad (fun () -> Simulator.add_demand sim 0 ~src:2 ~dst:0 1);
+  bad (fun () -> Simulator.add_demand sim 0 ~src:0 ~dst:(-1) 1);
+  bad (fun () -> Simulator.add_demand sim 0 ~src:0 ~dst:0 0);
+  bad (fun () -> Simulator.add_demand sim 0 ~src:0 ~dst:0 (-2));
+  (* completed coflows stay completed *)
+  Simulator.step sim [ t 0 0 1 ];
+  bad (fun () -> Simulator.add_demand sim 1 ~src:0 ~dst:0 1);
+  check_int "untouched" 0 (Simulator.remaining_total sim 1)
+
 (* ---------- dynamic releases ---------- *)
 
 let test_set_release () =
@@ -342,6 +403,14 @@ let () =
           Alcotest.test_case "weighted completion" `Quick test_twct;
           Alcotest.test_case "twct unfinished" `Quick test_twct_unfinished;
           Alcotest.test_case "utilization" `Quick test_utilization;
+          Alcotest.test_case "port out of range" `Quick
+            test_step_port_out_of_range;
+          Alcotest.test_case "unknown coflow" `Quick test_step_unknown_coflow;
+          Alcotest.test_case "completed coflow rejected" `Quick
+            test_step_completed_coflow_rejected;
+          Alcotest.test_case "add_demand" `Quick test_add_demand;
+          Alcotest.test_case "add_demand validation" `Quick
+            test_add_demand_validation;
         ] );
       ( "dynamic-releases",
         [ Alcotest.test_case "set_release" `Quick test_set_release;

@@ -135,6 +135,35 @@ let test_trace_trailing () =
      Alcotest.fail "expected Failure"
    with Failure _ -> ())
 
+let test_trace_rejects_invalid_records () =
+  (* each case: (label, trace text); all must fail with a line-numbered
+     message, never an assertion or a silent acceptance *)
+  let hdr = "coflow-trace v1\n" in
+  List.iter
+    (fun (label, text) ->
+      try
+        ignore (Trace.of_string text);
+        Alcotest.fail (label ^ ": expected Failure")
+      with Failure msg ->
+        Alcotest.(check bool)
+          (label ^ ": message has a line number") true
+          (Astring.String.is_infix ~affix:"line" msg))
+    [ ("zero ports", hdr ^ "0 1\n0 0 1.0 1\n0 0 1\n");
+      ("negative ports", hdr ^ "-2 0\n");
+      ("negative coflow count", hdr ^ "2 -1\n");
+      ("negative release", hdr ^ "2 1\n0 -3 1.0 1\n0 0 1\n");
+      ("nan weight", hdr ^ "2 1\n0 0 nan 1\n0 0 1\n");
+      ("zero weight", hdr ^ "2 1\n0 0 0.0 1\n0 0 1\n");
+      ("negative weight", hdr ^ "2 1\n0 0 -1.5 1\n0 0 1\n");
+      ("negative nnz", hdr ^ "2 1\n0 0 1.0 -1\n");
+      ("src out of range", hdr ^ "2 1\n0 0 1.0 1\n2 0 1\n");
+      ("dst out of range", hdr ^ "2 1\n0 0 1.0 1\n0 -1 1\n");
+      ("zero flow size", hdr ^ "2 1\n0 0 1.0 1\n0 0 0\n");
+      ("negative flow size", hdr ^ "2 1\n0 0 1.0 1\n0 0 -4\n");
+      ( "duplicate coflow id",
+        hdr ^ "2 2\n7 0 1.0 1\n0 0 1\n7 0 1.0 1\n1 1 1\n" );
+    ]
+
 (* ---------- generators ---------- *)
 
 let test_uniform_shape () =
@@ -374,6 +403,8 @@ let () =
           Alcotest.test_case "bad header" `Quick test_trace_bad_header;
           Alcotest.test_case "truncated" `Quick test_trace_truncated;
           Alcotest.test_case "trailing garbage" `Quick test_trace_trailing;
+          Alcotest.test_case "invalid records rejected" `Quick
+            test_trace_rejects_invalid_records;
         ] );
       ( "generators",
         [ Alcotest.test_case "uniform shape" `Quick test_uniform_shape;
