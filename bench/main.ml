@@ -6,6 +6,11 @@
                                 kernel benchmarks.
      main.exe tables          — only the tables/figures.
      main.exe kernels         — only the Bechamel micro-benchmarks.
+     main.exe kernels --json PATH
+                              — also write per-kernel ns/run plus LP
+                                iteration/refactorization counters to PATH
+                                as JSON (a machine-readable perf baseline,
+                                e.g. BENCH_<rev>.json).
      main.exe table1|fig2a|fig2b|lowerbound|audit|randomized|releases|openshop
               |...|fabric|faults
                               — a single experiment.
@@ -213,7 +218,55 @@ let kernel_tests () =
              ignore (Core.Baselines.greedy sched_inst sched_order)));
     ]
 
-let run_kernels () =
+(* Counter probe for the JSON baseline: one cold interval-LP solve and one
+   warm-started re-solve of the same instance as the interval_lp_8x24
+   kernel, so perf trajectories track simplex effort (pivots,
+   factorizations) alongside wall-clock. *)
+let lp_counters () =
+  let inst =
+    Workload.Fb_like.generate ~ports:8 ~coflows:24 (Random.State.make [| 8 |])
+  in
+  let cold = Core.Lp_relax.solve_interval inst in
+  let warm = Core.Lp_relax.solve_interval ?warm_start:cold.Core.Lp_relax.warm inst in
+  (cold, warm)
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> line
+    | _ -> "unknown")
+  with _ -> "unknown"
+
+let write_json path rows =
+  let cold, warm = lp_counters () in
+  let oc = open_out path in
+  let row_json (name, ns, r2) =
+    Printf.sprintf
+      "    {\"name\": %S, \"ns_per_run\": %.2f, \"r_square\": %.4f}" name ns r2
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"rev\": %S,\n\
+    \  \"kernels\": [\n%s\n  ],\n\
+    \  \"lp\": {\n\
+    \    \"interval_lp_8x24\": {\n\
+    \      \"iterations\": %d,\n\
+    \      \"refactors\": %d,\n\
+    \      \"warm_iterations\": %d,\n\
+    \      \"warm_refactors\": %d\n\
+    \    }\n\
+    \  }\n\
+     }\n"
+    (git_rev ())
+    (String.concat ",\n" (List.map row_json rows))
+    cold.Core.Lp_relax.iterations cold.Core.Lp_relax.refactors
+    warm.Core.Lp_relax.iterations warm.Core.Lp_relax.refactors;
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path
+
+let run_kernels ?json () =
   section "Kernel micro-benchmarks (Bechamel, monotonic clock)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 2.0) ~kde:None () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (kernel_tests ()) in
@@ -247,12 +300,14 @@ let run_kernels () =
               else Printf.sprintf "%.0f ns" ns
             in
             [ name; time; Printf.sprintf "%.3f" r2 ])
-          rows))
+          rows));
+  Option.iter (fun path -> write_json path rows) json
 
 (* ---------- entry point ---------- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let json = ref None in
   let rec parse modes = function
     | "--scale" :: s :: rest ->
       (match Experiments.Config.scale_of_string s with
@@ -260,6 +315,9 @@ let () =
       | None ->
         Printf.eprintf "unknown scale %S\n" s;
         exit 2);
+      parse modes rest
+    | "--json" :: p :: rest ->
+      json := Some p;
       parse modes rest
     | m :: rest -> parse (m :: modes) rest
     | [] -> List.rev modes
@@ -270,13 +328,13 @@ let () =
   match modes with
   | [] ->
     run_tables cfg;
-    run_kernels ()
+    run_kernels ?json:!json ()
   | modes ->
     List.iter
       (fun mode ->
         match mode with
         | "tables" -> run_tables cfg
-        | "kernels" -> run_kernels ()
+        | "kernels" -> run_kernels ?json:!json ()
         | m -> (
           match List.assoc_opt m all_experiments with
           | Some f -> f cfg

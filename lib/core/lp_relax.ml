@@ -1,12 +1,24 @@
 open Matrix
 open Workload
 
+(* Warm-start hints describe the final basis of a solve in model-independent
+   terms — coflow indices and completion times rather than column/row
+   numbers — so they survive regridding (different [base]), reweighting, and
+   residual re-plans. *)
+type warm_hints = {
+  h_basics : (int * float) list; (* basic x[k][l], as (k, tau_l) *)
+  h_slacks : (bool * int * float) list;
+      (* basic load-row slack, as (is_input, port, tau_l) *)
+}
+
 type result = {
   cbar : float array;
   order : int array;
   lower_bound : float;
   iterations : int;
+  refactors : int;
   values : (int * int * float) list;
+  warm : warm_hints option;
 }
 
 exception Too_large of string
@@ -18,22 +30,50 @@ let interval_count inst =
   search 1 1
 
 (* Sort working indices by cbar, breaking ties by index so the order is
-   deterministic (the paper's order (15) is any nondecreasing order). *)
+   deterministic (the paper's order (15) is any nondecreasing order).  The
+   comparison quantizes at 1e-6 so coflows whose completion times agree up
+   to solver round-off keep index order regardless of which optimal vertex
+   (or solver back end) produced them. *)
 let order_of_cbar cbar =
+  let q c = Float.round (c *. 1e6) /. 1e6 in
   let idx = Array.init (Array.length cbar) (fun k -> k) in
   Array.sort
     (fun a b ->
-      match Float.compare cbar.(a) cbar.(b) with 0 -> compare a b | c -> c)
+      match Float.compare (q cbar.(a)) (q cbar.(b)) with
+      | 0 -> compare a b
+      | c -> c)
     idx;
   idx
+
+let remap_hints ?(index_map = fun k -> Some k) ?(time_shift = 0.0) h =
+  { h_basics =
+      List.filter_map
+        (fun (k, t) ->
+          match index_map k with
+          | Some k' -> Some (k', t -. time_shift)
+          | None -> None)
+        h.h_basics;
+    h_slacks =
+      List.filter_map
+        (fun (side, p, t) ->
+          let t' = t -. time_shift in
+          if t' <= 0.0 then None else Some (side, p, t'))
+        h.h_slacks;
+  }
 
 let trivial_result n =
   { cbar = Array.make n 0.0;
     order = Array.init n (fun k -> k);
     lower_bound = 0.0;
     iterations = 0;
+    refactors = 0;
     values = [];
+    warm = None;
   }
+
+(* Row identities, recorded as the model is built, so the solver's final
+   basis can be translated to [warm_hints] and back. *)
+type row_id = Load of bool * int * int (* is_input, port, l *) | Assign of int
 
 (* Shared builder for both relaxations.
 
@@ -41,7 +81,8 @@ let trivial_result n =
    [obj_at] selects the objective coefficient of the variable "coflow k
    completes at grid point l": the interval LP uses the left endpoint
    tau_(l-1), LP-EXP the right endpoint tau_l. *)
-let solve_on_grid ~solver ?max_iterations ?deadline ~taus ~obj_at inst =
+let solve_on_grid ~solver ?max_iterations ?deadline ?warm_start ~taus ~obj_at
+    inst =
   let n = Instance.num_coflows inst in
   let m = Instance.ports inst in
   let coflows = Instance.coflows inst in
@@ -65,65 +106,85 @@ let solve_on_grid ~solver ?max_iterations ?deadline ~taus ~obj_at inst =
       coflows
   in
   let model = Lp.Model.create ~name:"coflow-relaxation" () in
-  (* variables x[k][l], l in [first_l.(k) .. L] *)
+  (* variables x[k][l], l in [first_l.(k) .. L]; [var_meta] maps the raw
+     column index back to (k, l) for basis export *)
   let vars = Array.make n [||] in
+  let var_meta = ref [] in
+  let nvars = ref 0 in
   for k = 0 to n - 1 do
     vars.(k) <-
       Array.init
         (big_l - first_l.(k) + 1)
         (fun off ->
-          Lp.Model.add_var
-            ~name:(Printf.sprintf "x_%d_%d" k (first_l.(k) + off))
-            model)
+          let l = first_l.(k) + off in
+          let v = Lp.Model.add_var ~name:(Printf.sprintf "x_%d_%d" k l) model in
+          var_meta := (k, l) :: !var_meta;
+          incr nvars;
+          v)
   done;
+  let var_meta =
+    let a = Array.make !nvars (0, 0) in
+    List.iteri (fun i kl -> a.(!nvars - 1 - i) <- kl) !var_meta;
+    a
+  in
   let var k l =
     if l < first_l.(k) then None else Some vars.(k).(l - first_l.(k))
   in
   (* load rows: for side `In i` / `Out j` and grid point l, the cumulative
      work of coflows allowed to finish by l must fit in tau_l.  Rows where
-     the full side load already fits are omitted (always satisfied). *)
-  let basis_rows = ref [] in
-  let add_load_rows side_load label =
+     the full side load already fits are omitted (always satisfied).  The
+     cumulative expression is extended from grid point l-1 to l rather than
+     rebuilt per row, so construction is O(m*L*n) instead of O(m*L^2*n). *)
+  let row_ids = ref [] in
+  let nrows = ref 0 in
+  let add_load_rows side_load is_input label =
     for p = 0 to m - 1 do
       let total = ref 0 in
       for k = 0 to n - 1 do
         total := !total + side_load.(k).(p)
       done;
-      if !total > 0 then
+      if !total > 0 then begin
+        let expr = ref [] in
         for l = 1 to big_l do
-          if tau l < !total then begin
-            let expr = ref [] in
-            for k = 0 to n - 1 do
+          (* terms new at l: each eligible coflow's x[k][l] *)
+          for k = 0 to n - 1 do
+            if first_l.(k) <= l then begin
               let w = side_load.(k).(p) in
               if w > 0 then
-                for l' = first_l.(k) to l do
-                  match var k l' with
-                  | Some v -> expr := (float_of_int w, v) :: !expr
-                  | None -> ()
-                done
-            done;
-            if !expr <> [] then begin
-              ignore
-                (Lp.Model.add_constraint
-                   ~name:(Printf.sprintf "%s_%d_%d" label p l)
-                   model !expr Lp.Model.Le
-                   (float_of_int (tau l)));
-              basis_rows := -1 :: !basis_rows
+                expr := (float_of_int w, vars.(k).(l - first_l.(k))) :: !expr
             end
+          done;
+          if tau l < !total && !expr <> [] then begin
+            ignore
+              (Lp.Model.add_constraint
+                 ~name:(Printf.sprintf "%s_%d_%d" label p l)
+                 model !expr Lp.Model.Le
+                 (float_of_int (tau l)));
+            row_ids := Load (is_input, p, l) :: !row_ids;
+            incr nrows
           end
         done
+      end
     done
   in
-  add_load_rows row_load "in";
-  add_load_rows col_load "out";
+  add_load_rows row_load true "in";
+  add_load_rows col_load false "out";
   (* assignment rows: sum_l x[k][l] = 1; crash basis puts x[k][L] basic *)
+  let assign_row = Array.make n (-1) in
   for k = 0 to n - 1 do
     let expr = Array.to_list (Array.map (fun v -> (1.0, v)) vars.(k)) in
     ignore
       (Lp.Model.add_constraint ~name:(Printf.sprintf "assign_%d" k) model expr
          Lp.Model.Eq 1.0);
-    basis_rows := (vars.(k).(big_l - first_l.(k)) :> int) :: !basis_rows
+    assign_row.(k) <- !nrows;
+    row_ids := Assign k :: !row_ids;
+    incr nrows
   done;
+  let row_ids =
+    let a = Array.make !nrows (Assign (-1)) in
+    List.iteri (fun i id -> a.(!nrows - 1 - i) <- id) !row_ids;
+    a
+  in
   let obj_coeff l =
     match obj_at with
     | `Left -> if l = 1 then 0.0 else float_of_int (tau (l - 1))
@@ -139,11 +200,153 @@ let solve_on_grid ~solver ?max_iterations ?deadline ~taus ~obj_at inst =
     done
   done;
   Lp.Model.minimize model !objective;
-  let warm_basis = Array.of_list (List.rev !basis_rows) in
+  let crash_basis =
+    Array.map
+      (function
+        | Load _ -> -1
+        | Assign k -> (vars.(k).(big_l - first_l.(k)) :> int))
+      row_ids
+  in
+  let l_of_time t =
+    let rec find l =
+      if l >= big_l then big_l
+      else if float_of_int (tau l) >= t -. 1e-9 then l
+      else find (l + 1)
+    in
+    find 1
+  in
+  (* Translate time-based warm hints back into a concrete basis proposal on
+     this grid.  Best effort: the solver validates the proposal and falls
+     back to the crash proposal if it is singular or infeasible. *)
+  let basis_of_hints h =
+    let wb = Array.make !nrows min_int in
+    let used = Hashtbl.create 64 in
+    let extras = ref [] in
+    List.iter
+      (fun (k, t) ->
+        if k >= 0 && k < n then begin
+          let l = max first_l.(k) (l_of_time t) in
+          let v = (vars.(k).(l - first_l.(k)) :> int) in
+          if not (Hashtbl.mem used v) then begin
+            Hashtbl.add used v ();
+            if wb.(assign_row.(k)) = min_int then wb.(assign_row.(k)) <- v
+            else extras := v :: !extras
+          end
+        end)
+      h.h_basics;
+    let slack_rows = Hashtbl.create 64 in
+    List.iter
+      (fun (side, p, t) -> Hashtbl.replace slack_rows (side, p, l_of_time t) ())
+      h.h_slacks;
+    let extras = ref (List.rev !extras) in
+    Array.iteri
+      (fun r id ->
+        if wb.(r) = min_int then
+          match id with
+          | Assign k ->
+            (* coflow without a basic hint: crash default x[k][L] *)
+            let v = (vars.(k).(big_l - first_l.(k)) :> int) in
+            if Hashtbl.mem used v then wb.(r) <- -1 (* rejected by solver *)
+            else begin
+              Hashtbl.add used v ();
+              wb.(r) <- v
+            end
+          | Load (side, p, l) ->
+            if Hashtbl.mem slack_rows (side, p, l) then wb.(r) <- -1
+            else begin
+              (* a load row that was tight: house one of the extra basic
+                 variables here if any remain, else fall back to the slack *)
+              match !extras with
+              | v :: rest ->
+                extras := rest;
+                wb.(r) <- v
+              | [] -> wb.(r) <- -1
+            end)
+      row_ids;
+    wb
+  in
+  (* A feasible-by-construction fallback from the same hints: place each
+     coflow integrally at the hinted grid point, bumping it later whenever a
+     present load row would overflow (the last grid point always fits, since
+     rows whose full side load fits are omitted).  Every load slack stays
+     basic, so the proposal is nonsingular and primal feasible, yet it still
+     encodes the previous solve's timing — useful when the exact basis map
+     is stale (e.g. a residual re-plan after demands changed). *)
+  let greedy_basis_of_hints h =
+    let row_at = Hashtbl.create !nrows in
+    Array.iteri
+      (fun r -> function
+        | Load (side, p, l) -> Hashtbl.replace row_at (side, p, l) r
+        | Assign _ -> ())
+      row_ids;
+    let used = Array.make !nrows 0 in
+    let target = Array.make n big_l in
+    let seen = Array.make n false in
+    List.iter
+      (fun (k, t) ->
+        if k >= 0 && k < n && not seen.(k) then begin
+          seen.(k) <- true;
+          target.(k) <- max first_l.(k) (l_of_time t)
+        end)
+      h.h_basics;
+    let order = Array.init n (fun k -> k) in
+    Array.sort
+      (fun a b ->
+        match compare target.(a) target.(b) with 0 -> compare a b | c -> c)
+      order;
+    let placement = Array.make n big_l in
+    Array.iter
+      (fun k ->
+        let fits l =
+          let side_ok side load =
+            let ok = ref true in
+            Array.iteri
+              (fun p w ->
+                if w > 0 then
+                  for l' = l to big_l do
+                    match Hashtbl.find_opt row_at (side, p, l') with
+                    | Some r -> if used.(r) + w > tau l' then ok := false
+                    | None -> ()
+                  done)
+              load;
+            !ok
+          in
+          side_ok true row_load.(k) && side_ok false col_load.(k)
+        in
+        let rec place l = if l >= big_l || fits l then l else place (l + 1) in
+        let l = place target.(k) in
+        placement.(k) <- l;
+        let commit side load =
+          Array.iteri
+            (fun p w ->
+              if w > 0 then
+                for l' = l to big_l do
+                  match Hashtbl.find_opt row_at (side, p, l') with
+                  | Some r -> used.(r) <- used.(r) + w
+                  | None -> ()
+                done)
+            load
+        in
+        commit true row_load.(k);
+        commit false col_load.(k))
+      order;
+    Array.map
+      (function
+        | Load _ -> -1
+        | Assign k -> (vars.(k).(placement.(k) - first_l.(k)) :> int))
+      row_ids
+  in
   let solution =
     match solver with
     | `Revised ->
-      Lp.Revised_simplex.solve ?max_iterations ?deadline ~warm_basis model
+      let warm_basis = Option.map basis_of_hints warm_start in
+      let crash_basis =
+        match warm_start with
+        | Some h -> greedy_basis_of_hints h
+        | None -> crash_basis
+      in
+      Lp.Revised_simplex.solve ?max_iterations ?deadline ?warm_basis
+        ~crash_basis model
     | `Dense -> Lp.Dense_simplex.solve ?max_iterations model
   in
   (match solution.Lp.Solution.status with
@@ -173,24 +376,47 @@ let solve_on_grid ~solver ?max_iterations ?deadline ~taus ~obj_at inst =
       | None -> ()
     done
   done;
+  let warm =
+    Option.map
+      (fun basis ->
+        let basics = ref [] and slacks = ref [] in
+        Array.iteri
+          (fun r c ->
+            if c = -1 then
+              match row_ids.(r) with
+              | Load (side, p, l) ->
+                slacks := (side, p, float_of_int (tau l)) :: !slacks
+              | Assign _ -> ()
+            else
+              let k, l = var_meta.(c) in
+              basics := (k, float_of_int (tau l)) :: !basics)
+          basis;
+        { h_basics = List.rev !basics; h_slacks = List.rev !slacks })
+      solution.Lp.Solution.basis
+  in
   { cbar;
     order = order_of_cbar cbar;
     lower_bound = solution.Lp.Solution.objective;
     iterations = solution.Lp.Solution.iterations;
+    refactors = solution.Lp.Solution.refactors;
     values = !values;
+    warm;
   }
 
-let solve_interval ?(solver = `Revised) ?max_iterations ?deadline inst =
+let solve_interval ?(solver = `Revised) ?max_iterations ?deadline ?warm_start
+    inst =
   let n = Instance.num_coflows inst in
   if n = 0 || Instance.total_units inst = 0 then trivial_result n
   else begin
     let big_l = interval_count inst in
     let taus = Array.init big_l (fun i -> 1 lsl i) in
     (* taus.(l-1) = 2^(l-1) = tau_l *)
-    solve_on_grid ~solver ?max_iterations ?deadline ~taus ~obj_at:`Left inst
+    solve_on_grid ~solver ?max_iterations ?deadline ?warm_start ~taus
+      ~obj_at:`Left inst
   end
 
-let solve_interval_base ?(solver = `Revised) ~base inst =
+let solve_interval_base ?(solver = `Revised) ?max_iterations ?deadline
+    ?warm_start ~base inst =
   if base <= 1.0 then
     invalid_arg "Lp_relax.solve_interval_base: base must exceed 1";
   let n = Instance.num_coflows inst in
@@ -209,10 +435,12 @@ let solve_interval_base ?(solver = `Revised) ~base inst =
       end
     in
     let taus = Array.of_list (build [] 1 1.0) in
-    solve_on_grid ~solver ~taus ~obj_at:`Left inst
+    solve_on_grid ~solver ?max_iterations ?deadline ?warm_start ~taus
+      ~obj_at:`Left inst
   end
 
-let solve_time_indexed ?(solver = `Revised) ?(max_vars = 100_000) inst =
+let solve_time_indexed ?(solver = `Revised) ?max_iterations ?deadline
+    ?warm_start ?(max_vars = 100_000) inst =
   let n = Instance.num_coflows inst in
   if n = 0 || Instance.total_units inst = 0 then trivial_result n
   else begin
@@ -224,5 +452,6 @@ let solve_time_indexed ?(solver = `Revised) ?(max_vars = 100_000) inst =
               "LP-EXP would need %d variables (n=%d, T=%d) > max_vars=%d" (n * t)
               n t max_vars));
     let taus = Array.init t (fun i -> i + 1) in
-    solve_on_grid ~solver ~taus ~obj_at:`Right inst
+    solve_on_grid ~solver ?max_iterations ?deadline ?warm_start ~taus
+      ~obj_at:`Right inst
   end

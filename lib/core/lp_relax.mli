@@ -15,45 +15,90 @@
       paper solved it for a single configuration only; same here (guarded by
       [max_vars]). *)
 
+type warm_hints = {
+  h_basics : (int * float) list;
+      (** basic completion variables, as (coflow index, grid time [tau_l]) *)
+  h_slacks : (bool * int * float) list;
+      (** basic load-row slacks, as (is_input, port, grid time [tau_l]) *)
+}
+(** The final simplex basis of a solve, described by coflow identity and
+    completion {e time} rather than column/row numbers, so it can seed a
+    related solve on a different grid (other [base]), with different
+    weights, or on a residual instance (after {!remap_hints}).  The
+    receiving solve translates the hints onto its own grid and validates the
+    resulting basis; a rejected proposal silently falls back to the crash
+    basis, so warm-starting never changes results — only iteration counts. *)
+
 type result = {
   cbar : float array;  (** approximated completion time per working index *)
   order : int array;
-      (** working indices sorted by [cbar], ties by index — the order (15) *)
+      (** working indices sorted by [cbar] (quantized at 1e-6 so solver
+          round-off cannot reorder equal completion times), ties by index —
+          the order (15) *)
   lower_bound : float;
       (** optimal LP objective: a certified lower bound on
           [sum w_k C_k (OPT)] *)
   iterations : int;  (** simplex pivots spent *)
+  refactors : int;  (** basis factorizations spent ([`Revised] only) *)
   values : (int * int * float) list;
       (** non-zero [(k, l, x)] assignments, for audits *)
+  warm : warm_hints option;
+      (** final basis for warm-starting a related solve; [None] for
+          [`Dense], for trivial instances, and when the solver could not
+          export a clean basis *)
 }
 
 exception Too_large of string
 (** Raised (by [solve_time_indexed]) when the formulation would exceed
     [max_vars] variables. *)
 
+val remap_hints :
+  ?index_map:(int -> int option) ->
+  ?time_shift:float ->
+  warm_hints ->
+  warm_hints
+(** [remap_hints ~index_map ~time_shift h] renumbers coflow indices
+    ([index_map k = None] drops coflow [k]'s hints, e.g. coflows that
+    completed before a re-plan) and shifts hint times by [-time_shift]
+    (slack hints whose shifted time is [<= 0] are dropped).  Defaults:
+    identity map, zero shift. *)
+
 val solve_interval :
   ?solver:[ `Revised | `Dense ] ->
   ?max_iterations:int ->
   ?deadline:float ->
+  ?warm_start:warm_hints ->
   Workload.Instance.t ->
   result
-(** Build and solve (LP).  [`Revised] (default) warm-starts from the crash
-    basis "every coflow completes in the last interval", which is always
-    primal feasible, so phase 1 is skipped.  [max_iterations] and [deadline]
-    (seconds, [`Revised] only) bound the solve — see
-    {!Lp.Revised_simplex.solve}.  @raise Failure if the simplex stops on
-    either budget before proving optimality. *)
+(** Build and solve (LP).  [`Revised] (default) starts from [warm_start]
+    when given and valid, else from the crash basis "every coflow completes
+    in the last interval", which is always primal feasible, so phase 1 is
+    skipped either way.  [max_iterations] and [deadline] (seconds,
+    [`Revised] only) bound the solve — see {!Lp.Revised_simplex.solve}.
+    @raise Failure if the simplex stops on either budget before proving
+    optimality. *)
 
 val solve_interval_base :
-  ?solver:[ `Revised | `Dense ] -> base:float -> Workload.Instance.t -> result
+  ?solver:[ `Revised | `Dense ] ->
+  ?max_iterations:int ->
+  ?deadline:float ->
+  ?warm_start:warm_hints ->
+  base:float ->
+  Workload.Instance.t ->
+  result
 (** Generalised grid [tau_l = ceil (base^(l-1))] (duplicates skipped).
     [base = 2.0] is exactly {!solve_interval}; bases closer to 1 make the
     relaxation tighter and larger, quantifying the paper's open question of
     how much the geometric coarsening costs.  As [base -> 1] the program
-    converges to (LP-EXP).  @raise Invalid_argument unless [base > 1]. *)
+    converges to (LP-EXP).  [max_iterations], [deadline] and [warm_start]
+    behave as in {!solve_interval}.  @raise Invalid_argument unless
+    [base > 1]. *)
 
 val solve_time_indexed :
   ?solver:[ `Revised | `Dense ] ->
+  ?max_iterations:int ->
+  ?deadline:float ->
+  ?warm_start:warm_hints ->
   ?max_vars:int ->
   Workload.Instance.t ->
   result

@@ -15,6 +15,7 @@ type config = {
   lp_deadline : float option;
   lp_max_iterations : int;
   lp_retries : int;
+  lp_warm_start : bool;
   replan_on_fault : bool;
   max_slots : int;
 }
@@ -24,6 +25,7 @@ let default_config =
     lp_deadline = Some 5.0;
     lp_max_iterations = 200_000;
     lp_retries = 1;
+    lp_warm_start = true;
     replan_on_fault = true;
     max_slots = 10_000_000;
   }
@@ -35,6 +37,8 @@ type result = {
   tier_slots : (tier * int) list;
   replans : int;
   lp_failures : int;
+  lp_iterations : int;
+  lp_refactors : int;
   audit : Audit.t;
 }
 
@@ -62,8 +66,14 @@ let residual_instance inst sim =
 
 (* One re-planning round: walk the policy chain from [cfg.primary] down,
    honouring solver outages, and return the first tier that yields an
-   order over original coflow indices. *)
-let replan cfg inj inst ~on_lp_failure =
+   order over original coflow indices.
+
+   [warm] holds the previous LP basis in the ORIGINAL coflow index space
+   with ABSOLUTE times; each round remaps it into the residual instance
+   (drop completed coflows, shift times to "now") and, on success, stores
+   the new basis back in original/absolute terms for the next round.
+   [lp_stats] accumulates (iterations, refactors) over successful solves. *)
+let replan cfg inj inst ~warm ~lp_stats ~on_lp_failure =
   let sim = Injector.sim inj in
   let now = Simulator.now sim in
   let outage = Fault_plan.solver_outage (Injector.plan inj) ~slot:now in
@@ -80,12 +90,23 @@ let replan cfg inj inst ~on_lp_failure =
     (Rho, Array.map (fun i -> keep.(i)) (Ordering.by_load_over_weight resid))
   | Lp ->
     let keep, resid = residual_instance inst sim in
+    let inv = Hashtbl.create (Array.length keep) in
+    Array.iteri (fun i orig -> Hashtbl.replace inv orig i) keep;
+    let warm_start =
+      if not cfg.lp_warm_start then None
+      else
+        Option.map
+          (Lp_relax.remap_hints
+             ~index_map:(fun orig -> Hashtbl.find_opt inv orig)
+             ~time_shift:(float_of_int now))
+          !warm
+    in
     let rec attempt i deadline =
       match
         Lp_relax.solve_interval ~max_iterations:cfg.lp_max_iterations
-          ?deadline resid
+          ?deadline ?warm_start resid
       with
-      | lp -> Some lp.Lp_relax.order
+      | lp -> Some lp
       | exception (Failure _ | Lp_relax.Too_large _ | Invalid_argument _) ->
         on_lp_failure ();
         if i < cfg.lp_retries then
@@ -94,7 +115,16 @@ let replan cfg inj inst ~on_lp_failure =
         else None
     in
     (match attempt 0 cfg.lp_deadline with
-    | Some order -> (Lp, Array.map (fun i -> keep.(i)) order)
+    | Some lp ->
+      let iters, refs = !lp_stats in
+      lp_stats := (iters + lp.Lp_relax.iterations, refs + lp.Lp_relax.refactors);
+      warm :=
+        Option.map
+          (Lp_relax.remap_hints
+             ~index_map:(fun i -> Some keep.(i))
+             ~time_shift:(-.float_of_int now))
+          lp.Lp_relax.warm;
+      (Lp, Array.map (fun i -> keep.(i)) lp.Lp_relax.order)
     | None ->
       (Rho, Array.map (fun i -> keep.(i)) (Ordering.by_load_over_weight resid)))
 
@@ -103,6 +133,7 @@ let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
   let inj = Injector.create ?topo ~plan ~ports (Instance.demands inst) in
   let sim = Injector.sim inj in
   let lp_failures = ref 0 and replans = ref 0 in
+  let warm = ref None and lp_stats = ref (0, 0) in
   let on_lp_failure () = incr lp_failures in
   let tier_counts = Array.make 3 0 in
   let log = ref [] in
@@ -127,7 +158,7 @@ let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
     in
     drain ();
     if !need_replan then begin
-      let t, o = replan config inj inst ~on_lp_failure in
+      let t, o = replan config inj inst ~warm ~lp_stats ~on_lp_failure in
       tier := t;
       order := o;
       incr replans;
@@ -149,5 +180,7 @@ let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
     tier_slots = List.map (fun t -> (t, tier_counts.(tier_index t))) all_tiers;
     replans = !replans;
     lp_failures = !lp_failures;
+    lp_iterations = fst !lp_stats;
+    lp_refactors = snd !lp_stats;
     audit = Audit.make ~ports (List.rev !log);
   }

@@ -46,13 +46,19 @@ type config = {
   lp_max_iterations : int;  (** simplex pivot budget per LP attempt *)
   lp_retries : int;
       (** extra LP attempts after a failure, each with a doubled deadline *)
+  lp_warm_start : bool;
+      (** seed each residual LP with the previous round's final basis
+          (remapped to the residual index space and time origin); the basis
+          is validated by the solver and falls back to the crash basis when
+          stale, so this only reduces simplex effort *)
   replan_on_fault : bool;
       (** recompute the order at fault boundaries (otherwise only once) *)
   max_slots : int;  (** safety valve against never-ending plans *)
 }
 
 val default_config : config
-(** [Lp] primary, 5 s deadline, 200k pivots, one retry, re-planning on. *)
+(** [Lp] primary, 5 s deadline, 200k pivots, one retry, warm-starting and
+    re-planning on. *)
 
 type result = {
   completion : int array;
@@ -62,6 +68,10 @@ type result = {
       (** slots served per tier, in [all_tiers] order *)
   replans : int;  (** re-planning rounds, including the initial one *)
   lp_failures : int;  (** LP attempts that timed out, diverged or failed *)
+  lp_iterations : int;
+      (** total simplex pivots across all successful LP re-plans *)
+  lp_refactors : int;
+      (** total basis factorizations across all successful LP re-plans *)
   audit : Faults.Audit.t;
       (** per-slot tier + transfers, ready for {!Faults.Audit.check} *)
 }

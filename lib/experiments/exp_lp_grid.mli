@@ -12,6 +12,7 @@ type row = {
   base : float;
   intervals : int;
   iterations : int;
+  refactors : int;  (** basis factorizations spent by the solve *)
   solve_seconds : float;
   lower_bound : float;
   twct : float;  (** case (d) schedule under the resulting order *)
@@ -19,6 +20,8 @@ type row = {
 
 val run : ?bases:float list -> Config.t -> row list
 (** Default bases: [1.2; 1.5; 2.0; 3.0; 4.0].  Uses the largest-filter
-    random-weights workload of the configuration. *)
+    random-weights workload of the configuration.  Each base's solve is
+    warm-started from the previous base's final basis (time-remapped onto
+    the new grid). *)
 
 val render : ?bases:float list -> Config.t -> string

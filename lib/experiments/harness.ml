@@ -25,7 +25,7 @@ let base_instance (cfg : Config.t) =
   let st = Random.State.make [| cfg.Config.seed |] in
   Fb_like.generate ~ports:cfg.Config.ports ~coflows:cfg.Config.coflows st
 
-let block cfg ~filter ~weighting =
+let block ?warm_start cfg ~filter ~weighting =
   let inst = Instance.filter_m0 (base_instance cfg) filter in
   let n = Instance.num_coflows inst in
   if n = 0 then
@@ -41,7 +41,7 @@ let block cfg ~filter ~weighting =
       let st = Random.State.make [| cfg.Config.seed; filter; 0xBEEF |] in
       Instance.with_weights inst (Weights.random_permutation st n)
   in
-  let lp = Lp_relax.solve_interval inst in
+  let lp = Lp_relax.solve_interval ?warm_start inst in
   let orders =
     [ ("HA", Ordering.arrival inst);
       ("Hrho", Ordering.by_load_over_weight inst);
@@ -59,10 +59,17 @@ let block cfg ~filter ~weighting =
   in
   { filter; weighting; instance = inst; lp; entries }
 
+(* The two weightings of a filter share the instance (and thus the
+   constraint rows); only the objective differs, so the equal-weight optimum
+   is a natural warm start for the random-weight solve. *)
 let all_blocks cfg =
   List.concat_map
     (fun filter ->
-      List.map (fun weighting -> block cfg ~filter ~weighting) [ Equal; Random ])
+      let equal = block cfg ~filter ~weighting:Equal in
+      let random =
+        block ?warm_start:equal.lp.Lp_relax.warm cfg ~filter ~weighting:Random
+      in
+      [ equal; random ])
     cfg.Config.filters
 
 let find b ~order case =

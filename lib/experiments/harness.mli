@@ -27,7 +27,15 @@ val base_instance : Config.t -> Workload.Instance.t
 (** The unfiltered fb-like trace for this configuration (deterministic in
     the seed). *)
 
-val block : Config.t -> filter:int -> weighting:weighting -> block
+val block :
+  ?warm_start:Core.Lp_relax.warm_hints ->
+  Config.t ->
+  filter:int ->
+  weighting:weighting ->
+  block
+(** [warm_start] seeds the block's LP solve (see
+    {!Core.Lp_relax.solve_interval}); {!all_blocks} uses it to chain each
+    filter's equal-weight basis into the random-weight solve. *)
 
 val all_blocks : Config.t -> block list
 (** Every (filter, weighting) combination of the configuration; this is

@@ -165,7 +165,7 @@ let solve ?(max_iterations = 100_000) model =
     done;
     let objective = Std_form.objective_value std values in
     { Solution.status; objective; values; iterations = !iterations;
-      duals = None }
+      refactors = 0; duals = None; basis = None }
   in
   (* Phase 1: minimise the sum of artificials, if any exist. *)
   let phase1_needed = first_art < total in
@@ -197,7 +197,9 @@ let solve ?(max_iterations = 100_000) model =
         objective = nan;
         values = Array.make ncols 0.0;
         iterations = !iterations;
+        refactors = 0;
         duals = None;
+        basis = None;
       }
     else begin
       (* Drive zero-level artificials out of the basis where possible. *)
@@ -223,7 +225,9 @@ let solve ?(max_iterations = 100_000) model =
           objective = (if std.Std_form.maximize then infinity else neg_infinity);
           values = Array.make ncols 0.0;
           iterations = !iterations;
+          refactors = 0;
           duals = None;
+          basis = None;
         }
       | `Limit -> finish Solution.Iteration_limit
     end

@@ -215,7 +215,9 @@ let restore red (sol : Solution.t) =
   let values = Array.make red.original_vars 0.0 in
   Array.iteri (fun idx v -> values.(v) <- sol.Solution.values.(idx)) red.kept;
   List.iter (fun (v, value) -> values.(v) <- value) red.fixed;
-  { sol with Solution.values; duals = None }
+  (* Variable indices shift under reduction, so neither the duals nor the
+     basis survive the round trip. *)
+  { sol with Solution.values; duals = None; basis = None }
 
 let stats red =
   Printf.sprintf "%d rows dropped, %d variables fixed, %d kept"
@@ -228,7 +230,9 @@ let solve ?(solver = `Revised) model =
       objective = nan;
       values = Array.make (Model.num_vars model) 0.0;
       iterations = 0;
+      refactors = 0;
       duals = None;
+      basis = None;
     }
   | Unbounded _ ->
     let _, _, _ = Model.objective model in
@@ -237,7 +241,9 @@ let solve ?(solver = `Revised) model =
       objective = (if maximize then infinity else neg_infinity);
       values = Array.make (Model.num_vars model) 0.0;
       iterations = 0;
+      refactors = 0;
       duals = None;
+      basis = None;
     }
   | Reduced (reduced, red) ->
     let sol =

@@ -8,6 +8,16 @@ let feas_tol = 1e-7
 let opt_tol = 1e-7
 let pivot_tol = 1e-8
 
+(* Factorization tolerances: [markowitz_tol] is the relative threshold-pivoting
+   bound inside a candidate column, [drop_tol] drops fill-in that cancels to
+   noise, [singular_tol] declares a column numerically empty, and
+   [eta_piv_tol] forces an early refactorization instead of accepting a
+   fragile update pivot. *)
+let markowitz_tol = 0.1
+let drop_tol = 1e-13
+let singular_tol = 1e-11
+let eta_piv_tol = 1e-7
+
 (* Column numbering: [0 .. ncols-1] structural, [ncols + r] slack/surplus of
    row [r] (absent for equality rows), [ncols + nrows + r] artificial of row
    [r]. *)
@@ -73,14 +83,69 @@ let column p c =
     ([| r |], [| 1.0 |])
   end
 
+(* ---------- sparse LU factors and the eta file ----------
+
+   The basis inverse is never formed.  At (re)factorization time a
+   Markowitz-ordered sparse Gaussian elimination produces triangular factors
+   of the basis matrix; between refactorizations each pivot appends one eta
+   vector (product-form update).  FTRAN/BTRAN apply the factors and the eta
+   file; cost is proportional to the factor + eta fill, not nrows^2. *)
+
+(* One product-form update: the basis column at position [e_pos] was replaced
+   by a column whose FTRAN image was [d]; [e_piv = d.(e_pos)], and
+   [e_idx]/[e_val] are the other non-zeros of [d] (by basis position). *)
+type eta = {
+  e_pos : int;
+  e_piv : float;
+  e_idx : int array;
+  e_val : float array;
+}
+
+(* LU factors as the pivot sequence of the elimination.  Step [k] pivoted on
+   constraint row [piv_row.(k)] and basis position [piv_pos.(k)] with pivot
+   value [piv_val.(k)]; [l_rows]/[l_vals] are the below-pivot multipliers (by
+   constraint row), [u_pos]/[u_vals] the remaining entries of the pivot row
+   (by basis position, pivoted at later steps).  [ut_steps]/[ut_vals] index U
+   by column for the transposed solve: entry [i] of step [j] says that step
+   [ut_steps.(j).(i) < j] has coefficient [ut_vals.(j).(i)] at position
+   [piv_pos.(j)]. *)
+type lu = {
+  piv_row : int array;
+  piv_pos : int array;
+  piv_val : float array;
+  l_rows : int array array;
+  l_vals : float array array;
+  u_pos : int array array;
+  u_vals : float array array;
+  ut_steps : int array array;
+  ut_vals : float array array;
+}
+
+let empty_lu =
+  { piv_row = [||];
+    piv_pos = [||];
+    piv_val = [||];
+    l_rows = [||];
+    l_vals = [||];
+    u_pos = [||];
+    u_vals = [||];
+    ut_steps = [||];
+    ut_vals = [||];
+  }
+
 type state = {
   p : problem;
   total : int; (* ncols + 2 * nrows *)
   basis : int array; (* column per basis position *)
   in_basis : bool array;
-  binv : float array; (* row-major nrows x nrows *)
+  mutable lu : lu;
+  mutable etas : eta array; (* growable; [neta] entries are live *)
+  mutable neta : int;
   xb : float array;
+  wrow : float array; (* scratch over constraint rows *)
+  wpos : float array; (* scratch over basis positions *)
   mutable iterations : int;
+  mutable refactors : int;
   mutable degenerate_streak : int;
   mutable bland : bool;
   mutable cursor : int; (* partial-pricing start column *)
@@ -88,37 +153,105 @@ type state = {
 
 let n_of st = st.p.nrows
 
-(* d = B^-1 * A_c for a sparse column. *)
-let ftran st (rows, vals) d =
-  let n = n_of st in
-  Array.fill d 0 n 0.0;
-  let nnz = Array.length rows in
-  for k = 0 to nnz - 1 do
-    let col = Array.unsafe_get rows k in
-    let v = Array.unsafe_get vals k in
-    if v <> 0.0 then begin
-      let binv = st.binv in
-      for r = 0 to n - 1 do
-        Array.unsafe_set d r
-          (Array.unsafe_get d r +. (v *. Array.unsafe_get binv ((r * n) + col)))
+let push_eta st eta =
+  let cap = Array.length st.etas in
+  if st.neta >= cap then begin
+    let etas = Array.make (max 8 (2 * cap)) eta in
+    Array.blit st.etas 0 etas 0 cap;
+    st.etas <- etas
+  end;
+  st.etas.(st.neta) <- eta;
+  st.neta <- st.neta + 1
+
+(* Forward L solve, in place on a dense constraint-row vector. *)
+let lu_apply_l lu w =
+  let n = Array.length lu.piv_row in
+  for k = 0 to n - 1 do
+    let t = Array.unsafe_get w (Array.unsafe_get lu.piv_row k) in
+    if t <> 0.0 then begin
+      let rows = lu.l_rows.(k) and vals = lu.l_vals.(k) in
+      for i = 0 to Array.length rows - 1 do
+        let r = Array.unsafe_get rows i in
+        Array.unsafe_set w r
+          (Array.unsafe_get w r -. (Array.unsafe_get vals i *. t))
       done
     end
   done
 
-(* y = cB^T B^-1 where cB is given per basis position. *)
-let btran st cb y =
+(* Backward U solve: reads the L-solved row vector [w], writes every basis
+   position of [d]. *)
+let lu_apply_u lu w d =
+  let n = Array.length lu.piv_row in
+  for k = n - 1 downto 0 do
+    let s = ref (Array.unsafe_get w lu.piv_row.(k)) in
+    let pos = lu.u_pos.(k) and uv = lu.u_vals.(k) in
+    for i = 0 to Array.length pos - 1 do
+      s :=
+        !s
+        -. (Array.unsafe_get uv i
+           *. Array.unsafe_get d (Array.unsafe_get pos i))
+    done;
+    d.(lu.piv_pos.(k)) <- !s /. lu.piv_val.(k)
+  done
+
+(* d = B^-1 * A_c for a sparse column, through the factors + eta file. *)
+let ftran st (rows, vals) d =
   let n = n_of st in
-  Array.fill y 0 n 0.0;
-  for r = 0 to n - 1 do
-    let c = Array.unsafe_get cb r in
-    if c <> 0.0 then begin
-      let binv = st.binv in
-      let base = r * n in
-      for j = 0 to n - 1 do
-        Array.unsafe_set y j
-          (Array.unsafe_get y j +. (c *. Array.unsafe_get binv (base + j)))
+  let w = st.wrow in
+  Array.fill w 0 n 0.0;
+  for k = 0 to Array.length rows - 1 do
+    w.(rows.(k)) <- w.(rows.(k)) +. vals.(k)
+  done;
+  lu_apply_l st.lu w;
+  lu_apply_u st.lu w d;
+  for e = 0 to st.neta - 1 do
+    let eta = Array.unsafe_get st.etas e in
+    let xr = d.(eta.e_pos) /. eta.e_piv in
+    d.(eta.e_pos) <- xr;
+    if xr <> 0.0 then begin
+      let idx = eta.e_idx and ev = eta.e_val in
+      for i = 0 to Array.length idx - 1 do
+        let r = Array.unsafe_get idx i in
+        Array.unsafe_set d r
+          (Array.unsafe_get d r -. (Array.unsafe_get ev i *. xr))
       done
     end
+  done
+
+(* y = cb^T B^-1 where cb is given per basis position: eta transposes in
+   reverse order, then the transposed U and L solves. *)
+let btran st cb y =
+  let n = n_of st in
+  let lu = st.lu in
+  let v = st.wpos in
+  Array.blit cb 0 v 0 n;
+  for e = st.neta - 1 downto 0 do
+    let eta = Array.unsafe_get st.etas e in
+    let idx = eta.e_idx and ev = eta.e_val in
+    let acc = ref v.(eta.e_pos) in
+    for i = 0 to Array.length idx - 1 do
+      acc := !acc -. (Array.unsafe_get ev i *. Array.unsafe_get v (Array.unsafe_get idx i))
+    done;
+    v.(eta.e_pos) <- !acc /. eta.e_piv
+  done;
+  for k = 0 to n - 1 do
+    let s = ref v.(lu.piv_pos.(k)) in
+    let us = lu.ut_steps.(k) and uv = lu.ut_vals.(k) in
+    for i = 0 to Array.length us - 1 do
+      s :=
+        !s
+        -. (Array.unsafe_get uv i
+           *. Array.unsafe_get y lu.piv_row.(Array.unsafe_get us i))
+    done;
+    y.(lu.piv_row.(k)) <- !s /. lu.piv_val.(k)
+  done;
+  for k = n - 1 downto 0 do
+    let rows = lu.l_rows.(k) and vals = lu.l_vals.(k) in
+    let acc = ref y.(lu.piv_row.(k)) in
+    for i = 0 to Array.length rows - 1 do
+      acc := !acc -. (Array.unsafe_get vals i *. Array.unsafe_get y (Array.unsafe_get rows i))
+    done;
+    y.(lu.piv_row.(k)) <- !acc
   done
 
 let reduced_cost st cost y c =
@@ -130,99 +263,217 @@ let reduced_cost st cost y c =
   done;
   !acc
 
-(* Rebuild B^-1 by Gauss-Jordan with partial pivoting and recompute xb.
-   Returns [false] when the basis matrix is singular. *)
-let refactorize st =
-  let n = n_of st in
-  let aug = Array.make (n * 2 * n) 0.0 in
-  (* left half: B; right half: I *)
-  let w = 2 * n in
+(* Refactorize: Markowitz-ordered sparse LU of the current basis matrix,
+   eta file cleared, xb recomputed from scratch.  Returns [false] when the
+   basis matrix is numerically singular.  [log_drift] compares the fresh xb
+   with the incrementally maintained one (update-drift telemetry). *)
+let factorize ?(log_drift = false) st =
+  let p = st.p in
+  let n = p.nrows in
+  (* Active submatrix, column-wise, with a row-presence index. *)
+  let colh = Array.init n (fun _ -> Hashtbl.create 8) in
+  let rowset = Array.init n (fun _ -> Hashtbl.create 8) in
+  let colcnt = Array.make n 0 and rowcnt = Array.make n 0 in
   for pos = 0 to n - 1 do
-    let rows, vals = column st.p st.basis.(pos) in
+    let rows, vals = column p st.basis.(pos) in
     for k = 0 to Array.length rows - 1 do
-      aug.((rows.(k) * w) + pos) <- vals.(k)
+      if vals.(k) <> 0.0 then begin
+        Hashtbl.replace colh.(pos) rows.(k) vals.(k);
+        Hashtbl.replace rowset.(rows.(k)) pos ()
+      end
     done
   done;
-  for r = 0 to n - 1 do
-    aug.((r * w) + n + r) <- 1.0
+  for j = 0 to n - 1 do
+    colcnt.(j) <- Hashtbl.length colh.(j)
   done;
+  for r = 0 to n - 1 do
+    rowcnt.(r) <- Hashtbl.length rowset.(r)
+  done;
+  let col_active = Array.make n true in
+  let piv_row = Array.make n (-1) and piv_pos = Array.make n (-1) in
+  let piv_val = Array.make n 0.0 in
+  let l_rows = Array.make n [||] and l_vals = Array.make n [||] in
+  let u_pos = Array.make n [||] and u_vals = Array.make n [||] in
   let ok = ref true in
   (try
-     for c = 0 to n - 1 do
-       (* partial pivot *)
-       let best = ref c and bestv = ref (Float.abs aug.((c * w) + c)) in
-       for r = c + 1 to n - 1 do
-         let v = Float.abs aug.((r * w) + c) in
-         if v > !bestv then begin
-           best := r;
-           bestv := v
-         end
+     for step = 0 to n - 1 do
+       (* Candidate columns: sparsest active ones (count <= min + 1), a
+          bounded handful, searched with threshold pivoting for the best
+          Markowitz count (rowcnt-1)*(colcnt-1). *)
+       let mc = ref max_int in
+       for j = 0 to n - 1 do
+         if col_active.(j) && colcnt.(j) < !mc then mc := colcnt.(j)
        done;
-       if !bestv < 1e-12 then raise Exit;
-       if !best <> c then
-         for k = 0 to w - 1 do
-           let t = aug.((c * w) + k) in
-           aug.((c * w) + k) <- aug.((!best * w) + k);
-           aug.((!best * w) + k) <- t
-         done;
-       let piv = aug.((c * w) + c) in
-       for k = 0 to w - 1 do
-         aug.((c * w) + k) <- aug.((c * w) + k) /. piv
+       if !mc = max_int || !mc = 0 then raise Exit;
+       let cands = Array.make 8 (-1) in
+       let ncand = ref 0 in
+       let j = ref 0 in
+       while !ncand < 8 && !j < n do
+         if col_active.(!j) && colcnt.(!j) <= !mc + 1 then begin
+           cands.(!ncand) <- !j;
+           incr ncand
+         end;
+         incr j
        done;
-       for r = 0 to n - 1 do
-         if r <> c then begin
-           let f = aug.((r * w) + c) in
-           if f <> 0.0 then
-             for k = 0 to w - 1 do
-               aug.((r * w) + k) <- aug.((r * w) + k) -. (f *. aug.((c * w) + k))
-             done
-         end
-       done
+       let best_score = ref max_int and best_v = ref 0.0 in
+       let br = ref (-1) and bc = ref (-1) in
+       for ci = 0 to !ncand - 1 do
+         let jc = cands.(ci) in
+         let colmax =
+           Hashtbl.fold
+             (fun _ v acc -> Float.max (Float.abs v) acc)
+             colh.(jc) 0.0
+         in
+         if colmax > singular_tol then
+           Hashtbl.iter
+             (fun r v ->
+               if Float.abs v >= markowitz_tol *. colmax then begin
+                 let score = (rowcnt.(r) - 1) * (colcnt.(jc) - 1) in
+                 if
+                   score < !best_score
+                   || (score = !best_score
+                      && (Float.abs v > Float.abs !best_v
+                         || (Float.abs v = Float.abs !best_v
+                            && (r, jc) < (!br, !bc))))
+                 then begin
+                   best_score := score;
+                   best_v := v;
+                   br := r;
+                   bc := jc
+                 end
+               end)
+             colh.(jc)
+       done;
+       if !bc < 0 then raise Exit;
+       let pr = !br and pc = !bc in
+       let pv = Hashtbl.find colh.(pc) pr in
+       piv_row.(step) <- pr;
+       piv_pos.(step) <- pc;
+       piv_val.(step) <- pv;
+       (* Pivot row across the other active columns: the U row. *)
+       let urow = ref [] in
+       Hashtbl.iter
+         (fun j () -> if j <> pc then urow := (j, Hashtbl.find colh.(j) pr) :: !urow)
+         rowset.(pr);
+       let urow = List.sort compare !urow in
+       u_pos.(step) <- Array.of_list (List.map fst urow);
+       u_vals.(step) <- Array.of_list (List.map snd urow);
+       (* Pivot column below the pivot: the L multipliers. *)
+       let lcol = ref [] in
+       Hashtbl.iter
+         (fun r v -> if r <> pr then lcol := (r, v /. pv) :: !lcol)
+         colh.(pc);
+       let lcol = List.sort compare !lcol in
+       l_rows.(step) <- Array.of_list (List.map fst lcol);
+       l_vals.(step) <- Array.of_list (List.map snd lcol);
+       (* Deactivate the pivot column and row. *)
+       col_active.(pc) <- false;
+       Hashtbl.iter
+         (fun r _ ->
+           if r <> pr then begin
+             Hashtbl.remove rowset.(r) pc;
+             rowcnt.(r) <- rowcnt.(r) - 1
+           end)
+         colh.(pc);
+       (* Right-looking elimination of row [pr] from the remaining columns. *)
+       List.iter
+         (fun (jc, vpj) ->
+           Hashtbl.remove colh.(jc) pr;
+           colcnt.(jc) <- colcnt.(jc) - 1;
+           List.iter
+             (fun (r, m) ->
+               let delta = m *. vpj in
+               match Hashtbl.find_opt colh.(jc) r with
+               | Some prev ->
+                 let nv = prev -. delta in
+                 if Float.abs nv <= drop_tol then begin
+                   Hashtbl.remove colh.(jc) r;
+                   colcnt.(jc) <- colcnt.(jc) - 1;
+                   Hashtbl.remove rowset.(r) jc;
+                   rowcnt.(r) <- rowcnt.(r) - 1
+                 end
+                 else Hashtbl.replace colh.(jc) r nv
+               | None ->
+                 let nv = -.delta in
+                 if Float.abs nv > drop_tol then begin
+                   Hashtbl.replace colh.(jc) r nv;
+                   colcnt.(jc) <- colcnt.(jc) + 1;
+                   Hashtbl.replace rowset.(r) jc ();
+                   rowcnt.(r) <- rowcnt.(r) + 1
+                 end)
+             lcol)
+         urow
      done
    with Exit -> ok := false);
   if !ok then begin
-    for r = 0 to n - 1 do
-      for j = 0 to n - 1 do
-        st.binv.((r * n) + j) <- aug.((r * w) + n + j)
+    (* Column-wise index of U for the transposed solve. *)
+    let step_of = Array.make n (-1) in
+    for k = 0 to n - 1 do
+      step_of.(piv_pos.(k)) <- k
+    done;
+    let ut = Array.make n [] in
+    for k = 0 to n - 1 do
+      let pos = u_pos.(k) and uv = u_vals.(k) in
+      for i = 0 to Array.length pos - 1 do
+        let j = step_of.(pos.(i)) in
+        ut.(j) <- (k, uv.(i)) :: ut.(j)
       done
     done;
-    (* xb = B^-1 rhs *)
-    for r = 0 to n - 1 do
-      let acc = ref 0.0 in
-      let base = r * n in
-      for j = 0 to n - 1 do
-        acc := !acc +. (st.binv.(base + j) *. st.p.rhs.(j))
+    st.lu <-
+      { piv_row;
+        piv_pos;
+        piv_val;
+        l_rows;
+        l_vals;
+        u_pos;
+        u_vals;
+        ut_steps = Array.map (fun l -> Array.of_list (List.rev_map fst l)) ut;
+        ut_vals = Array.map (fun l -> Array.of_list (List.rev_map snd l)) ut;
+      };
+    st.neta <- 0;
+    st.refactors <- st.refactors + 1;
+    (* xb = B^-1 rhs, from scratch. *)
+    let w = st.wrow in
+    Array.blit p.rhs 0 w 0 n;
+    lu_apply_l st.lu w;
+    if log_drift then begin
+      Array.blit st.xb 0 st.wpos 0 n;
+      lu_apply_u st.lu w st.xb;
+      let drift = ref 0.0 in
+      for r = 0 to n - 1 do
+        drift := Float.max !drift (Float.abs (st.xb.(r) -. st.wpos.(r)))
       done;
-      st.xb.(r) <- !acc
-    done
+      if !drift > 1e-6 then
+        Log.warn (fun f ->
+            f "refactorization absorbed xb drift %.3g after %d pivots" !drift
+              st.iterations)
+    end
+    else lu_apply_u st.lu w st.xb
   end;
   !ok
 
 (* Pivot: basis position [leave] is replaced by column [enter] whose ftran
-   direction is [d]; [theta] is the step length. *)
+   direction is [d]; [theta] is the step length.  Appends one eta vector and
+   updates xb along the (sparse) direction. *)
 let pivot st leave enter d theta =
   let n = n_of st in
-  let dl = d.(leave) in
-  let binv = st.binv in
-  let base_l = leave * n in
-  for k = 0 to n - 1 do
-    Array.unsafe_set binv (base_l + k) (Array.unsafe_get binv (base_l + k) /. dl)
-  done;
+  let nnz = ref 0 in
   for r = 0 to n - 1 do
-    if r <> leave then begin
-      let f = Array.unsafe_get d r in
-      if f <> 0.0 then begin
-        let base_r = r * n in
-        for k = 0 to n - 1 do
-          Array.unsafe_set binv (base_r + k)
-            (Array.unsafe_get binv (base_r + k)
-            -. (f *. Array.unsafe_get binv (base_l + k)))
-        done
-      end
+    if r <> leave && Float.abs d.(r) > drop_tol then incr nnz
+  done;
+  let e_idx = Array.make !nnz 0 and e_val = Array.make !nnz 0.0 in
+  let i = ref 0 in
+  for r = 0 to n - 1 do
+    if r <> leave && Float.abs d.(r) > drop_tol then begin
+      e_idx.(!i) <- r;
+      e_val.(!i) <- d.(r);
+      incr i
     end
   done;
-  for r = 0 to n - 1 do
-    if r <> leave then st.xb.(r) <- st.xb.(r) -. (theta *. d.(r))
+  push_eta st { e_pos = leave; e_piv = d.(leave); e_idx; e_val };
+  for k = 0 to !nnz - 1 do
+    let r = e_idx.(k) in
+    st.xb.(r) <- st.xb.(r) -. (theta *. e_val.(k))
   done;
   st.xb.(leave) <- theta;
   st.in_basis.(st.basis.(leave)) <- false;
@@ -241,8 +492,10 @@ let pivot st leave enter d theta =
 (* Entering-column selection.  [allowed c] restricts the candidate set (used
    to ban artificials in phase 2).  Partial pricing: scan from the rotating
    cursor, keep the most negative reduced cost seen, and stop early after a
-   full block has been scanned with a viable candidate in hand.  In Bland
-   mode: lowest-index negative column, full determinism. *)
+   full block has been scanned with a viable candidate in hand.  The dual
+   vector [y] comes from the sparse BTRAN above, so each scan step is a
+   sparse dot product.  In Bland mode: lowest-index negative column, full
+   determinism. *)
 let price st cost allowed y =
   let total = st.total in
   if st.bland then begin
@@ -334,8 +587,8 @@ let run_phase st cost allowed ~max_iterations ~refactor ~stop_at =
     if st.iterations >= max_iterations then P_limit
     else if past_deadline st stop_at then P_deadline
     else begin
-      if st.iterations > 0 && st.iterations mod refactor = 0 then
-        if not (refactorize st) then
+      if st.neta >= refactor then
+        if not (factorize ~log_drift:true st) then
           failwith "Revised_simplex: basis became singular";
       for r = 0 to n - 1 do
         cb.(r) <- cost st.basis.(r)
@@ -348,8 +601,17 @@ let run_phase st cost allowed ~max_iterations ~refactor ~stop_at =
         match ratio_test st d with
         | None -> P_unbounded
         | Some (leave, theta) ->
-          pivot st leave enter d theta;
-          loop ()
+          if Float.abs d.(leave) < eta_piv_tol && st.neta > 0 then begin
+            (* Fragile update pivot: rebuild the factors and re-derive the
+               direction from them instead of the drifted eta file. *)
+            if not (factorize ~log_drift:true st) then
+              failwith "Revised_simplex: basis became singular";
+            loop ()
+          end
+          else begin
+            pivot st leave enter d theta;
+            loop ()
+          end
       end
     end
   in
@@ -358,24 +620,25 @@ let run_phase st cost allowed ~max_iterations ~refactor ~stop_at =
 let make_state p =
   let n = p.nrows in
   let total = p.ncols + (2 * n) in
-  let binv = Array.make (n * n) 0.0 in
-  for r = 0 to n - 1 do
-    binv.((r * n) + r) <- 1.0
-  done;
   { p;
     total;
     basis = Array.make n (-1);
     in_basis = Array.make total false;
-    binv;
+    lu = empty_lu;
+    etas = [||];
+    neta = 0;
     xb = Array.copy p.rhs;
+    wrow = Array.make n 0.0;
+    wpos = Array.make n 0.0;
     iterations = 0;
+    refactors = 0;
     degenerate_streak = 0;
     bland = false;
     cursor = 0;
   }
 
 (* Default phase-1 start: slack where the slack sign is +1, artificial
-   otherwise. *)
+   otherwise — a diagonal basis, so the factorization cannot fail. *)
 let install_cold_basis st =
   let p = st.p in
   Array.fill st.in_basis 0 st.total false;
@@ -384,12 +647,8 @@ let install_cold_basis st =
     st.basis.(r) <- c;
     st.in_basis.(c) <- true
   done;
-  let n = p.nrows in
-  Array.fill st.binv 0 (n * n) 0.0;
-  for r = 0 to n - 1 do
-    st.binv.((r * n) + r) <- 1.0
-  done;
-  Array.blit p.rhs 0 st.xb 0 n
+  if not (factorize st) then
+    failwith "Revised_simplex: cold basis factorization failed"
 
 let try_warm_basis st (wb : warm_basis) =
   let p = st.p in
@@ -413,7 +672,7 @@ let try_warm_basis st (wb : warm_basis) =
         end)
       wb;
     if not !ok then false
-    else if not (refactorize st) then false
+    else if not (factorize st) then false
     else Array.for_all (fun v -> v >= -.feas_tol) st.xb
   end
 
@@ -421,14 +680,21 @@ let artificial_start st = st.p.ncols + st.p.nrows
 
 (* After phase 1: pivot zero-level artificials out of the basis wherever a
    non-artificial column has a non-zero coefficient in their row of
-   B^-1 A. *)
+   B^-1 A.  The needed row of B^-1 is one transposed solve (BTRAN of a unit
+   vector); candidates are then sparse dot products against it. *)
 let expel_artificials st =
   let p = st.p in
   let n = p.nrows in
   let first_art = artificial_start st in
+  let unit = Array.make n 0.0 in
+  let rowvec = Array.make n 0.0 in
+  let d = Array.make n 0.0 in
   for pos = 0 to n - 1 do
     if st.basis.(pos) >= first_art then begin
-      let found = ref (-1) and dval = ref 0.0 in
+      Array.fill unit 0 n 0.0;
+      unit.(pos) <- 1.0;
+      btran st unit rowvec;
+      let found = ref (-1) in
       let c = ref 0 in
       while !found < 0 && !c < first_art do
         if not st.in_basis.(!c) then begin
@@ -436,12 +702,9 @@ let expel_artificials st =
           let rows, vals = column p !c in
           let acc = ref 0.0 in
           for k = 0 to Array.length rows - 1 do
-            acc := !acc +. (st.binv.((pos * n) + rows.(k)) *. vals.(k))
+            acc := !acc +. (rowvec.(rows.(k)) *. vals.(k))
           done;
-          if Float.abs !acc > 1e-7 then begin
-            found := !c;
-            dval := !acc
-          end
+          if Float.abs !acc > 1e-7 then found := !c
         end;
         incr c
       done;
@@ -449,15 +712,45 @@ let expel_artificials st =
          zero and phase 2 never lets it grow. *)
       if !found >= 0 then begin
         let c = !found in
-        let d = Array.make n 0.0 in
         ftran st (column p c) d;
         pivot st pos c d st.xb.(pos)
       end
     end
   done
 
-let solve ?(max_iterations = 200_000) ?deadline ?warm_basis ?(refactor = 256)
-    model =
+(* The final basis in warm-start format: slacks at their own rows, the
+   structural basics on the remaining rows.  Only the column set matters (a
+   permutation of basis positions yields the same basis matrix), so the
+   assignment is canonical: ascending structural indices onto ascending free
+   rows.  Not exportable while an artificial is basic. *)
+let export_basis st =
+  let p = st.p in
+  let first_art = artificial_start st in
+  let out = Array.make p.nrows (-2) in
+  let structs = ref [] in
+  let ok = ref true in
+  Array.iter
+    (fun c ->
+      if c < p.ncols then structs := c :: !structs
+      else if c < first_art then out.(c - p.ncols) <- -1
+      else ok := false)
+    st.basis;
+  if not !ok then None
+  else begin
+    let structs = ref (List.sort compare !structs) in
+    for r = 0 to p.nrows - 1 do
+      if out.(r) = -2 then
+        match !structs with
+        | c :: rest ->
+          out.(r) <- c;
+          structs := rest
+        | [] -> ()
+    done;
+    if Array.exists (fun c -> c = -2) out then None else Some out
+  end
+
+let solve ?(max_iterations = 200_000) ?deadline ?warm_basis ?crash_basis
+    ?(refactor = 128) model =
   let stop_at =
     match deadline with
     | None -> None
@@ -470,13 +763,15 @@ let solve ?(max_iterations = 200_000) ?deadline ?warm_basis ?(refactor = 256)
   let st = make_state p in
   let first_art = artificial_start st in
   let warm_ok =
-    match warm_basis with
-    | Some wb ->
-      let ok = try_warm_basis st wb in
-      if not ok then
-        Log.warn (fun f -> f "warm basis rejected; falling back to phase 1");
-      ok
-    | None -> false
+    let try_basis label = function
+      | None -> false
+      | Some wb ->
+        let ok = try_warm_basis st wb in
+        if not ok then
+          Log.info (fun f -> f "%s basis rejected; trying next start" label);
+        ok
+    in
+    try_basis "warm" warm_basis || try_basis "crash" crash_basis
   in
   (* Multipliers of the original rows: y = cB^T B^-1 in the normalised
      space, unflipped, and negated back when the model maximised. *)
@@ -499,12 +794,19 @@ let solve ?(max_iterations = 200_000) ?deadline ?warm_basis ?(refactor = 256)
     Array.iteri
       (fun r c -> if c < p.ncols then values.(c) <- max 0.0 st.xb.(r))
       st.basis;
+    Log.info (fun f ->
+        f "solve %s: status=%s iterations=%d refactors=%d etas=%d"
+          (Model.name model)
+          (Solution.status_to_string status)
+          st.iterations st.refactors st.neta);
     { Solution.status;
       objective = Std_form.objective_value std values;
       values;
       iterations = st.iterations;
+      refactors = st.refactors;
       duals =
         (if status = Solution.Optimal then Some (compute_duals ()) else None);
+      basis = export_basis st;
     }
   in
   let infeasible () =
@@ -512,7 +814,9 @@ let solve ?(max_iterations = 200_000) ?deadline ?warm_basis ?(refactor = 256)
       objective = nan;
       values = Array.make p.ncols 0.0;
       iterations = st.iterations;
+      refactors = st.refactors;
       duals = None;
+      basis = None;
     }
   in
   let phase2 () =
@@ -529,7 +833,9 @@ let solve ?(max_iterations = 200_000) ?deadline ?warm_basis ?(refactor = 256)
         objective = (if std.Std_form.maximize then infinity else neg_infinity);
         values = Array.make p.ncols 0.0;
         iterations = st.iterations;
+        refactors = st.refactors;
         duals = None;
+        basis = None;
       }
   in
   if warm_ok then phase2 ()

@@ -1,11 +1,18 @@
-(** Revised primal simplex with an explicitly maintained basis inverse.
+(** Revised primal simplex on a product-form factored basis.
 
     Designed for the interval-indexed coflow relaxations: thousands of sparse
-    columns, a few thousand rows.  The inverse is updated in place by the
-    usual product-form row operations and rebuilt from scratch every
-    [refactor] pivots to bound numerical drift.  Pricing is partial (block
-    scans with a rotating cursor); a streak of degenerate pivots switches the
-    rule to Bland's until progress resumes, which guarantees termination.
+    columns, a few thousand rows.  The basis inverse is never formed.  At
+    (re)factorization time a Markowitz-ordered sparse LU of the basis matrix
+    is computed; between refactorizations each pivot appends one eta vector
+    (product-form update), and FTRAN/BTRAN apply the factors plus the eta
+    file, so per-iteration cost tracks factor fill rather than [nrows^2].
+    The factors are rebuilt whenever the eta file reaches [refactor] entries
+    or an update pivot looks numerically fragile; the rebuild also recomputes
+    the basic solution from scratch, absorbing (and logging) any drift.
+
+    Pricing is partial (block scans with a rotating cursor) against the
+    sparse BTRAN duals; a streak of degenerate pivots switches the rule to
+    Bland's until progress resumes, which guarantees termination.
 
     A warm-start basis can be supplied to skip phase 1 entirely; the coflow
     LP builder uses the crash basis "every coflow finishes in the last
@@ -15,19 +22,28 @@ type warm_basis = int array
 (** One entry per constraint row: a structural variable index to make basic
     on that row, or [-1] to use the row's own slack (only valid for
     inequality rows).  The proposed basis is verified — non-singularity and
-    primal feasibility — and silently discarded in favour of a cold phase-1
-    start if the check fails. *)
+    primal feasibility — and silently discarded in favour of the next start
+    ([crash_basis], then a cold phase-1 start) if the check fails.  Only the
+    set of columns matters: permuting entries across rows describes the same
+    basis matrix. *)
 
 val solve :
   ?max_iterations:int ->
   ?deadline:float ->
   ?warm_basis:warm_basis ->
+  ?crash_basis:warm_basis ->
   ?refactor:int ->
   Model.t ->
   Solution.t
 (** [solve m] minimises (or maximises) the model.  [max_iterations] defaults
-    to [200_000] pivots across both phases; [refactor] (default [256]) is the
-    inverse-rebuild period.
+    to [200_000] pivots across both phases; [refactor] (default [128]) bounds
+    the eta-file length between factorizations.
+
+    [warm_basis] is tried first, then [crash_basis]; each is validated and
+    the first that yields a factorizable, primal-feasible basis skips
+    phase 1.  The returned {!Solution.t} carries the final basis (in the same
+    format) and the factorization count, enabling warm-start chains across
+    related solves.
 
     [deadline] is a real-time budget in seconds for the whole solve (both
     phases), checked every 32 pivots: when it expires the solver stops with

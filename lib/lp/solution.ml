@@ -5,7 +5,9 @@ type t = {
   objective : float;
   values : float array;
   iterations : int;
+  refactors : int;
   duals : float array option;
+  basis : int array option;
 }
 
 let value t v = t.values.((v : Model.var :> int))
@@ -18,5 +20,5 @@ let status_to_string = function
   | Time_limit -> "time-limit"
 
 let pp ppf t =
-  Format.fprintf ppf "%s: obj=%g (%d iterations)" (status_to_string t.status)
-    t.objective t.iterations
+  Format.fprintf ppf "%s: obj=%g (%d iterations, %d refactors)"
+    (status_to_string t.status) t.objective t.iterations t.refactors

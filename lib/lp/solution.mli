@@ -19,12 +19,22 @@ type t = {
           meaningful for [Optimal] and [Iteration_limit]. *)
   values : float array; (** One value per model variable. *)
   iterations : int;
+  refactors : int;
+      (** Number of basis (re)factorizations performed, including the initial
+          one; [0] for solvers without a factored basis (e.g.
+          {!Dense_simplex}). *)
   duals : float array option;
       (** One multiplier per original constraint row, when the solver
           computed them (currently {!Revised_simplex} at [Optimal]).  Signs
           follow the original row orientation, so strong duality reads
           [sum_r duals.(r) * rhs_r = objective] for models with a zero
           objective constant; see the solver documentation. *)
+  basis : int array option;
+      (** The final basis in {!Revised_simplex.warm_basis} format (one entry
+          per constraint row: structural variable index, or [-1] for the
+          row's own slack), suitable for warm-starting a related solve.
+          [None] when an artificial remained basic, when the solve did not
+          finish cleanly, or for solvers that do not export a basis. *)
 }
 
 val value : t -> Model.var -> float

@@ -133,6 +133,60 @@ let test_time_indexed_guard () =
      Alcotest.fail "expected Too_large"
    with Lp_relax.Too_large _ -> ())
 
+let test_lp_budget_threaded_through_variants () =
+  (* solve_interval_base and solve_time_indexed must forward the pivot and
+     wall-clock budgets to the solver; a dropped argument shows up as a
+     successful solve here *)
+  let inst = random_instance ~ports:4 ~coflows:6 11 in
+  let expect_failure expected f =
+    try
+      ignore (f ());
+      Alcotest.fail ("expected " ^ expected)
+    with Failure msg -> Alcotest.(check string) "diagnostic" expected msg
+  in
+  expect_failure "Lp_relax: solver returned iteration-limit" (fun () ->
+      Lp_relax.solve_interval_base ~max_iterations:1 ~base:2.0 inst);
+  expect_failure "Lp_relax: solver returned iteration-limit" (fun () ->
+      Lp_relax.solve_time_indexed ~max_iterations:1 inst);
+  expect_failure "Lp_relax: solver returned time-limit" (fun () ->
+      Lp_relax.solve_interval_base ~deadline:0.0 ~base:2.0 inst);
+  expect_failure "Lp_relax: solver returned time-limit" (fun () ->
+      Lp_relax.solve_time_indexed ~deadline:0.0 inst)
+
+let test_lp_warm_start_reuses_basis () =
+  (* re-solving the same instance seeded with its own exported hints must
+     reproduce the bound and skip (nearly) all simplex work *)
+  let inst = random_instance ~ports:4 ~coflows:8 7 in
+  let cold = Lp_relax.solve_interval inst in
+  Alcotest.(check bool) "cold run pivots" true (cold.Lp_relax.iterations > 0);
+  match cold.Lp_relax.warm with
+  | None -> Alcotest.fail "optimal solve exported no warm hints"
+  | Some hints ->
+    let warm = Lp_relax.solve_interval ~warm_start:hints inst in
+    Alcotest.(check (float 1e-6)) "same bound" cold.Lp_relax.lower_bound
+      warm.Lp_relax.lower_bound;
+    Alcotest.(check bool)
+      (Printf.sprintf "warm pivots (%d) < cold pivots (%d)"
+         warm.Lp_relax.iterations cold.Lp_relax.iterations)
+      true
+      (warm.Lp_relax.iterations < cold.Lp_relax.iterations)
+
+let test_lp_warm_start_remapped_hints () =
+  (* hints survive remapping across an index permutation and a time shift,
+     and a stale map (dropping coflows) still yields a valid seed *)
+  let inst = random_instance ~ports:4 ~coflows:8 23 in
+  let cold = Lp_relax.solve_interval inst in
+  let hints = Option.get cold.Lp_relax.warm in
+  let shifted =
+    Lp_relax.remap_hints ~time_shift:0.0
+      (Lp_relax.remap_hints
+         ~index_map:(fun k -> if k = 0 then None else Some k)
+         hints)
+  in
+  let warm = Lp_relax.solve_interval ~warm_start:shifted inst in
+  Alcotest.(check (float 1e-6)) "same bound under stale hints"
+    cold.Lp_relax.lower_bound warm.Lp_relax.lower_bound
+
 let test_lp_order_is_permutation () =
   let inst = random_instance 17 in
   let r = Lp_relax.solve_interval inst in
@@ -1013,6 +1067,12 @@ let () =
           Alcotest.test_case "LP-EXP tighter" `Quick
             test_time_indexed_at_least_interval;
           Alcotest.test_case "LP-EXP size guard" `Quick test_time_indexed_guard;
+          Alcotest.test_case "budgets threaded through variants" `Quick
+            test_lp_budget_threaded_through_variants;
+          Alcotest.test_case "warm start reuses basis" `Quick
+            test_lp_warm_start_reuses_basis;
+          Alcotest.test_case "warm start survives remapping" `Quick
+            test_lp_warm_start_remapped_hints;
           Alcotest.test_case "order is permutation" `Quick
             test_lp_order_is_permutation;
           Alcotest.test_case "release dates respected" `Quick

@@ -97,6 +97,31 @@ let test_lp_is_lower_bound_for_all_entries () =
         b.Harness.entries)
     bs
 
+let test_dense_and_revised_order_identically () =
+  (* acceptance criterion for the eta/LU core: on the E1 blocks the sparse
+     revised solver must produce the same cbar ordering (and bound, within
+     1e-6 relative) as the dense tableau through the shared pipeline *)
+  let bs = Lazy.force blocks in
+  List.iter
+    (fun b ->
+      let dense =
+        Core.Lp_relax.solve_interval ~solver:`Dense b.Harness.instance
+      in
+      let revised = b.Harness.lp in
+      Alcotest.(check bool)
+        (Printf.sprintf "filter %d %s: same bound" b.Harness.filter
+           (Harness.weighting_name b.Harness.weighting))
+        true
+        (Float.abs
+           (dense.Core.Lp_relax.lower_bound
+           -. revised.Core.Lp_relax.lower_bound)
+        <= 1e-6 *. (1.0 +. Float.abs dense.Core.Lp_relax.lower_bound));
+      Alcotest.(check (array int))
+        (Printf.sprintf "filter %d %s: same ordering" b.Harness.filter
+           (Harness.weighting_name b.Harness.weighting))
+        dense.Core.Lp_relax.order revised.Core.Lp_relax.order)
+    bs
+
 let test_filter_removes_everything_rejected () =
   (try
      ignore (Harness.block tiny_cfg ~filter:10_000 ~weighting:Harness.Equal);
@@ -328,6 +353,8 @@ let () =
             test_normalization_anchor;
           Alcotest.test_case "LP lower-bounds everything" `Quick
             test_lp_is_lower_bound_for_all_entries;
+          Alcotest.test_case "dense = revised orderings" `Quick
+            test_dense_and_revised_order_identically;
           Alcotest.test_case "empty filter rejected" `Quick
             test_filter_removes_everything_rejected;
         ] );

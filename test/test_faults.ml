@@ -435,6 +435,36 @@ let test_resilient_deterministic_replay () =
   Alcotest.(check (float 0.0)) "identical twct" a.Core.Resilient.twct
     b.Core.Resilient.twct
 
+let test_resilient_warm_start_saves_pivots () =
+  (* acceptance criterion: with basis reuse across re-planning rounds the
+     loop spends measurably fewer total simplex pivots than cold-starting
+     every residual LP, at the same schedule quality *)
+  let inst =
+    Workload.Synthetic.uniform ~density:0.5 ~max_size:4 ~ports:4 ~coflows:12
+      (Random.State.make [| 16; 0xFA17 |])
+  in
+  let plan =
+    Fault_plan.random ~intensity:1.0 ~ports:4 ~coflows:12 ~horizon:40
+      (Random.State.make [| 16; 0xFA17; 1 |])
+  in
+  let run lp_warm_start =
+    Core.Resilient.run
+      ~config:{ (det_config Core.Resilient.Lp) with Core.Resilient.lp_warm_start }
+      ~plan inst
+  in
+  let cold = run false and warm = run true in
+  Alcotest.(check bool) "several re-planning rounds" true
+    (cold.Core.Resilient.replans > 1);
+  check_int "same rounds either way" cold.Core.Resilient.replans
+    warm.Core.Resilient.replans;
+  Alcotest.(check (float 1e-9)) "same twct" cold.Core.Resilient.twct
+    warm.Core.Resilient.twct;
+  Alcotest.(check bool)
+    (Printf.sprintf "warm pivots (%d) < cold pivots (%d)"
+       warm.Core.Resilient.lp_iterations cold.Core.Resilient.lp_iterations)
+    true
+    (warm.Core.Resilient.lp_iterations < cold.Core.Resilient.lp_iterations)
+
 let test_resilient_full_outage_degrades_to_arrival () =
   let plan =
     Fault_plan.make
@@ -556,6 +586,8 @@ let () =
             test_resilient_completes_under_faults;
           Alcotest.test_case "deterministic replay" `Quick
             test_resilient_deterministic_replay;
+          Alcotest.test_case "warm start saves pivots" `Quick
+            test_resilient_warm_start_saves_pivots;
           Alcotest.test_case "full outage -> arrival" `Quick
             test_resilient_full_outage_degrades_to_arrival;
           Alcotest.test_case "deadline -> rho" `Quick

@@ -387,6 +387,79 @@ let build_feasible (nvars, nrows, seed) =
   Model.minimize m obj;
   m
 
+(* Like [build_feasible] but with a shared random state and an optional
+   degeneracy knob: duplicating each row makes the optimal vertex
+   over-determined, which exercises Bland's rule and the tiny-pivot
+   refactor-and-retry path in the eta-file solver. *)
+let build_random ?(degenerate = false) st =
+  let nvars = 1 + Random.State.int st 6 in
+  let nrows = 1 + Random.State.int st 6 in
+  let m = Model.create () in
+  let xs = Model.add_vars m nvars in
+  for _ = 1 to nrows do
+    let expr =
+      Array.to_list xs
+      |> List.filter_map (fun v ->
+             if Random.State.float st 1.0 < 0.7 then
+               Some (float_of_int (Random.State.int st 9 - 4), v)
+             else None)
+    in
+    let b = float_of_int (Random.State.int st 20) in
+    ignore (Model.add_constraint m expr Model.Le b);
+    if degenerate then ignore (Model.add_constraint m expr Model.Le b)
+  done;
+  Array.iter
+    (fun v -> ignore (Model.add_constraint m [ (1.0, v) ] Model.Le 10.0))
+    xs;
+  Model.minimize m
+    (Array.to_list xs
+    |> List.map (fun v -> (float_of_int (Random.State.int st 11 - 5), v)));
+  m
+
+(* 200 seeded random LPs: the eta/LU revised solver must match the dense
+   tableau to 1e-6.  Every third instance is degenerate (duplicated rows),
+   and every optimal solve is repeated warm-started from its own exported
+   basis, which must reproduce the optimum without a single pivot. *)
+let test_cross_check_suite () =
+  let st = Random.State.make [| 0x5EED; 2026 |] in
+  for case = 1 to 200 do
+    let m = build_random ~degenerate:(case mod 3 = 0) st in
+    let d = Dense_simplex.solve m in
+    let r = Revised_simplex.solve m in
+    let name = Printf.sprintf "case %d" case in
+    check_status (name ^ " status") (status d) (status r);
+    if d.Solution.status = Solution.Optimal then begin
+      Alcotest.(check (float 1e-6))
+        (name ^ " objective") d.Solution.objective r.Solution.objective;
+      match r.Solution.basis with
+      | None -> Alcotest.fail (name ^ ": optimal solve exported no basis")
+      | Some basis ->
+        let w = Revised_simplex.solve ~warm_basis:basis m in
+        Alcotest.(check (float 1e-6))
+          (name ^ " warm objective") d.Solution.objective
+          w.Solution.objective;
+        Alcotest.(check int) (name ^ " warm pivots") 0 w.Solution.iterations
+    end
+  done
+
+let test_refactor_threshold () =
+  (* one pivot per variable; capping the eta file at a single update forces
+     a refactorization per iteration, with the same optimum *)
+  let m = Model.create () in
+  let xs = Model.add_vars m 8 in
+  Array.iteri
+    (fun i x ->
+      ignore
+        (Model.add_constraint m [ (1.0, x) ] Model.Le (float_of_int (i + 1))))
+    xs;
+  Model.maximize m (Array.to_list (Array.map (fun x -> (1.0, x)) xs));
+  let relaxed = Revised_simplex.solve m in
+  let eager = Revised_simplex.solve ~refactor:1 m in
+  check_obj "relaxed optimum" 36.0 relaxed;
+  check_obj "eager optimum" 36.0 eager;
+  Alcotest.(check bool) "capped eta file forces refactorizations" true
+    (eager.Solution.refactors > relaxed.Solution.refactors)
+
 let prop_dense_eq_revised =
   QCheck.Test.make ~name:"dense and revised agree" ~count:150
     (QCheck.make
@@ -545,6 +618,10 @@ let () =
           Alcotest.test_case "lp_io file roundtrip" `Quick
             test_lp_io_file_roundtrip;
           Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+          Alcotest.test_case "cross-check vs dense (200 seeded)" `Quick
+            test_cross_check_suite;
+          Alcotest.test_case "refactor threshold" `Quick
+            test_refactor_threshold;
         ] );
       ("properties", properties);
     ]
