@@ -32,12 +32,14 @@ let get_blocks cfg =
   match !blocks_cache with
   | Some b -> b
   | None ->
-    let t0 = Unix.gettimeofday () in
     Printf.printf
       "[building blocks: %d interval-LP solves + 12 simulations each...]\n%!"
       (2 * List.length cfg.Experiments.Config.filters);
-    let b = Experiments.Harness.all_blocks cfg in
-    Printf.printf "[blocks ready in %.1fs]\n%!" (Unix.gettimeofday () -. t0);
+    let b, seconds =
+      Obs.Span.timed "bench.blocks" (fun () ->
+          Experiments.Harness.all_blocks cfg)
+    in
+    Printf.printf "[blocks ready in %.1fs]\n%!" seconds;
     blocks_cache := Some b;
     b
 
@@ -221,14 +223,24 @@ let kernel_tests () =
 (* Counter probe for the JSON baseline: one cold interval-LP solve and one
    warm-started re-solve of the same instance as the interval_lp_8x24
    kernel, so perf trajectories track simplex effort (pivots,
-   factorizations) alongside wall-clock. *)
+   factorizations) alongside wall-clock.  The numbers are read as deltas of
+   the process-wide obs counters — the same registry [--profile] exports —
+   so the two artifacts can never drift apart. *)
 let lp_counters () =
+  let pivots = Obs.Counter.make "lp.pivots" in
+  let refactors = Obs.Counter.make "lp.refactors" in
+  let snap () = (Obs.Counter.value pivots, Obs.Counter.value refactors) in
   let inst =
     Workload.Fb_like.generate ~ports:8 ~coflows:24 (Random.State.make [| 8 |])
   in
+  let p0, r0 = snap () in
   let cold = Core.Lp_relax.solve_interval inst in
-  let warm = Core.Lp_relax.solve_interval ?warm_start:cold.Core.Lp_relax.warm inst in
-  (cold, warm)
+  let p1, r1 = snap () in
+  let _warm =
+    Core.Lp_relax.solve_interval ?warm_start:cold.Core.Lp_relax.warm inst
+  in
+  let p2, r2 = snap () in
+  ((p1 - p0, r1 - r0), (p2 - p1, r2 - r1))
 
 let git_rev () =
   try
@@ -240,7 +252,7 @@ let git_rev () =
   with _ -> "unknown"
 
 let write_json path rows =
-  let cold, warm = lp_counters () in
+  let (cold_iters, cold_refs), (warm_iters, warm_refs) = lp_counters () in
   let oc = open_out path in
   let row_json (name, ns, r2) =
     Printf.sprintf
@@ -261,8 +273,7 @@ let write_json path rows =
      }\n"
     (git_rev ())
     (String.concat ",\n" (List.map row_json rows))
-    cold.Core.Lp_relax.iterations cold.Core.Lp_relax.refactors
-    warm.Core.Lp_relax.iterations warm.Core.Lp_relax.refactors;
+    cold_iters cold_refs warm_iters warm_refs;
   close_out oc;
   Printf.printf "[wrote %s]\n" path
 
@@ -305,9 +316,13 @@ let run_kernels ?json () =
 
 (* ---------- entry point ---------- *)
 
+let is_mode m =
+  m = "tables" || m = "kernels" || List.mem_assoc m all_experiments
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let json = ref None in
+  let profile = ref None in
   let rec parse modes = function
     | "--scale" :: s :: rest ->
       (match Experiments.Config.scale_of_string s with
@@ -319,13 +334,23 @@ let () =
     | "--json" :: p :: rest ->
       json := Some p;
       parse modes rest
+    (* --profile [PATH]: PATH is optional; a following token is consumed
+       unless it is a flag or a mode name *)
+    | "--profile" :: p :: rest
+      when String.length p > 0 && p.[0] <> '-' && not (is_mode p) ->
+      profile := Some p;
+      parse modes rest
+    | "--profile" :: rest ->
+      profile := Some "PROFILE.json";
+      parse modes rest
     | m :: rest -> parse (m :: modes) rest
     | [] -> List.rev modes
   in
   let modes = parse [] args in
+  if !profile <> None then Obs.Events.set_enabled true;
   let cfg = Experiments.Config.of_scale !scale in
   Printf.printf "scale: %s\n" (Format.asprintf "%a" Experiments.Config.pp cfg);
-  match modes with
+  (match modes with
   | [] ->
     run_tables cfg;
     run_kernels ?json:!json ()
@@ -341,4 +366,9 @@ let () =
           | None ->
             Printf.eprintf "unknown mode %S\n" m;
             exit 2))
-      modes
+      modes);
+  match !profile with
+  | None -> ()
+  | Some path ->
+    Obs.Profile.write path;
+    Printf.printf "[wrote %s]\n" path

@@ -10,7 +10,8 @@
 
 open Cmdliner
 
-let run_all scale only csv_dir =
+let run_all scale only csv_dir profile =
+  if profile <> None then Obs.Events.set_enabled true;
   let cfg = Experiments.Config.of_scale scale in
   let wants tag = match only with [] -> true | l -> List.mem tag l in
   Format.printf "configuration: %a@.@." Experiments.Config.pp cfg;
@@ -23,9 +24,11 @@ let run_all scale only csv_dir =
         "building (filter x weighting) blocks — this solves the interval LP \
          %d times...@."
         (2 * List.length cfg.Experiments.Config.filters);
-      let t0 = Unix.gettimeofday () in
-      let blocks = Experiments.Harness.all_blocks cfg in
-      Format.printf "blocks ready in %.1fs@.@." (Unix.gettimeofday () -. t0);
+      let blocks, seconds =
+        Obs.Span.timed "experiments.blocks" (fun () ->
+            Experiments.Harness.all_blocks cfg)
+      in
+      Format.printf "blocks ready in %.1fs@.@." seconds;
       blocks
     end
     else []
@@ -105,6 +108,11 @@ let run_all scale only csv_dir =
     print_string (Experiments.Exp_faults.render cfg);
     print_newline ()
   end;
+  (match profile with
+  | None -> ()
+  | Some path ->
+    Obs.Profile.write path;
+    Format.printf "(wrote %s)@." path);
   0
 
 let scale_conv =
@@ -141,10 +149,19 @@ let csv_arg =
     & opt (some dir) None
     & info [ "csv" ] ~docv:"DIR" ~doc:"Also write CSV outputs to DIR")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "PROFILE.json") (some string) None
+    & info [ "profile" ] ~docv:"PATH"
+        ~doc:
+          "Write a machine-readable profile (spans, counters, per-slot \
+           events) to PATH; defaults to PROFILE.json when PATH is omitted")
+
 let cmd =
   let doc = "Regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "coflow-experiments" ~doc)
-    Term.(const run_all $ scale_arg $ only_arg $ csv_arg)
+    Term.(const run_all $ scale_arg $ only_arg $ csv_arg $ profile_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -109,7 +109,13 @@ let decompose d =
     List.rev !acc
   end
 
-let schedule d = decompose (augment d)
+let c_matchings = Obs.Counter.make "bvn.matchings"
+
+let schedule d =
+  Obs.Span.with_ "bvn.schedule" @@ fun () ->
+  let s = decompose (augment d) in
+  Obs.Counter.incr c_matchings ~by:(List.length s);
+  s
 
 let duration s = List.fold_left (fun acc (_, q) -> acc + q) 0 s
 

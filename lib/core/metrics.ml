@@ -32,11 +32,13 @@ let percentile p cs =
   if n = 0 then invalid_arg "Metrics.percentile: empty";
   if p < 0.0 || p > 1.0 then invalid_arg "Metrics.percentile: p out of range";
   let sorted = Array.copy cs in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   let rank = int_of_float (Float.round (p *. float_of_int (n - 1))) in
   sorted.(rank)
 
-let max_completion cs = Array.fold_left max 0 cs
+let max_completion cs =
+  if Array.length cs = 0 then invalid_arg "Metrics.max_completion: empty";
+  Array.fold_left max cs.(0) cs
 
 let slowdowns inst completion =
   Array.mapi

@@ -19,7 +19,8 @@ val percentile : float -> int array -> int
     @raise Invalid_argument on an empty array or [p] outside [0, 1]. *)
 
 val max_completion : int array -> int
-(** The makespan of the completion vector. *)
+(** The makespan of the completion vector.
+    @raise Invalid_argument on an empty array, like every sibling. *)
 
 val slowdowns :
   Workload.Instance.t -> int array -> float array

@@ -73,7 +73,12 @@ let residual_instance inst sim =
    (drop completed coflows, shift times to "now") and, on success, stores
    the new basis back in original/absolute terms for the next round.
    [lp_stats] accumulates (iterations, refactors) over successful solves. *)
+let c_replans = Obs.Counter.make "resilient.replans"
+
+let c_lp_failures = Obs.Counter.make "resilient.lp_failures"
+
 let replan cfg inj inst ~warm ~lp_stats ~on_lp_failure =
+  Obs.Span.with_ "resilient.replan" @@ fun () ->
   let sim = Injector.sim inj in
   let now = Simulator.now sim in
   let outage = Fault_plan.solver_outage (Injector.plan inj) ~slot:now in
@@ -129,12 +134,16 @@ let replan cfg inj inst ~warm ~lp_stats ~on_lp_failure =
       (Rho, Array.map (fun i -> keep.(i)) (Ordering.by_load_over_weight resid)))
 
 let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
+  Obs.Span.with_ "resilient.run" @@ fun () ->
   let ports = Instance.ports inst in
   let inj = Injector.create ?topo ~plan ~ports (Instance.demands inst) in
   let sim = Injector.sim inj in
   let lp_failures = ref 0 and replans = ref 0 in
   let warm = ref None and lp_stats = ref (0, 0) in
-  let on_lp_failure () = incr lp_failures in
+  let on_lp_failure () =
+    incr lp_failures;
+    Obs.Counter.incr c_lp_failures
+  in
   let tier_counts = Array.make 3 0 in
   let log = ref [] in
   let order = ref [||] in
@@ -162,6 +171,7 @@ let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
       tier := t;
       order := o;
       incr replans;
+      Obs.Counter.incr c_replans;
       need_replan := false
     end;
     let transfers = Injector.greedy_policy inj !order sim in
@@ -171,11 +181,10 @@ let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
   done;
   let n = Instance.num_coflows inst in
   let completion = Array.init n (fun k -> Simulator.completion_time_exn sim k) in
-  let w = Instance.weights inst in
-  let twct = ref 0.0 in
-  Array.iteri (fun k c -> twct := !twct +. (w.(k) *. float_of_int c)) completion;
   { completion;
-    twct = !twct;
+    twct =
+      Metrics.total_weighted_completion ~weights:(Instance.weights inst)
+        completion;
     slots = Simulator.now sim;
     tier_slots = List.map (fun t -> (t, tier_counts.(tier_index t))) all_tiers;
     replans = !replans;

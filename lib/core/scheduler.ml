@@ -20,15 +20,18 @@ type result = {
   matchings : int;
 }
 
-type policy_state = {
+type state = {
   groups : int array array;
   suffix : int array array;
       (* suffix.(u): coflows after group u in schedule order — the backfill
          candidates *)
   mutable current : int; (* group index *)
-  mutable queue : ((int * int) array * int ref) list;
-      (* remaining BvN matchings of the active group, with slot budgets *)
+  mutable queue : ((int * int) array * int ref * int) list;
+      (* remaining BvN matchings of the active group: (matching, remaining
+         slot budget, initial budget) — the initial budget tells a first use
+         apart from a reuse *)
   mutable matchings_built : int;
+  mutable matchings_reused : int;
 }
 
 (* suffix.(u) = concatenation of groups after u, in order. *)
@@ -46,6 +49,7 @@ let make_state groups =
     current = 0;
     queue = [];
     matchings_built = 0;
+    matchings_reused = 0;
   }
 
 let group_complete sim group =
@@ -121,7 +125,21 @@ let aggressive_fill sim candidates transfers =
     candidates;
   !extra
 
-let rec next_slot state ~backfill ?(aggressive = false) sim =
+(* Per-call accounting, folded into the state, the obs counters and the
+   slot-event stream by the [next_slot] wrapper below. *)
+type slot_meta = {
+  mutable m_built : int;
+  mutable m_reused : int;
+  mutable m_backfilled : int;
+}
+
+let c_built = Obs.Counter.make "sched.matchings_built"
+
+let c_reused = Obs.Counter.make "sched.matchings_reused"
+
+let c_backfilled = Obs.Counter.make "sched.backfilled_units"
+
+let rec slot_impl state ~backfill ~aggressive ~meta sim =
   let n_groups = Array.length state.groups in
   (* advance past finished groups *)
   while
@@ -131,31 +149,58 @@ let rec next_slot state ~backfill ?(aggressive = false) sim =
     state.current <- state.current + 1;
     state.queue <- []
   done;
-  if state.current >= n_groups then []
+  if state.current >= n_groups then begin
+    (* Every group is done, yet the simulator may still hold unfinished
+       coflows (a grouping that does not cover every coflow, or demand
+       grown after grouping).  Returning [] here would idle every remaining
+       slot until the budget trips; serve the leftovers greedily instead. *)
+    let leftovers = Array.init (Simulator.num_coflows sim) (fun k -> k) in
+    let transfers = greedy_fill sim leftovers in
+    meta.m_backfilled <- meta.m_backfilled + List.length transfers;
+    transfers
+  end
   else begin
     let group = state.groups.(state.current) in
     if state.queue = [] then begin
-      if not (group_released sim group) then
+      if not (group_released sim group) then begin
         (* gated by a release date *)
-        if backfill then greedy_fill sim state.suffix.(state.current)
+        if backfill then begin
+          let transfers = greedy_fill sim state.suffix.(state.current) in
+          meta.m_backfilled <- meta.m_backfilled + List.length transfers;
+          transfers
+        end
         else []
+      end
       else begin
         let schedule = Bvn.schedule (aggregate_remaining sim group) in
-        state.matchings_built <- state.matchings_built + List.length schedule;
+        let built = List.length schedule in
+        state.matchings_built <- state.matchings_built + built;
+        meta.m_built <- meta.m_built + built;
+        if built > 0 then Obs.Counter.incr c_built ~by:built;
         state.queue <-
-          List.map (fun (m, q) -> (Array.of_list m, ref q)) schedule;
-        if state.queue = [] then
-          (* group demand vanished (served by earlier backfilling) but the
-             completion check above said otherwise — impossible; guard
-             anyway to avoid a spin. *)
-          []
-        else next_slot state ~backfill ~aggressive sim
+          List.map (fun (m, q) -> (Array.of_list m, ref q, q)) schedule;
+        if state.queue = [] then begin
+          (* The group's aggregate demand vanished even though the
+             completion check above reported unfinished members (a state a
+             demand-dropping fault layer or an externally stepped simulator
+             can produce).  Idling here would repeat forever — the rebuild
+             is deterministic — and spin until [max_slots]; advancing is
+             the only progressing move. *)
+          state.current <- state.current + 1;
+          slot_impl state ~backfill ~aggressive ~meta sim
+        end
+        else slot_impl state ~backfill ~aggressive ~meta sim
       end
     end
     else begin
       match state.queue with
       | [] -> assert false
-      | (matching, q) :: rest ->
+      | (matching, q, q0) :: rest ->
+        if !q < q0 then begin
+          state.matchings_reused <- state.matchings_reused + 1;
+          meta.m_reused <- meta.m_reused + 1;
+          Obs.Counter.incr c_reused
+        end;
         let transfers = ref [] in
         Array.iter
           (fun (i, j) ->
@@ -163,8 +208,13 @@ let rec next_slot state ~backfill ?(aggressive = false) sim =
               match pick_coflow sim group i j with
               | Some k -> Some k
               | None ->
-                if backfill then
-                  pick_coflow sim state.suffix.(state.current) i j
+                if backfill then begin
+                  match pick_coflow sim state.suffix.(state.current) i j with
+                  | Some k ->
+                    meta.m_backfilled <- meta.m_backfilled + 1;
+                    Some k
+                  | None -> None
+                end
                 else None
             in
             match candidate with
@@ -175,28 +225,53 @@ let rec next_slot state ~backfill ?(aggressive = false) sim =
           matching;
         decr q;
         if !q = 0 then state.queue <- rest;
-        if aggressive then
-          aggressive_fill sim
-            (Array.append group state.suffix.(state.current))
-            !transfers
+        if aggressive then begin
+          let filled =
+            aggressive_fill sim
+              (Array.append group state.suffix.(state.current))
+              !transfers
+          in
+          meta.m_backfilled <-
+            meta.m_backfilled + List.length filled - List.length !transfers;
+          filled
+        end
         else !transfers
     end
   end
+
+let next_slot state ~backfill ?(aggressive = false) sim =
+  let meta = { m_built = 0; m_reused = 0; m_backfilled = 0 } in
+  let slot = Simulator.now sim in
+  let transfers = slot_impl state ~backfill ~aggressive ~meta sim in
+  if meta.m_backfilled > 0 then
+    Obs.Counter.incr c_backfilled ~by:meta.m_backfilled;
+  if Obs.Events.enabled () then
+    Obs.Events.record
+      { Obs.Events.slot;
+        transfers = List.length transfers;
+        active_group =
+          (if state.current < Array.length state.groups then state.current
+           else -1);
+        built = meta.m_built;
+        reused = meta.m_reused;
+        backfilled = meta.m_backfilled;
+      };
+  transfers
 
 let policy ?(backfill = false) ?(aggressive = false) _inst groups =
   let state = make_state groups in
   fun sim -> next_slot state ~backfill ~aggressive sim
 
 let twct_of_completions inst completion =
-  let w = Instance.weights inst in
-  let acc = ref 0.0 in
-  Array.iteri (fun k c -> acc := !acc +. (w.(k) *. float_of_int c)) completion;
-  !acc
+  Metrics.total_weighted_completion ~weights:(Instance.weights inst) completion
+
+let g_utilization = Obs.Counter.Gauge.make "sched.utilization"
 
 let run_grouped ?(backfill = false) ?(aggressive = false) inst groups =
   let sim = Simulator.create ~ports:(Instance.ports inst) (Instance.demands inst) in
   let state = make_state groups in
   Simulator.run sim ~policy:(fun s -> next_slot state ~backfill ~aggressive s);
+  Obs.Counter.Gauge.set g_utilization (Simulator.utilization sim);
   let n = Instance.num_coflows inst in
   let completion =
     Array.init n (fun k -> Simulator.completion_time_exn sim k)

@@ -31,6 +31,40 @@ type result = {
   matchings : int;  (** distinct BvN matchings computed *)
 }
 
+type state = {
+  groups : int array array;  (** the grouping being executed, in order *)
+  suffix : int array array;
+      (** [suffix.(u)]: coflows after group [u] in schedule order — the
+          backfill candidates *)
+  mutable current : int;  (** index of the active group *)
+  mutable queue : ((int * int) array * int ref * int) list;
+      (** remaining BvN matchings of the active group: (matching, remaining
+          slot budget, initial budget) *)
+  mutable matchings_built : int;
+  mutable matchings_reused : int;
+      (** slots served from a matching that had already served a slot *)
+}
+(** The mutable policy state, exposed concretely so observability tooling
+    can read the active group / queue depth and white-box tests can
+    construct degenerate states (e.g. a group whose demand vanished)
+    directly. Ordinary callers should treat it as opaque and go through
+    {!policy} / {!run_grouped}. *)
+
+val make_state : Grouping.t -> state
+
+val next_slot :
+  state ->
+  backfill:bool ->
+  ?aggressive:bool ->
+  Switchsim.Simulator.t ->
+  Switchsim.Simulator.transfer list
+(** One slot of the grouped policy.  Advances past complete groups; when
+    the active group's aggregate demand has vanished while members are
+    still marked unfinished, the group is skipped (never idles).  Once all
+    groups are done, any coflows the grouping did not cover are served
+    greedily instead of idling until the slot budget trips.  Records a
+    {!Obs.Events.slot_event} per call when the event stream is enabled. *)
+
 val policy :
   ?backfill:bool ->
   ?aggressive:bool ->
@@ -66,3 +100,6 @@ val run_grouped :
     matrix has no counterpart demand downstream. *)
 
 val twct_of_completions : Workload.Instance.t -> int array -> float
+(** [Metrics.total_weighted_completion] under the instance's weights.
+    @raise Invalid_argument when the weight vector is shorter than the
+    completion vector. *)

@@ -26,9 +26,10 @@ let run ?(bases = default_bases) cfg =
   let warm = ref None in
   List.map
     (fun base ->
-      let t0 = Unix.gettimeofday () in
-      let lp = Lp_relax.solve_interval_base ?warm_start:!warm ~base inst in
-      let solve_seconds = Unix.gettimeofday () -. t0 in
+      let lp, solve_seconds =
+        Obs.Span.timed "lp_grid.solve" (fun () ->
+            Lp_relax.solve_interval_base ?warm_start:!warm ~base inst)
+      in
       warm := lp.Lp_relax.warm;
       let intervals =
         (* distinct grid levels actually used by the solution encoding *)

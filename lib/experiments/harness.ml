@@ -26,6 +26,7 @@ let base_instance (cfg : Config.t) =
   Fb_like.generate ~ports:cfg.Config.ports ~coflows:cfg.Config.coflows st
 
 let block ?warm_start cfg ~filter ~weighting =
+  Obs.Span.with_ "harness.block" @@ fun () ->
   let inst = Instance.filter_m0 (base_instance cfg) filter in
   let n = Instance.num_coflows inst in
   if n = 0 then
@@ -41,7 +42,10 @@ let block ?warm_start cfg ~filter ~weighting =
       let st = Random.State.make [| cfg.Config.seed; filter; 0xBEEF |] in
       Instance.with_weights inst (Weights.random_permutation st n)
   in
-  let lp = Lp_relax.solve_interval ?warm_start inst in
+  let lp =
+    Obs.Span.with_ "harness.lp_solve" (fun () ->
+        Lp_relax.solve_interval ?warm_start inst)
+  in
   let orders =
     [ ("HA", Ordering.arrival inst);
       ("Hrho", Ordering.by_load_over_weight inst);
@@ -49,13 +53,14 @@ let block ?warm_start cfg ~filter ~weighting =
     ]
   in
   let entries =
-    List.concat_map
-      (fun (order_name, order) ->
-        List.map
-          (fun case ->
-            { order_name; case; result = Scheduler.run ~case inst order })
-          Scheduler.all_cases)
-      orders
+    Obs.Span.with_ "harness.schedule" (fun () ->
+        List.concat_map
+          (fun (order_name, order) ->
+            List.map
+              (fun case ->
+                { order_name; case; result = Scheduler.run ~case inst order })
+              Scheduler.all_cases)
+          orders)
   in
   { filter; weighting; instance = inst; lp; entries }
 

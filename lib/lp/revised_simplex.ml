@@ -2,6 +2,12 @@ let src = Logs.Src.create "lp.revised" ~doc:"Revised simplex"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Process-wide effort counters, shared with every profile/bench exporter;
+   the per-state [iterations]/[refactors] fields below steer the algorithm
+   (iteration limits, refactorization cadence) and feed [Solution.t]. *)
+let c_pivots = Obs.Counter.make "lp.pivots"
+let c_refactors = Obs.Counter.make "lp.refactors"
+
 type warm_basis = int array
 
 let feas_tol = 1e-7
@@ -432,6 +438,7 @@ let factorize ?(log_drift = false) st =
       };
     st.neta <- 0;
     st.refactors <- st.refactors + 1;
+    Obs.Counter.incr c_refactors;
     (* xb = B^-1 rhs, from scratch. *)
     let w = st.wrow in
     Array.blit p.rhs 0 w 0 n;
@@ -480,6 +487,7 @@ let pivot st leave enter d theta =
   st.in_basis.(enter) <- true;
   st.basis.(leave) <- enter;
   st.iterations <- st.iterations + 1;
+  Obs.Counter.incr c_pivots;
   if theta <= feas_tol then begin
     st.degenerate_streak <- st.degenerate_streak + 1;
     if st.degenerate_streak > 60 then st.bland <- true
@@ -570,13 +578,15 @@ let ratio_test st d =
 
 type phase_outcome = P_optimal | P_unbounded | P_limit | P_deadline
 
-(* The deadline is wall-clock-ish (Sys.time, so CPU seconds): checked every
-   32 pivots to keep the clock read off the pivot hot path, and once before
-   the very first pivot so a zero deadline aborts immediately. *)
+(* The deadline is wall-clock time on the obs monotonic clock (callers
+   document wall-clock budgets; the CPU-second [Sys.time] this used to read
+   never fires on time under sleeps or IO): checked every 32 pivots to keep
+   the clock read off the pivot hot path, and once before the very first
+   pivot so a zero deadline aborts on the first check. *)
 let past_deadline st stop_at =
   match stop_at with
   | None -> false
-  | Some t -> st.iterations land 31 = 0 && Sys.time () >= t
+  | Some t -> st.iterations land 31 = 0 && Obs.Clock.now_s () >= t
 
 let run_phase st cost allowed ~max_iterations ~refactor ~stop_at =
   let n = n_of st in
@@ -751,12 +761,13 @@ let export_basis st =
 
 let solve ?(max_iterations = 200_000) ?deadline ?warm_basis ?crash_basis
     ?(refactor = 128) model =
+  Obs.Span.with_ "lp.solve" @@ fun () ->
   let stop_at =
     match deadline with
     | None -> None
     | Some d ->
       if d < 0.0 then invalid_arg "Revised_simplex.solve: negative deadline";
-      Some (Sys.time () +. d)
+      Some (Obs.Clock.now_s () +. d)
   in
   let std = Std_form.of_model model in
   let p = normalise std in

@@ -1,0 +1,7 @@
+external now_ns : unit -> int = "obs_monotonic_ns" [@@noalloc]
+
+let now_s () = float_of_int (now_ns ()) /. 1e9
+
+let elapsed_ns ~since = now_ns () - since
+
+let elapsed_s ~since = float_of_int (now_ns () - since) /. 1e9

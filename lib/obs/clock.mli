@@ -1,0 +1,20 @@
+(** The single source of truth for durations and deadlines.
+
+    Monotonic time (CLOCK_MONOTONIC): unaffected by wall-clock steps and,
+    unlike [Sys.time], it keeps advancing while the process sleeps or
+    blocks on IO — so deadlines expressed against this clock fire when the
+    user's budget elapses, not when the CPU has burned that many seconds.
+    The origin is arbitrary (typically boot); only differences are
+    meaningful. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds since an arbitrary origin.  Allocation-free. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. *)
+
+val elapsed_ns : since:int -> int
+(** [elapsed_ns ~since] = [now_ns () - since]. *)
+
+val elapsed_s : since:int -> float
+(** [elapsed_ns] in seconds; [since] is a {!now_ns} reading. *)

@@ -1,0 +1,72 @@
+type slot_event = {
+  slot : int;
+  transfers : int;
+  active_group : int;
+  built : int;
+  reused : int;
+  backfilled : int;
+}
+
+let flag = Atomic.make false
+
+let set_enabled b = Atomic.set flag b
+
+let enabled () = Atomic.get flag
+
+let zero =
+  { slot = 0; transfers = 0; active_group = 0; built = 0; reused = 0;
+    backfilled = 0 }
+
+let lock = Mutex.create ()
+
+(* Growable buffer: [store] holds [len] live events. *)
+let store = ref (Array.make 0 zero)
+
+let len = ref 0
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let record ev =
+  if Atomic.get flag then
+    with_lock (fun () ->
+        let cap = Array.length !store in
+        if !len >= cap then begin
+          let next = Array.make (max 1024 (2 * cap)) zero in
+          Array.blit !store 0 next 0 cap;
+          store := next
+        end;
+        !store.(!len) <- ev;
+        incr len)
+
+let length () = with_lock (fun () -> !len)
+
+let to_list () =
+  with_lock (fun () -> Array.to_list (Array.sub !store 0 !len))
+
+let reset () =
+  with_lock (fun () ->
+      store := [||];
+      len := 0)
+
+let iter f =
+  with_lock (fun () ->
+      for i = 0 to !len - 1 do
+        f !store.(i)
+      done)
+
+let write_jsonl buf =
+  iter (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"slot\":%d,\"transfers\":%d,\"active_group\":%d,\"built\":%d,\
+            \"reused\":%d,\"backfilled\":%d}\n"
+           e.slot e.transfers e.active_group e.built e.reused e.backfilled))
+
+let write_csv buf =
+  Buffer.add_string buf "slot,transfers,active_group,built,reused,backfilled\n";
+  iter (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d,%d,%d\n" e.slot e.transfers e.active_group
+           e.built e.reused e.backfilled))

@@ -1,0 +1,40 @@
+(** Low-overhead per-slot event stream.
+
+    One record per simulated slot, emitted by the scheduling policy, which
+    is the only layer that knows both the matching decisions and the group
+    context.  Recording is disabled by default: the hot path pays a single
+    atomic load and no allocation until {!set_enabled}[ true] (the
+    [--profile] flag flips it). *)
+
+type slot_event = {
+  slot : int;  (** simulator clock before the slot executes *)
+  transfers : int;  (** data units moved this slot *)
+  active_group : int;  (** index of the group being cleared, [-1] if none *)
+  built : int;  (** BvN matchings built (a rebuild happened this slot) *)
+  reused : int;  (** 1 when the slot was served from an existing queue *)
+  backfilled : int;  (** units served by backfilling / work conservation *)
+}
+
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+val record : slot_event -> unit
+(** No-op while disabled. *)
+
+val length : unit -> int
+
+val to_list : unit -> slot_event list
+(** Recorded events, oldest first. *)
+
+val reset : unit -> unit
+(** Drop recorded events (the enabled flag is unchanged). *)
+
+val write_jsonl : Buffer.t -> unit
+(** One JSON object per line, oldest first:
+    [{"slot":0,"transfers":3,"active_group":0,"built":2,"reused":0,
+    "backfilled":1}]. *)
+
+val write_csv : Buffer.t -> unit
+(** Header [slot,transfers,active_group,built,reused,backfilled] then one
+    row per event. *)

@@ -1,0 +1,22 @@
+/* Monotonic clock primitive for the observability layer.
+
+   CLOCK_MONOTONIC never jumps backwards (NTP slews, never steps, it) and
+   keeps counting across process sleeps, unlike Sys.time (CPU seconds) and
+   Unix.gettimeofday (wall clock, steppable).  Nanoseconds since an
+   arbitrary origin fit comfortably in OCaml's 63-bit immediate int
+   (~292 years), so the stub allocates nothing and can be [@@noalloc]. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,69 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"clock\": \"monotonic\",\n  \"spans\": [\n";
+  let spans = Span.dump () in
+  List.iteri
+    (fun i (path, (s : Span.stats)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"path\": \"%s\", \"count\": %d, \"total_ns\": %d, \
+            \"self_ns\": %d, \"max_ns\": %d}%s\n"
+           (escape path) s.Span.count s.Span.total_ns (Span.self_ns s)
+           s.Span.max_ns
+           (if i = List.length spans - 1 then "" else ",")))
+    spans;
+  Buffer.add_string buf "  ],\n  \"counters\": {\n";
+  let counters = Counter.dump () in
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %d%s\n" (escape name) v
+           (if i = List.length counters - 1 then "" else ",")))
+    counters;
+  Buffer.add_string buf "  },\n  \"gauges\": {\n";
+  let gauges = Counter.Gauge.dump () in
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %.6f%s\n" (escape name) v
+           (if i = List.length gauges - 1 then "" else ",")))
+    gauges;
+  Buffer.add_string buf
+    (Printf.sprintf "  },\n  \"slot_events\": %d\n}\n" (Events.length ()));
+  Buffer.contents buf
+
+let write path =
+  let oc = open_out path in
+  output_string oc (to_json ());
+  close_out oc;
+  if Events.length () > 0 then begin
+    let dump suffix fill =
+      let buf = Buffer.create 65536 in
+      fill buf;
+      let oc = open_out (path ^ suffix) in
+      Buffer.output_buffer oc buf;
+      close_out oc
+    in
+    dump ".slots.jsonl" Events.write_jsonl;
+    dump ".slots.csv" Events.write_csv
+  end
+
+let reset_all () =
+  Span.reset_all ();
+  Counter.reset_all ();
+  Counter.Gauge.reset_all ();
+  Events.reset ()

@@ -1,0 +1,20 @@
+(** The machine-readable profile artifact written by [--profile].
+
+    One JSON document aggregating everything the registries hold: spans
+    (per-phase wall time with self-time accounting), counters (LP pivots,
+    refactorizations, BvN matchings, slots, backfilled units, ...), gauges
+    (utilization, ...) and a summary of the slot-event stream.  All
+    numbers come from the [Obs] registries — the same counters the bench
+    JSON reports — so the two artifacts can never disagree. *)
+
+val to_json : unit -> string
+(** The profile document, pretty enough to diff. *)
+
+val write : string -> unit
+(** [write path] writes {!to_json} to [path].  When the slot-event stream
+    is non-empty, the full stream is additionally written next to it as
+    [path ^ ".slots.jsonl"] and [path ^ ".slots.csv"]. *)
+
+val reset_all : unit -> unit
+(** Clear spans, counters, gauges and events in one call — the boundary
+    between two measured runs. *)

@@ -1,0 +1,76 @@
+type stats = {
+  count : int;
+  total_ns : int;
+  children_ns : int;
+  max_ns : int;
+}
+
+let self_ns s = max 0 (s.total_ns - s.children_ns)
+
+let lock = Mutex.create ()
+
+let registry : (string, stats) Hashtbl.t = Hashtbl.create 32
+
+(* Paths of the currently open spans, innermost first. *)
+let stack : string list ref = ref []
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let record path ~parent ~elapsed_ns =
+  with_lock (fun () ->
+      let prev =
+        match Hashtbl.find_opt registry path with
+        | Some s -> s
+        | None -> { count = 0; total_ns = 0; children_ns = 0; max_ns = 0 }
+      in
+      Hashtbl.replace registry path
+        { prev with
+          count = prev.count + 1;
+          total_ns = prev.total_ns + elapsed_ns;
+          max_ns = max prev.max_ns elapsed_ns;
+        };
+      match parent with
+      | None -> ()
+      | Some pp ->
+        let ps =
+          match Hashtbl.find_opt registry pp with
+          | Some s -> s
+          | None -> { count = 0; total_ns = 0; children_ns = 0; max_ns = 0 }
+        in
+        Hashtbl.replace registry pp
+          { ps with children_ns = ps.children_ns + elapsed_ns })
+
+let with_ name f =
+  let parent = match !stack with [] -> None | p :: _ -> Some p in
+  let path =
+    match parent with None -> name | Some p -> p ^ "/" ^ name
+  in
+  stack := path :: !stack;
+  let t0 = Clock.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      let elapsed_ns = Clock.elapsed_ns ~since:t0 in
+      (match !stack with
+      | top :: rest when top == path -> stack := rest
+      | s -> stack := List.filter (fun p -> p != path) s);
+      record path ~parent ~elapsed_ns)
+    f
+
+let timed name f =
+  let t0 = Clock.now_ns () in
+  let v = with_ name f in
+  (v, Clock.elapsed_s ~since:t0)
+
+let stats path = with_lock (fun () -> Hashtbl.find_opt registry path)
+
+let dump () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun path s acc -> (path, s) :: acc) registry [])
+  |> List.sort compare
+
+let reset_all () =
+  with_lock (fun () ->
+      Hashtbl.reset registry;
+      stack := [])

@@ -1,0 +1,41 @@
+(** Nestable timed spans over the monotonic clock.
+
+    Spans aggregate by {e path}: [with_ "a" (fun () -> with_ "b" f)]
+    records under ["a"] and ["a/b"], so the same leaf name timed under
+    different parents stays distinguishable.  For every span the registry
+    keeps call count, total/max duration and the time spent in child
+    spans, from which exporters derive self time ([total - children]) —
+    nested spans therefore never double-count a parent's exclusive time.
+
+    The registry is mutex-guarded; the nesting stack is process-global
+    (the schedulers and solvers instrumented here are single-domain).
+    Overhead per span is two clock reads and one guarded table update —
+    cheap enough for per-phase use, too hot for per-slot use (that is what
+    {!Events} is for). *)
+
+type stats = {
+  count : int;  (** completed invocations *)
+  total_ns : int;  (** wall time, children included *)
+  children_ns : int;  (** wall time spent in direct child spans *)
+  max_ns : int;  (** longest single invocation *)
+}
+
+val self_ns : stats -> int
+(** [total_ns - children_ns], clamped at 0. *)
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span named [name], nested under the
+    currently open span (if any).  The duration is recorded even when [f]
+    raises. *)
+
+val timed : string -> (unit -> 'a) -> 'a * float
+(** Like {!with_} but also returns the elapsed seconds of this call — for
+    call sites that report a duration inline as well as to the registry. *)
+
+val stats : string -> stats option
+(** Aggregate for a full path such as ["harness.block/lp.solve"]. *)
+
+val dump : unit -> (string * stats) list
+(** Every recorded path, sorted. *)
+
+val reset_all : unit -> unit

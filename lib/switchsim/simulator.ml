@@ -165,12 +165,20 @@ let step t transfers =
       end)
     transfers
 
+let c_slots = Obs.Counter.make "sim.slots"
+
+let c_units = Obs.Counter.make "sim.units_moved"
+
 let run ?(max_slots = 10_000_000) t ~policy =
+  Obs.Span.with_ "sim.run" @@ fun () ->
   let budget = ref max_slots in
   while not (all_complete t) do
     if !budget <= 0 then failwith "Simulator.run: slot budget exhausted";
     decr budget;
-    step t (policy t)
+    let transfers = policy t in
+    step t transfers;
+    Obs.Counter.incr c_slots;
+    Obs.Counter.incr c_units ~by:(List.length transfers)
   done
 
 let total_weighted_completion t w =

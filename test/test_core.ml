@@ -753,6 +753,17 @@ let test_metrics () =
   check_int "p100" 10 (Metrics.percentile 1.0 completion);
   check_int "makespan" 10 (Metrics.max_completion completion)
 
+let test_percentile_int_order () =
+  (* sorting must use the integer order on a larger unsorted vector — the
+     whole point of the monomorphic [Int.compare] — and stay consistent
+     across repeated calls (the input is copied, never mutated) *)
+  let cs = [| 907; 3; 512; 88; 3; 1024; 700; 41; 256; 9 |] in
+  let snapshot = Array.copy cs in
+  check_int "p0 = min" 3 (Metrics.percentile 0.0 cs);
+  check_int "p100 = max" 1024 (Metrics.percentile 1.0 cs);
+  check_int "p50" 256 (Metrics.percentile 0.5 cs);
+  Alcotest.(check (array int)) "input untouched" snapshot cs
+
 let test_metrics_validation () =
   (try
      ignore
@@ -763,7 +774,24 @@ let test_metrics_validation () =
   (try
      ignore (Metrics.percentile 1.5 [| 1 |]);
      Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  (* regression: [max_completion [||]] used to silently answer 0, hiding
+     empty-instance bugs from callers that treat the makespan as a slot
+     count; it must refuse like its siblings *)
+  (try
+     ignore (Metrics.max_completion [||]);
+     Alcotest.fail "expected Invalid_argument"
    with Invalid_argument _ -> ())
+
+let test_twct_routes_through_metrics () =
+  (* Scheduler.twct_of_completions is Metrics.total_weighted_completion
+     under the instance's weights — the former private copy is gone *)
+  let inst = ordering_instance () in
+  let completion = [| 4; 6; 7 |] in
+  Alcotest.(check (float 1e-9)) "same value"
+    (Metrics.total_weighted_completion ~weights:(Instance.weights inst)
+       completion)
+    (Scheduler.twct_of_completions inst completion)
 
 let test_slowdowns () =
   let inst = fig1_instance () in
@@ -966,6 +994,44 @@ let test_grouping_empty_order () =
   Alcotest.(check int) "no groups" 0
     (Grouping.group_count (Grouping.deterministic inst [||]))
 
+(* regression: a grouping that does not cover every coflow used to make
+   next_slot answer [] forever once its groups were done — the simulator
+   idled until the slot budget tripped.  The scheduler must fall through to
+   greedy service of the leftovers instead. *)
+let test_scheduler_non_covering_grouping_completes () =
+  let inst =
+    Instance.make ~ports:2
+      [ mk_coflow ~id:0 (Mat.of_arrays [| [| 2; 0 |]; [| 0; 0 |] |]);
+        mk_coflow ~id:1 (Mat.of_arrays [| [| 0; 0 |]; [| 0; 3 |] |]);
+      ]
+  in
+  (* only coflow 0 is grouped; coflow 1 belongs to no group and no suffix *)
+  let r = Scheduler.run_grouped inst [| [| 0 |] |] in
+  check_int "grouped coflow served" 2 r.Scheduler.completion.(0);
+  Alcotest.(check bool) "leftover coflow still completes" true
+    (r.Scheduler.completion.(1) > 0);
+  Alcotest.(check bool) "no idle spin" true (r.Scheduler.slots <= 5)
+
+(* regression (white-box): the active group's demand has vanished — here
+   because its only member carries an all-zero matrix, the closest state to
+   a demand-dropping fault layer that the simulator's invariants let a test
+   build directly.  next_slot used to answer [] in this state even though
+   another coflow, outside every group, still had demand: every subsequent
+   slot rebuilt the same empty state and idled.  It must advance and serve
+   the leftover instead. *)
+let test_scheduler_vanished_group_demand_advances () =
+  let sim =
+    Switchsim.Simulator.create ~ports:2
+      [ (0, Mat.make 2); (0, Mat.of_arrays [| [| 1; 0 |]; [| 0; 0 |] |]) ]
+  in
+  let state = Scheduler.make_state [| [| 0 |] |] in
+  let transfers = Scheduler.next_slot state ~backfill:false sim in
+  Alcotest.(check bool) "serves the leftover coflow" true
+    (List.exists (fun t -> t.Switchsim.Simulator.coflow = 1) transfers);
+  Switchsim.Simulator.step sim transfers;
+  Alcotest.(check bool) "progress, not a spin" true
+    (Switchsim.Simulator.all_complete sim)
+
 (* ---------- Counterexample (Appendix B) ---------- *)
 
 let test_counterexample () =
@@ -1117,6 +1183,10 @@ let () =
           Alcotest.test_case "zero-demand coflow" `Quick
             test_scheduler_zero_demand_coflow;
           Alcotest.test_case "empty grouping" `Quick test_grouping_empty_order;
+          Alcotest.test_case "non-covering grouping completes" `Quick
+            test_scheduler_non_covering_grouping_completes;
+          Alcotest.test_case "vanished group demand advances" `Quick
+            test_scheduler_vanished_group_demand_advances;
         ] );
       ( "baselines",
         [ Alcotest.test_case "baselines complete" `Quick
@@ -1146,7 +1216,11 @@ let () =
         ] );
       ( "metrics",
         [ Alcotest.test_case "values" `Quick test_metrics;
+          Alcotest.test_case "percentile integer order" `Quick
+            test_percentile_int_order;
           Alcotest.test_case "validation" `Quick test_metrics_validation;
+          Alcotest.test_case "twct routes through metrics" `Quick
+            test_twct_routes_through_metrics;
           Alcotest.test_case "slowdowns" `Quick test_slowdowns;
         ] );
       ( "lp-grids",

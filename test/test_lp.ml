@@ -196,6 +196,18 @@ let test_iteration_limit () =
   let r = Revised_simplex.solve ~max_iterations:1 m in
   check_status "hit limit" "iteration-limit" (status r)
 
+let test_deadline_zero_trips_first_check () =
+  (* The deadline must be wall-clock (monotonic), not CPU seconds: a budget
+     of 0.0 expires immediately, so the every-32-pivots check — which also
+     runs before the very first pivot — must abort the solve at iteration 0.
+     Under the old CPU-second clock the first check compared against a
+     freshly read Sys.time and could let an arbitrary number of pivots
+     through. *)
+  let m, _, _ = wyndor () in
+  let r = Revised_simplex.solve ~deadline:0.0 m in
+  check_status "expired budget" "time-limit" (status r);
+  Alcotest.(check int) "no pivots ran" 0 r.Solution.iterations
+
 let test_duals_wyndor () =
   let m, _, _ = wyndor () in
   let r = Revised_simplex.solve m in
@@ -594,6 +606,8 @@ let () =
           Alcotest.test_case "residuals" `Quick test_residuals;
           Alcotest.test_case "row nnz" `Quick test_row_nnz;
           Alcotest.test_case "iteration limit" `Quick test_iteration_limit;
+          Alcotest.test_case "zero deadline trips first check" `Quick
+            test_deadline_zero_trips_first_check;
           Alcotest.test_case "duals (wyndor)" `Quick test_duals_wyndor;
           Alcotest.test_case "presolve singletons" `Quick
             test_presolve_fixes_singletons;

@@ -1,0 +1,318 @@
+(* Tests for the observability layer: the monotonic clock, span nesting and
+   self-time accounting, counter/gauge registries, the slot-event stream and
+   its exporters, the profile artifact, and — crucially — that enabling any
+   of it never changes what the schedulers compute. *)
+
+open Workload
+open Core
+
+let reset () =
+  Obs.Span.reset_all ();
+  Obs.Counter.reset_all ();
+  Obs.Counter.Gauge.reset_all ();
+  Obs.Events.reset ();
+  Obs.Events.set_enabled false
+
+(* ---------- clock ---------- *)
+
+let test_clock_monotonic () =
+  let a = Obs.Clock.now_ns () in
+  let b = Obs.Clock.now_ns () in
+  Alcotest.(check bool) "non-decreasing" true (b >= a);
+  Alcotest.(check bool) "positive origin distance" true (a > 0)
+
+let test_clock_advances_across_sleep () =
+  (* the property Sys.time (CPU seconds) lacks, and the reason the LP
+     deadline moved onto this clock: wall budgets must burn while the
+     process sleeps or blocks on IO *)
+  let t0 = Obs.Clock.now_ns () in
+  Unix.sleepf 0.02;
+  let dt = Obs.Clock.elapsed_s ~since:t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sleep visible (%.4fs elapsed)" dt)
+    true (dt >= 0.015)
+
+let test_clock_elapsed_units () =
+  let t0 = Obs.Clock.now_ns () in
+  let ns = Obs.Clock.elapsed_ns ~since:t0 in
+  let s = Obs.Clock.elapsed_s ~since:t0 in
+  Alcotest.(check bool) "ns nonnegative" true (ns >= 0);
+  Alcotest.(check bool) "seconds consistent" true (s < 1.0)
+
+(* ---------- spans ---------- *)
+
+let spin () = Sys.opaque_identity (ignore (Array.init 100 (fun i -> i * i)))
+
+let test_span_nesting_paths () =
+  reset ();
+  Obs.Span.with_ "outer" (fun () ->
+      spin ();
+      Obs.Span.with_ "inner" spin;
+      Obs.Span.with_ "inner" spin);
+  let paths = List.map fst (Obs.Span.dump ()) in
+  Alcotest.(check (list string)) "paths" [ "outer"; "outer/inner" ] paths;
+  let outer = Option.get (Obs.Span.stats "outer") in
+  let inner = Option.get (Obs.Span.stats "outer/inner") in
+  Alcotest.(check int) "outer count" 1 outer.Obs.Span.count;
+  Alcotest.(check int) "inner count" 2 inner.Obs.Span.count;
+  (* the parent's children time is exactly the inner spans' total, so self
+     time never double-counts *)
+  Alcotest.(check int) "children = inner total" inner.Obs.Span.total_ns
+    outer.Obs.Span.children_ns;
+  Alcotest.(check bool) "self + children = total" true
+    (Obs.Span.self_ns outer + outer.Obs.Span.children_ns
+    = outer.Obs.Span.total_ns);
+  Alcotest.(check bool) "max <= total" true
+    (inner.Obs.Span.max_ns <= inner.Obs.Span.total_ns)
+
+let test_span_same_leaf_distinct_parents () =
+  reset ();
+  Obs.Span.with_ "a" (fun () -> Obs.Span.with_ "leaf" spin);
+  Obs.Span.with_ "b" (fun () -> Obs.Span.with_ "leaf" spin);
+  let paths = List.map fst (Obs.Span.dump ()) in
+  Alcotest.(check (list string)) "no aggregation across parents"
+    [ "a"; "a/leaf"; "b"; "b/leaf" ]
+    paths
+
+let test_span_records_on_raise () =
+  reset ();
+  (try Obs.Span.with_ "boom" (fun () -> failwith "expected") with
+  | Failure _ -> ());
+  let s = Option.get (Obs.Span.stats "boom") in
+  Alcotest.(check int) "raising span still counted" 1 s.Obs.Span.count;
+  (* the stack unwound: a sibling span must not nest under "boom" *)
+  Obs.Span.with_ "after" spin;
+  Alcotest.(check bool) "stack unwound" true
+    (Obs.Span.stats "after" <> None && Obs.Span.stats "boom/after" = None)
+
+let test_span_timed_returns_elapsed () =
+  reset ();
+  let v, dt = Obs.Span.timed "t" (fun () -> 42) in
+  Alcotest.(check int) "value" 42 v;
+  Alcotest.(check bool) "elapsed sane" true (dt >= 0.0 && dt < 1.0)
+
+(* ---------- counters and gauges ---------- *)
+
+let test_counter_interned () =
+  reset ();
+  let a = Obs.Counter.make "test.shared" in
+  let b = Obs.Counter.make "test.shared" in
+  Obs.Counter.incr a;
+  Obs.Counter.incr b ~by:2;
+  Alcotest.(check int) "one cell" 3 (Obs.Counter.value a);
+  Alcotest.(check string) "name" "test.shared" (Obs.Counter.name a)
+
+let test_counter_reset_keeps_handles () =
+  reset ();
+  let c = Obs.Counter.make "test.reset" in
+  Obs.Counter.incr c ~by:7;
+  Obs.Counter.reset_all ();
+  Alcotest.(check int) "zeroed" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Alcotest.(check int) "handle survives" 1 (Obs.Counter.value c)
+
+let test_counter_dump_sorted () =
+  reset ();
+  Obs.Counter.incr (Obs.Counter.make "test.dump.zz") ~by:1;
+  Obs.Counter.incr (Obs.Counter.make "test.dump.aa") ~by:2;
+  let d =
+    List.filter
+      (fun (n, _) -> Astring.String.is_prefix ~affix:"test.dump." n)
+      (Obs.Counter.dump ())
+  in
+  Alcotest.(check (list (pair string int))) "sorted"
+    [ ("test.dump.aa", 2); ("test.dump.zz", 1) ]
+    d
+
+let test_gauge () =
+  reset ();
+  let g = Obs.Counter.Gauge.make "test.util" in
+  Obs.Counter.Gauge.set g 0.75;
+  Alcotest.(check (float 0.0)) "last write wins" 0.75
+    (Obs.Counter.Gauge.value g);
+  Obs.Counter.Gauge.reset_all ();
+  Alcotest.(check (float 0.0)) "reset" 0.0 (Obs.Counter.Gauge.value g)
+
+(* ---------- slot-event stream ---------- *)
+
+let ev slot =
+  { Obs.Events.slot;
+    transfers = slot + 1;
+    active_group = (if slot < 2 then 0 else -1);
+    built = (if slot = 0 then 2 else 0);
+    reused = (if slot > 0 then 1 else 0);
+    backfilled = slot;
+  }
+
+let test_events_disabled_by_default () =
+  reset ();
+  Obs.Events.record (ev 0);
+  Alcotest.(check int) "no-op while disabled" 0 (Obs.Events.length ())
+
+let test_events_roundtrip () =
+  reset ();
+  Obs.Events.set_enabled true;
+  Obs.Events.record (ev 0);
+  Obs.Events.record (ev 1);
+  Obs.Events.record (ev 2);
+  Alcotest.(check int) "length" 3 (Obs.Events.length ());
+  let l = Obs.Events.to_list () in
+  Alcotest.(check int) "oldest first" 0 (List.hd l).Obs.Events.slot;
+  Obs.Events.reset ();
+  Alcotest.(check int) "reset drops events" 0 (Obs.Events.length ());
+  Alcotest.(check bool) "reset keeps the flag" true (Obs.Events.enabled ())
+
+let test_events_jsonl_golden () =
+  reset ();
+  Obs.Events.set_enabled true;
+  Obs.Events.record (ev 0);
+  Obs.Events.record (ev 1);
+  let b = Buffer.create 128 in
+  Obs.Events.write_jsonl b;
+  Alcotest.(check string) "jsonl"
+    "{\"slot\":0,\"transfers\":1,\"active_group\":0,\"built\":2,\"reused\":0,\"backfilled\":0}\n\
+     {\"slot\":1,\"transfers\":2,\"active_group\":0,\"built\":0,\"reused\":1,\"backfilled\":1}\n"
+    (Buffer.contents b)
+
+let test_events_csv_golden () =
+  reset ();
+  Obs.Events.set_enabled true;
+  Obs.Events.record (ev 0);
+  Obs.Events.record (ev 2);
+  let b = Buffer.create 128 in
+  Obs.Events.write_csv b;
+  Alcotest.(check string) "csv"
+    "slot,transfers,active_group,built,reused,backfilled\n\
+     0,1,0,2,0,0\n\
+     2,3,-1,0,1,2\n"
+    (Buffer.contents b)
+
+(* ---------- profile artifact ---------- *)
+
+let test_profile_json_shape () =
+  reset ();
+  Obs.Span.with_ "p.span" spin;
+  Obs.Counter.incr (Obs.Counter.make "p.counter") ~by:5;
+  Obs.Events.set_enabled true;
+  Obs.Events.record (ev 0);
+  let json = Obs.Profile.to_json () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true
+        (Astring.String.is_infix ~affix:needle json))
+    [ "\"p.span\""; "\"p.counter\""; "\"slot_events\""; "\"clock\"" ]
+
+let test_profile_reset_all () =
+  reset ();
+  Obs.Span.with_ "gone" spin;
+  Obs.Counter.incr (Obs.Counter.make "gone.c");
+  Obs.Events.set_enabled true;
+  Obs.Events.record (ev 0);
+  Obs.Profile.reset_all ();
+  Alcotest.(check (list string)) "spans cleared" []
+    (List.map fst (Obs.Span.dump ()));
+  Alcotest.(check int) "counter cleared" 0
+    (Obs.Counter.value (Obs.Counter.make "gone.c"));
+  Alcotest.(check int) "events cleared" 0 (Obs.Events.length ())
+
+let test_profile_write_artifacts () =
+  reset ();
+  Obs.Span.with_ "w.span" spin;
+  Obs.Events.set_enabled true;
+  Obs.Events.record (ev 0);
+  let path = Filename.temp_file "obs_profile" ".json" in
+  Obs.Profile.write path;
+  let read p =
+    let ic = open_in p in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  Alcotest.(check bool) "profile has spans" true
+    (Astring.String.is_infix ~affix:"\"w.span\"" (read path));
+  Alcotest.(check bool) "slot stream written" true
+    (Sys.file_exists (path ^ ".slots.jsonl")
+    && Sys.file_exists (path ^ ".slots.csv"));
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; path ^ ".slots.jsonl"; path ^ ".slots.csv" ]
+
+(* ---------- determinism: observing must not perturb ---------- *)
+
+let test_profile_does_not_change_schedule () =
+  reset ();
+  let st = Random.State.make [| 77 |] in
+  let inst = Synthetic.uniform ~ports:4 ~coflows:6 ~density:0.4 ~max_size:4 st in
+  let order = Ordering.by_load_over_weight inst in
+  let run () = Scheduler.run ~case:Scheduler.Group_backfill inst order in
+  let off = run () in
+  Obs.Events.set_enabled true;
+  let on = run () in
+  Alcotest.(check bool) "events were recorded" true (Obs.Events.length () > 0);
+  Alcotest.(check (float 0.0)) "same TWCT" off.Scheduler.twct
+    on.Scheduler.twct;
+  Alcotest.(check (array int)) "same completions" off.Scheduler.completion
+    on.Scheduler.completion;
+  Alcotest.(check int) "same slots" off.Scheduler.slots on.Scheduler.slots;
+  (* one event per simulated slot *)
+  Alcotest.(check int) "one event per slot" on.Scheduler.slots
+    (Obs.Events.length ());
+  reset ()
+
+let test_scheduler_counters_flow () =
+  reset ();
+  let st = Random.State.make [| 78 |] in
+  let inst = Synthetic.uniform ~ports:4 ~coflows:5 ~density:0.4 ~max_size:4 st in
+  let order = Ordering.by_load_over_weight inst in
+  let r = Scheduler.run ~case:Scheduler.Group inst order in
+  Alcotest.(check int) "obs counter mirrors result.matchings"
+    r.Scheduler.matchings
+    (Obs.Counter.value (Obs.Counter.make "sched.matchings_built"));
+  Alcotest.(check bool) "slots counted" true
+    (Obs.Counter.value (Obs.Counter.make "sim.slots") >= r.Scheduler.slots);
+  reset ()
+
+let () =
+  Alcotest.run "obs"
+    [ ( "clock",
+        [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "advances across sleep" `Quick
+            test_clock_advances_across_sleep;
+          Alcotest.test_case "elapsed units" `Quick test_clock_elapsed_units;
+        ] );
+      ( "span",
+        [ Alcotest.test_case "nesting paths" `Quick test_span_nesting_paths;
+          Alcotest.test_case "leaf under two parents" `Quick
+            test_span_same_leaf_distinct_parents;
+          Alcotest.test_case "records on raise" `Quick
+            test_span_records_on_raise;
+          Alcotest.test_case "timed" `Quick test_span_timed_returns_elapsed;
+        ] );
+      ( "counter",
+        [ Alcotest.test_case "interned" `Quick test_counter_interned;
+          Alcotest.test_case "reset keeps handles" `Quick
+            test_counter_reset_keeps_handles;
+          Alcotest.test_case "dump sorted" `Quick test_counter_dump_sorted;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+        ] );
+      ( "events",
+        [ Alcotest.test_case "disabled by default" `Quick
+            test_events_disabled_by_default;
+          Alcotest.test_case "roundtrip" `Quick test_events_roundtrip;
+          Alcotest.test_case "jsonl golden" `Quick test_events_jsonl_golden;
+          Alcotest.test_case "csv golden" `Quick test_events_csv_golden;
+        ] );
+      ( "profile",
+        [ Alcotest.test_case "json shape" `Quick test_profile_json_shape;
+          Alcotest.test_case "reset all" `Quick test_profile_reset_all;
+          Alcotest.test_case "write artifacts" `Quick
+            test_profile_write_artifacts;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "profiling does not perturb schedules" `Quick
+            test_profile_does_not_change_schedule;
+          Alcotest.test_case "scheduler counters flow" `Quick
+            test_scheduler_counters_flow;
+        ] );
+    ]
