@@ -14,7 +14,14 @@
      main.exe table1|fig2a|fig2b|lowerbound|audit|randomized|releases|openshop
               |...|fabric|faults
                               — a single experiment.
-   Scale is chosen with "--scale quick|default|large". *)
+     main.exe obs-diff OLD NEW [--threshold PCT] [--time-threshold PCT]
+                              — compare two --profile artifacts; exits 1
+                                when a gated metric moved past the
+                                threshold (the CI perf-regression gate,
+                                run against bench/BASELINE.json).
+   Scale is chosen with "--scale quick|default|large"; "--profile [PATH]"
+   writes the profile artifact, "--trace [PATH]" a Perfetto-loadable
+   flight-recorder trace (argv grammar in Experiments.Bench_cli). *)
 
 open Bechamel
 open Toolkit
@@ -319,47 +326,62 @@ let run_kernels ?json () =
 let is_mode m =
   m = "tables" || m = "kernels" || List.mem_assoc m all_experiments
 
+let run_obs_diff (d : Experiments.Bench_cli.diff_opts) =
+  let load path =
+    try Obs.Profile_diff.load_file path
+    with Sys_error msg | Failure msg ->
+      Printf.eprintf "obs-diff: %s\n" msg;
+      exit 2
+  in
+  let old_profile = load d.Experiments.Bench_cli.old_path in
+  let new_profile = load d.Experiments.Bench_cli.new_path in
+  let report =
+    Obs.Profile_diff.diff ~threshold:d.Experiments.Bench_cli.threshold
+      ?time_threshold:d.Experiments.Bench_cli.time_threshold ~old_profile
+      ~new_profile ()
+  in
+  print_string (Obs.Profile_diff.render report);
+  match Obs.Profile_diff.regressions report with
+  | [] ->
+    Printf.printf "obs-diff: OK (no regression past %.1f%%)\n"
+      d.Experiments.Bench_cli.threshold;
+    exit 0
+  | regs ->
+    Printf.printf "obs-diff: FAIL — %d metric(s) regressed past %.1f%%\n"
+      (List.length regs) d.Experiments.Bench_cli.threshold;
+    exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let json = ref None in
-  let profile = ref None in
-  let rec parse modes = function
-    | "--scale" :: s :: rest ->
-      (match Experiments.Config.scale_of_string s with
-      | Some sc -> scale := sc
-      | None ->
-        Printf.eprintf "unknown scale %S\n" s;
-        exit 2);
-      parse modes rest
-    | "--json" :: p :: rest ->
-      json := Some p;
-      parse modes rest
-    (* --profile [PATH]: PATH is optional; a following token is consumed
-       unless it is a flag or a mode name *)
-    | "--profile" :: p :: rest
-      when String.length p > 0 && p.[0] <> '-' && not (is_mode p) ->
-      profile := Some p;
-      parse modes rest
-    | "--profile" :: rest ->
-      profile := Some "PROFILE.json";
-      parse modes rest
-    | m :: rest -> parse (m :: modes) rest
-    | [] -> List.rev modes
+  let cli =
+    match Experiments.Bench_cli.parse ~is_mode args with
+    | Ok cli -> cli
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
   in
-  let modes = parse [] args in
-  if !profile <> None then Obs.Events.set_enabled true;
+  Option.iter run_obs_diff cli.Experiments.Bench_cli.diff;
+  scale := cli.Experiments.Bench_cli.scale;
+  let json = cli.Experiments.Bench_cli.json in
+  let profile = cli.Experiments.Bench_cli.profile in
+  let trace = cli.Experiments.Bench_cli.trace in
+  if profile <> None || trace <> None then begin
+    Obs.Events.set_enabled true;
+    Obs.Histogram.set_enabled true
+  end;
+  if trace <> None then Obs.Trace.set_enabled true;
   let cfg = Experiments.Config.of_scale !scale in
   Printf.printf "scale: %s\n" (Format.asprintf "%a" Experiments.Config.pp cfg);
-  (match modes with
+  (match cli.Experiments.Bench_cli.modes with
   | [] ->
     run_tables cfg;
-    run_kernels ?json:!json ()
+    run_kernels ?json ()
   | modes ->
     List.iter
       (fun mode ->
         match mode with
         | "tables" -> run_tables cfg
-        | "kernels" -> run_kernels ?json:!json ()
+        | "kernels" -> run_kernels ?json ()
         | m -> (
           match List.assoc_opt m all_experiments with
           | Some f -> f cfg
@@ -367,8 +389,13 @@ let () =
             Printf.eprintf "unknown mode %S\n" m;
             exit 2))
       modes);
-  match !profile with
-  | None -> ()
-  | Some path ->
-    Obs.Profile.write path;
-    Printf.printf "[wrote %s]\n" path
+  Option.iter
+    (fun path ->
+      Obs.Profile.write path;
+      Printf.printf "[wrote %s]\n" path)
+    profile;
+  Option.iter
+    (fun path ->
+      Obs.Trace.write path;
+      Printf.printf "[wrote %s (%d trace events)]\n" path (Obs.Trace.length ()))
+    trace

@@ -10,8 +10,12 @@
 
 open Cmdliner
 
-let run_all scale only csv_dir profile =
-  if profile <> None then Obs.Events.set_enabled true;
+let run_all scale only csv_dir profile trace =
+  if profile <> None || trace <> None then begin
+    Obs.Events.set_enabled true;
+    Obs.Histogram.set_enabled true
+  end;
+  if trace <> None then Obs.Trace.set_enabled true;
   let cfg = Experiments.Config.of_scale scale in
   let wants tag = match only with [] -> true | l -> List.mem tag l in
   Format.printf "configuration: %a@.@." Experiments.Config.pp cfg;
@@ -113,6 +117,11 @@ let run_all scale only csv_dir profile =
   | Some path ->
     Obs.Profile.write path;
     Format.printf "(wrote %s)@." path);
+  (match trace with
+  | None -> ()
+  | Some path ->
+    Obs.Trace.write path;
+    Format.printf "(wrote %s: %d trace events)@." path (Obs.Trace.length ()));
   0
 
 let scale_conv =
@@ -158,10 +167,20 @@ let profile_arg =
           "Write a machine-readable profile (spans, counters, per-slot \
            events) to PATH; defaults to PROFILE.json when PATH is omitted")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "TRACE.json") (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Write a Chrome-trace-format (Perfetto-loadable) flight-recorder \
+           trace to PATH; defaults to TRACE.json when PATH is omitted")
+
 let cmd =
   let doc = "Regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "coflow-experiments" ~doc)
-    Term.(const run_all $ scale_arg $ only_arg $ csv_arg $ profile_arg)
+    Term.(
+      const run_all $ scale_arg $ only_arg $ csv_arg $ profile_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

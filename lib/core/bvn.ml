@@ -111,10 +111,13 @@ let decompose d =
 
 let c_matchings = Obs.Counter.make "bvn.matchings"
 
+let h_build = Obs.Histogram.make "bvn.build_size"
+
 let schedule d =
   Obs.Span.with_ "bvn.schedule" @@ fun () ->
   let s = decompose (augment d) in
   Obs.Counter.incr c_matchings ~by:(List.length s);
+  Obs.Histogram.observe h_build (List.length s);
   s
 
 let duration s = List.fold_left (fun acc (_, q) -> acc + q) 0 s

@@ -33,8 +33,14 @@ let percentile p cs =
   if p < 0.0 || p > 1.0 then invalid_arg "Metrics.percentile: p out of range";
   let sorted = Array.copy cs in
   Array.sort Int.compare sorted;
-  let rank = int_of_float (Float.round (p *. float_of_int (n - 1))) in
-  sorted.(rank)
+  (* nearest-rank: the value at 1-based rank [ceil (p * n)] — the same
+     convention Obs.Histogram uses, so a percentile printed by a report and
+     one read from a profile artifact can be compared directly *)
+  let rank =
+    if p <= 0.0 then 1
+    else max 1 (min n (int_of_float (ceil (p *. float_of_int n))))
+  in
+  sorted.(rank - 1)
 
 let max_completion cs =
   if Array.length cs = 0 then invalid_arg "Metrics.max_completion: empty";

@@ -151,6 +151,15 @@ let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
   let need_replan = ref true in
   let boundaries = ref (Fault_plan.boundaries plan) in
   let budget = ref config.max_slots in
+  (* open "replan" trace slice: (async id, tier it planned with) *)
+  let open_plan = ref None in
+  let close_plan ~slot =
+    match !open_plan with
+    | None -> ()
+    | Some (id, t) ->
+      Obs.Trace.async_end ~name:(tier_name t) ~cat:"replan" ~id ~slot;
+      open_plan := None
+  in
   while not (Simulator.all_complete sim) do
     if !budget <= 0 then failwith "Resilient.run: slot budget exhausted";
     decr budget;
@@ -162,6 +171,8 @@ let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
       | b :: rest when b <= now ->
         boundaries := rest;
         if config.replan_on_fault then need_replan := true;
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant ~name:"fault-boundary" ~cat:"fault" ~slot:b ();
         drain ()
       | _ -> ()
     in
@@ -170,6 +181,14 @@ let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
       let t, o = replan config inj inst ~warm ~lp_stats ~on_lp_failure in
       tier := t;
       order := o;
+      if Obs.Trace.enabled () then begin
+        (* each re-plan is one slice on the "replan" async track, labelled
+           with the tier that produced the order in force *)
+        close_plan ~slot:now;
+        Obs.Trace.async_begin ~name:(tier_name t) ~cat:"replan" ~id:!replans
+          ~slot:now;
+        open_plan := Some (!replans, t)
+      end;
       incr replans;
       Obs.Counter.incr c_replans;
       need_replan := false
@@ -179,6 +198,7 @@ let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
     tier_counts.(tier_index !tier) <- tier_counts.(tier_index !tier) + 1;
     log := { Audit.tier = tier_name !tier; transfers } :: !log
   done;
+  if Obs.Trace.enabled () then close_plan ~slot:(Simulator.now sim);
   let n = Instance.num_coflows inst in
   let completion = Array.init n (fun k -> Simulator.completion_time_exn sim k) in
   { completion;

@@ -256,6 +256,17 @@ let next_slot state ~backfill ?(aggressive = false) sim =
         reused = meta.m_reused;
         backfilled = meta.m_backfilled;
       };
+  if Obs.Trace.enabled () then
+    (* which group was being cleared while other coflows waited, and how
+       much of the slot was backfill — read next to the per-coflow "wait"
+       tracks the simulator emits *)
+    Obs.Trace.counter ~name:"sched" ~slot
+      [ ( "active_group",
+          if state.current < Array.length state.groups then state.current
+          else -1 );
+        ("built", meta.m_built);
+        ("backfilled", meta.m_backfilled);
+      ];
   transfers
 
 let policy ?(backfill = false) ?(aggressive = false) _inst groups =

@@ -1,0 +1,117 @@
+type diff_opts = {
+  old_path : string;
+  new_path : string;
+  threshold : float;
+  time_threshold : float option;
+}
+
+type t = {
+  scale : Config.scale;
+  json : string option;
+  profile : string option;
+  trace : string option;
+  diff : diff_opts option;
+  modes : string list;
+}
+
+let default_profile_path = "PROFILE.json"
+
+let default_trace_path = "TRACE.json"
+
+let is_flag s = String.length s > 0 && s.[0] = '-'
+
+(* [--profile] and [--trace] take an {e optional} PATH: a following token is
+   consumed only when it is neither a flag nor a mode name, so
+   "--profile --json out.json" profiles to the default path instead of
+   eating "--json". *)
+let optional_path ~is_mode rest =
+  match rest with
+  | p :: tl when (not (is_flag p)) && not (is_mode p) -> (Some p, tl)
+  | _ -> (None, rest)
+
+(* A required argument must exist and must not look like a flag — a flag
+   here means the real argument was forgotten. *)
+let required_arg flag rest =
+  match rest with
+  | v :: tl when not (is_flag v) -> Ok (v, tl)
+  | _ -> Error (Printf.sprintf "%s requires an argument" flag)
+
+let parse_float flag v =
+  match float_of_string_opt v with
+  | Some f when f >= 0.0 -> Ok f
+  | _ -> Error (Printf.sprintf "%s: %S is not a non-negative number" flag v)
+
+let parse_diff args =
+  let rec go acc_paths threshold time_threshold = function
+    | [] -> (
+      match List.rev acc_paths with
+      | [ old_path; new_path ] ->
+        Ok { old_path; new_path; threshold; time_threshold }
+      | paths ->
+        Error
+          (Printf.sprintf "obs-diff takes exactly OLD and NEW paths, got %d"
+             (List.length paths)))
+    | "--threshold" :: rest -> (
+      match required_arg "--threshold" rest with
+      | Error e -> Error e
+      | Ok (v, tl) -> (
+        match parse_float "--threshold" v with
+        | Error e -> Error e
+        | Ok f -> go acc_paths f time_threshold tl))
+    | "--time-threshold" :: rest -> (
+      match required_arg "--time-threshold" rest with
+      | Error e -> Error e
+      | Ok (v, tl) -> (
+        match parse_float "--time-threshold" v with
+        | Error e -> Error e
+        | Ok f -> go acc_paths threshold (Some f) tl))
+    | f :: _ when is_flag f ->
+      Error (Printf.sprintf "obs-diff: unknown flag %S" f)
+    | p :: rest -> go (p :: acc_paths) threshold time_threshold rest
+  in
+  go [] 10.0 None args
+
+let parse ~is_mode args =
+  let rec go acc = function
+    | [] -> Ok acc
+    | "obs-diff" :: rest ->
+      (* obs-diff owns the remaining argv: OLD NEW and its thresholds *)
+      Result.map (fun d -> { acc with diff = Some d }) (parse_diff rest)
+    | "--scale" :: rest -> (
+      match required_arg "--scale" rest with
+      | Error e -> Error e
+      | Ok (s, tl) -> (
+        match Config.scale_of_string s with
+        | Some scale -> go { acc with scale } tl
+        | None -> Error (Printf.sprintf "unknown scale %S" s)))
+    | "--json" :: rest -> (
+      match required_arg "--json" rest with
+      | Error e -> Error e
+      | Ok (p, tl) -> go { acc with json = Some p } tl)
+    | "--profile" :: rest ->
+      let path, tl = optional_path ~is_mode rest in
+      go
+        { acc with
+          profile = Some (Option.value ~default:default_profile_path path)
+        }
+        tl
+    | "--trace" :: rest ->
+      let path, tl = optional_path ~is_mode rest in
+      go
+        { acc with
+          trace = Some (Option.value ~default:default_trace_path path)
+        }
+        tl
+    | f :: _ when is_flag f -> Error (Printf.sprintf "unknown flag %S" f)
+    | m :: rest when is_mode m -> go { acc with modes = acc.modes @ [ m ] } rest
+    | m :: _ -> Error (Printf.sprintf "unknown mode %S" m)
+  in
+  go
+    { scale = Config.Default;
+      json = None;
+      profile = None;
+      trace = None;
+      diff = None;
+      modes = [];
+    }
+    args

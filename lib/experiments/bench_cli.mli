@@ -1,0 +1,38 @@
+(** Argv parsing for [bench/main.exe], split out of the executable so the
+    corner cases are unit-testable (the [--profile --json out.json] class
+    of bug: an optional PATH must never consume a following flag or mode
+    name).
+
+    Grammar:
+    {v
+    main.exe [MODE ...] [--scale S] [--json PATH]
+             [--profile [PATH]] [--trace [PATH]]
+    main.exe obs-diff OLD NEW [--threshold PCT] [--time-threshold PCT]
+    v} *)
+
+type diff_opts = {
+  old_path : string;
+  new_path : string;
+  threshold : float;  (** percent, default 10 *)
+  time_threshold : float option;
+      (** absent: wall-time metrics are informational *)
+}
+
+type t = {
+  scale : Config.scale;
+  json : string option;
+  profile : string option;  (** [Some "PROFILE.json"] when PATH omitted *)
+  trace : string option;  (** [Some "TRACE.json"] when PATH omitted *)
+  diff : diff_opts option;  (** the [obs-diff] subcommand *)
+  modes : string list;  (** in argv order *)
+}
+
+val default_profile_path : string
+
+val default_trace_path : string
+
+val parse : is_mode:(string -> bool) -> string list -> (t, string) result
+(** [parse ~is_mode args] over [argv] minus the program name.  [is_mode]
+    decides which bare words are modes — also used to keep [--profile] /
+    [--trace] from consuming a mode name as their PATH.  Unknown flags and
+    modes are errors. *)

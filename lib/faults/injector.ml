@@ -112,6 +112,10 @@ let tick t =
   do
     let _, k, factor = t.stragglers.(t.next_straggler) in
     t.next_straggler <- t.next_straggler + 1;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~name:"straggler" ~cat:"fault" ~slot
+        ~args:[ ("coflow", string_of_int k); ("factor", string_of_int factor) ]
+        ();
     if not (Simulator.is_complete t.sim k) then begin
       (* collect first: the demand matrix must not grow mid-iteration *)
       let entries = ref [] in

@@ -588,41 +588,54 @@ let past_deadline st stop_at =
   | None -> false
   | Some t -> st.iterations land 31 = 0 && Obs.Clock.now_s () >= t
 
+let h_pivot = Obs.Histogram.make "lp.pivot_ns"
+
 let run_phase st cost allowed ~max_iterations ~refactor ~stop_at =
   let n = n_of st in
   let y = Array.make n 0.0 in
   let cb = Array.make n 0.0 in
   let d = Array.make n 0.0 in
+  (* One priced-and-pivoted iteration attempt, split out of [loop] so the
+     flight recorder can time it ([`Continue] = keep iterating). *)
+  let iterate () =
+    if st.neta >= refactor then
+      if not (factorize ~log_drift:true st) then
+        failwith "Revised_simplex: basis became singular";
+    for r = 0 to n - 1 do
+      cb.(r) <- cost st.basis.(r)
+    done;
+    btran st cb y;
+    let enter = price st cost allowed y in
+    if enter < 0 then `Done P_optimal
+    else begin
+      ftran st (column st.p enter) d;
+      match ratio_test st d with
+      | None -> `Done P_unbounded
+      | Some (leave, theta) ->
+        if Float.abs d.(leave) < eta_piv_tol && st.neta > 0 then begin
+          (* Fragile update pivot: rebuild the factors and re-derive the
+             direction from them instead of the drifted eta file. *)
+          if not (factorize ~log_drift:true st) then
+            failwith "Revised_simplex: basis became singular";
+          `Continue
+        end
+        else begin
+          pivot st leave enter d theta;
+          `Continue
+        end
+    end
+  in
   let rec loop () =
     if st.iterations >= max_iterations then P_limit
     else if past_deadline st stop_at then P_deadline
     else begin
-      if st.neta >= refactor then
-        if not (factorize ~log_drift:true st) then
-          failwith "Revised_simplex: basis became singular";
-      for r = 0 to n - 1 do
-        cb.(r) <- cost st.basis.(r)
-      done;
-      btran st cb y;
-      let enter = price st cost allowed y in
-      if enter < 0 then P_optimal
-      else begin
-        ftran st (column st.p enter) d;
-        match ratio_test st d with
-        | None -> P_unbounded
-        | Some (leave, theta) ->
-          if Float.abs d.(leave) < eta_piv_tol && st.neta > 0 then begin
-            (* Fragile update pivot: rebuild the factors and re-derive the
-               direction from them instead of the drifted eta file. *)
-            if not (factorize ~log_drift:true st) then
-              failwith "Revised_simplex: basis became singular";
-            loop ()
-          end
-          else begin
-            pivot st leave enter d theta;
-            loop ()
-          end
-      end
+      let t0 = if Obs.Histogram.enabled () then Obs.Clock.now_ns () else 0 in
+      let r = iterate () in
+      if t0 > 0 then
+        Obs.Histogram.observe h_pivot (Obs.Clock.elapsed_ns ~since:t0);
+      match r with
+      | `Continue -> loop ()
+      | `Done outcome -> outcome
     end
   in
   loop ()

@@ -19,8 +19,20 @@ let zero =
 
 let lock = Mutex.create ()
 
-(* Growable buffer: [store] holds [len] live events. *)
+(* Bounded ring: [store] holds [len] live events starting at [start]
+   (wrapping); once [len] reaches [capacity] the oldest event is overwritten
+   and [dropped] counts the loss.  [capacity = 0] means unbounded (the
+   pre-ring growable behaviour).  The store grows geometrically up to the
+   cap so an idle stream costs nothing. *)
+let default_capacity = 1 lsl 20
+
+let capacity = ref default_capacity
+
+let dropped = ref 0
+
 let store = ref (Array.make 0 zero)
+
+let start = ref 0
 
 let len = ref 0
 
@@ -28,32 +40,75 @@ let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
+let nth_locked i = !store.((!start + i) mod Array.length !store)
+
+let grow_locked () =
+  let cap = Array.length !store in
+  let target =
+    let doubled = max 1024 (2 * cap) in
+    if !capacity = 0 then doubled else min !capacity doubled
+  in
+  if target > cap then begin
+    let next = Array.make target zero in
+    for i = 0 to !len - 1 do
+      next.(i) <- nth_locked i
+    done;
+    store := next;
+    start := 0
+  end
+
 let record ev =
   if Atomic.get flag then
     with_lock (fun () ->
-        let cap = Array.length !store in
-        if !len >= cap then begin
-          let next = Array.make (max 1024 (2 * cap)) zero in
-          Array.blit !store 0 next 0 cap;
-          store := next
-        end;
-        !store.(!len) <- ev;
-        incr len)
+        if !capacity > 0 && !len >= !capacity then begin
+          (* full ring: overwrite the oldest *)
+          !store.(!start) <- ev;
+          start := (!start + 1) mod Array.length !store;
+          incr dropped
+        end
+        else begin
+          if !len >= Array.length !store then grow_locked ();
+          !store.((!start + !len) mod Array.length !store) <- ev;
+          incr len
+        end)
 
 let length () = with_lock (fun () -> !len)
 
+let dropped_count () = with_lock (fun () -> !dropped)
+
 let to_list () =
-  with_lock (fun () -> Array.to_list (Array.sub !store 0 !len))
+  with_lock (fun () -> List.init !len (fun i -> nth_locked i))
 
 let reset () =
   with_lock (fun () ->
       store := [||];
-      len := 0)
+      start := 0;
+      len := 0;
+      dropped := 0)
+
+let set_capacity n =
+  if n < 0 then invalid_arg "Events.set_capacity: negative capacity";
+  with_lock (fun () ->
+      if n > 0 && !len > n then begin
+        (* keep the newest [n] events, count the evicted prefix as dropped *)
+        let evicted = !len - n in
+        let kept = Array.init n (fun i -> nth_locked (evicted + i)) in
+        store := kept;
+        start := 0;
+        len := n;
+        dropped := !dropped + evicted
+      end
+      else if n > 0 && Array.length !store > n then begin
+        let kept = Array.init !len (fun i -> nth_locked i) in
+        store := Array.append kept (Array.make (n - !len) zero);
+        start := 0
+      end;
+      capacity := n)
 
 let iter f =
   with_lock (fun () ->
       for i = 0 to !len - 1 do
-        f !store.(i)
+        f (nth_locked i)
       done)
 
 let write_jsonl buf =

@@ -4,7 +4,13 @@
     is the only layer that knows both the matching decisions and the group
     context.  Recording is disabled by default: the hot path pays a single
     atomic load and no allocation until {!set_enabled}[ true] (the
-    [--profile] flag flips it). *)
+    [--profile] flag flips it).
+
+    The stream is bounded: a ring of {!set_capacity} events (default
+    [2^20], generous for any experiment in the repo) keeps the newest
+    events and counts overwritten ones in {!dropped_count}, so a
+    long-running [--profile] session degrades to "recent history plus a
+    loss counter" instead of growing without limit. *)
 
 type slot_event = {
   slot : int;  (** simulator clock before the slot executes *)
@@ -23,12 +29,23 @@ val record : slot_event -> unit
 (** No-op while disabled. *)
 
 val length : unit -> int
+(** Events currently held (after any ring eviction). *)
+
+val set_capacity : int -> unit
+(** Ring size; [0] = unbounded.  Shrinking below the current length keeps
+    the newest events and counts the evicted ones as dropped.
+    @raise Invalid_argument on a negative capacity. *)
+
+val dropped_count : unit -> int
+(** Events overwritten by the ring since the last {!reset} — exported in
+    the profile artifact as [slot_events_dropped]. *)
 
 val to_list : unit -> slot_event list
 (** Recorded events, oldest first. *)
 
 val reset : unit -> unit
-(** Drop recorded events (the enabled flag is unchanged). *)
+(** Drop recorded events and zero the dropped counter (the enabled flag
+    and capacity are unchanged). *)
 
 val write_jsonl : Buffer.t -> unit
 (** One JSON object per line, oldest first:

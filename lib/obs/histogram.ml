@@ -1,0 +1,168 @@
+(* Log-linear ("HDR-style") bucketing with fixed, data-independent
+   boundaries: values 0 .. sub_count-1 land in exact singleton buckets; every
+   octave above is split into sub_count/2 equal sub-buckets, so the relative
+   quantization error is bounded by 2/sub_count (~6%) everywhere while the
+   boundary sequence — and therefore every exported percentile — is fully
+   deterministic. *)
+
+let sub_bits = 5
+
+let sub_count = 1 lsl sub_bits (* 32: exact buckets for 0..31 *)
+
+let half = sub_count / 2 (* sub-buckets per octave above that *)
+
+(* Enough octaves to cover the whole non-negative int range. *)
+let n_buckets = sub_count + ((Sys.int_size - sub_bits) * half)
+
+let floor_log2 v =
+  (* v > 0 *)
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of v =
+  if v < sub_count then v
+  else begin
+    let e = floor_log2 v - sub_bits + 1 in
+    let lo = 1 lsl (sub_bits + e - 1) in
+    let sub = (v - lo) lsr e in
+    sub_count + ((e - 1) * half) + sub
+  end
+
+(* Inclusive upper boundary of a bucket — what percentile queries report,
+   so two runs with the same data always print the same number. *)
+let bucket_hi idx =
+  if idx < sub_count then idx
+  else begin
+    let k = idx - sub_count in
+    let e = (k / half) + 1 in
+    let sub = k mod half in
+    (1 lsl (sub_bits + e - 1)) + ((sub + 1) lsl e) - 1
+  end
+
+type t = {
+  name : string;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  buckets : int array;
+}
+
+type summary = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;
+  s_max : int;
+  s_p50 : int;
+  s_p90 : int;
+  s_p99 : int;
+}
+
+let flag = Atomic.make false
+
+let set_enabled b = Atomic.set flag b
+
+let enabled () = Atomic.get flag
+
+let lock = Mutex.create ()
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let make name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some h -> h
+      | None ->
+        let h =
+          { name;
+            count = 0;
+            sum = 0;
+            min_v = max_int;
+            max_v = 0;
+            buckets = Array.make n_buckets 0;
+          }
+        in
+        Hashtbl.add registry name h;
+        h)
+
+let name h = h.name
+
+let observe h v =
+  if Atomic.get flag then begin
+    let v = max 0 v in
+    with_lock (fun () ->
+        h.count <- h.count + 1;
+        h.sum <- h.sum + v;
+        if v < h.min_v then h.min_v <- v;
+        if v > h.max_v then h.max_v <- v;
+        let b = h.buckets in
+        let i = bucket_of v in
+        b.(i) <- b.(i) + 1)
+  end
+
+let count h = with_lock (fun () -> h.count)
+
+let sum h = with_lock (fun () -> h.sum)
+
+let max_value h = with_lock (fun () -> h.max_v)
+
+let min_value h = with_lock (fun () -> if h.count = 0 then 0 else h.min_v)
+
+(* Nearest-rank, the same convention as [Metrics.percentile]: the value
+   whose 1-based rank in the sorted multiset is [ceil (p * count)] (rank 1
+   when p = 0).  Reported as the inclusive upper boundary of the bucket
+   holding that rank, clamped to the exact observed maximum. *)
+let rank_of p n =
+  if p < 0.0 || p > 1.0 then invalid_arg "Histogram.percentile: p out of range";
+  if p <= 0.0 then 1 else max 1 (min n (int_of_float (ceil (p *. float_of_int n))))
+
+let percentile_locked h p =
+  if h.count = 0 then 0
+  else begin
+    let rank = rank_of p h.count in
+    let acc = ref 0 and idx = ref 0 in
+    (try
+       for i = 0 to n_buckets - 1 do
+         acc := !acc + h.buckets.(i);
+         if !acc >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    min (bucket_hi !idx) h.max_v
+  end
+
+let percentile h p = with_lock (fun () -> percentile_locked h p)
+
+let summary h =
+  with_lock (fun () ->
+      { s_count = h.count;
+        s_sum = h.sum;
+        s_min = (if h.count = 0 then 0 else h.min_v);
+        s_max = h.max_v;
+        s_p50 = percentile_locked h 0.50;
+        s_p90 = percentile_locked h 0.90;
+        s_p99 = percentile_locked h 0.99;
+      })
+
+let dump () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun name h acc -> (name, h) :: acc) registry [])
+  |> List.sort compare
+  |> List.map (fun (name, h) -> (name, summary h))
+
+let reset_all () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ h ->
+          h.count <- 0;
+          h.sum <- 0;
+          h.min_v <- max_int;
+          h.max_v <- 0;
+          Array.fill h.buckets 0 n_buckets 0)
+        registry)

@@ -1,0 +1,72 @@
+(** Registry of log-bucketed histograms with deterministic boundaries.
+
+    Buckets are fixed and data-independent — values [0 .. 31] land in exact
+    singleton buckets, every octave above is split into 16 equal
+    sub-buckets — so the relative quantization error stays under ~6% and,
+    crucially, the exported percentiles are a pure function of the recorded
+    multiset: two runs over the same data print byte-identical numbers, and
+    [obs-diff] can compare them across revisions.
+
+    Recording is disabled by default and gated on one global flag: while
+    disabled, {!observe} costs a single atomic load — the same contract as
+    {!Events}.  Call sites that must {e compute} the value (a clock read
+    for a duration) guard that computation on {!enabled} themselves.
+
+    Percentiles use the nearest-rank convention shared with
+    [Core.Metrics.percentile]: the value at 1-based rank
+    [ceil (p * count)] of the sorted data, reported as the inclusive upper
+    boundary of its bucket (exact for values below 32), clamped to the
+    observed maximum. *)
+
+type t
+
+type summary = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;  (** exact; 0 when empty *)
+  s_max : int;  (** exact *)
+  s_p50 : int;
+  s_p90 : int;
+  s_p99 : int;
+}
+
+val set_enabled : bool -> unit
+(** Flipped by [--profile] / [--trace]. *)
+
+val enabled : unit -> bool
+
+val make : string -> t
+(** Interned by name, like {!Counter.make}; always available, never gated. *)
+
+val name : t -> string
+
+val observe : t -> int -> unit
+(** Record one value (negative values clamp to 0).  No-op while disabled. *)
+
+val count : t -> int
+
+val sum : t -> int
+
+val min_value : t -> int
+
+val max_value : t -> int
+
+val percentile : t -> float -> int
+(** [percentile h p] for [p] in [0, 1]; 0 when empty.
+    @raise Invalid_argument when [p] is out of range. *)
+
+val summary : t -> summary
+
+val dump : unit -> (string * summary) list
+(** Every registered histogram, sorted by name (empty ones included). *)
+
+val reset_all : unit -> unit
+(** Zero the data of every histogram; handles survive. *)
+
+(**/**)
+
+val bucket_of : int -> int
+(** Exposed for tests: index of the bucket holding a value. *)
+
+val bucket_hi : int -> int
+(** Exposed for tests: inclusive upper boundary of a bucket index. *)

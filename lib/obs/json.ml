@@ -1,0 +1,195 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+exception Bad of string
+
+(* Recursive-descent parser over the profile/trace subset of JSON: objects,
+   arrays, double-quoted strings with the escapes [escape] emits, numbers
+   (sign, decimals, exponent), true/false/null.  Position-annotated errors
+   are enough for artifacts we wrote ourselves. *)
+type cursor = { text : string; mutable pos : int }
+
+let fail cur msg = raise (Bad (Printf.sprintf "%s at byte %d" msg cur.pos))
+
+let peek cur = if cur.pos >= String.length cur.text then '\x00' else cur.text.[cur.pos]
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let rec skip_ws cur =
+  match peek cur with
+  | ' ' | '\t' | '\n' | '\r' ->
+    advance cur;
+    skip_ws cur
+  | _ -> ()
+
+let expect cur c =
+  if peek cur = c then advance cur
+  else fail cur (Printf.sprintf "expected %C, got %C" c (peek cur))
+
+let literal cur word value =
+  let n = String.length word in
+  if
+    cur.pos + n <= String.length cur.text
+    && String.sub cur.text cur.pos n = word
+  then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | '\x00' -> fail cur "unterminated string"
+    | '"' -> advance cur
+    | '\\' ->
+      advance cur;
+      (match peek cur with
+      | '"' -> Buffer.add_char buf '"'
+      | '\\' -> Buffer.add_char buf '\\'
+      | '/' -> Buffer.add_char buf '/'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 'b' -> Buffer.add_char buf '\b'
+      | 'f' -> Buffer.add_char buf '\012'
+      | 'u' ->
+        if cur.pos + 4 >= String.length cur.text then
+          fail cur "truncated \\u escape";
+        let hex = String.sub cur.text (cur.pos + 1) 4 in
+        (match int_of_string_opt ("0x" ^ hex) with
+        | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+        | Some _ -> Buffer.add_string buf ("\\u" ^ hex)
+        | None -> fail cur "bad \\u escape");
+        cur.pos <- cur.pos + 4
+      | c -> fail cur (Printf.sprintf "bad escape \\%C" c));
+      advance cur;
+      go ()
+    | c ->
+      Buffer.add_char buf c;
+      advance cur;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while is_num_char (peek cur) do
+    advance cur
+  done;
+  if cur.pos = start then fail cur "expected number";
+  match float_of_string_opt (String.sub cur.text start (cur.pos - start)) with
+  | Some f -> f
+  | None -> fail cur "malformed number"
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | '{' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = '}' then begin
+      advance cur;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws cur;
+        let key = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | ',' ->
+          advance cur;
+          members ((key, v) :: acc)
+        | '}' ->
+          advance cur;
+          List.rev ((key, v) :: acc)
+        | _ -> fail cur "expected ',' or '}'"
+      in
+      Obj (members [])
+    end
+  | '[' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = ']' then begin
+      advance cur;
+      Arr []
+    end
+    else begin
+      let rec elems acc =
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | ',' ->
+          advance cur;
+          elems (v :: acc)
+        | ']' ->
+          advance cur;
+          List.rev (v :: acc)
+        | _ -> fail cur "expected ',' or ']'"
+      in
+      Arr (elems [])
+    end
+  | '"' -> Str (parse_string cur)
+  | 't' -> literal cur "true" (Bool true)
+  | 'f' -> literal cur "false" (Bool false)
+  | 'n' -> literal cur "null" Null
+  | _ -> Num (parse_number cur)
+
+let parse text =
+  let cur = { text; pos = 0 } in
+  match parse_value cur with
+  | v ->
+    skip_ws cur;
+    if cur.pos <> String.length text then Error "trailing garbage"
+    else Ok v
+  | exception Bad msg -> Error msg
+
+let parse_exn text =
+  match parse text with Ok v -> v | Error msg -> failwith ("Json.parse: " ^ msg)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function
+  | Num f -> Some f
+  | _ -> None
+
+let to_string = function
+  | Str s -> Some s
+  | _ -> None
+
+let to_list = function
+  | Arr l -> Some l
+  | _ -> None

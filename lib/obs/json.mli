@@ -1,0 +1,35 @@
+(** Minimal JSON: the escape function every obs exporter shares, and a
+    parser for the subset those exporters emit.
+
+    The parser exists so [obs-diff] can load two profile artifacts and so
+    tests can validate the trace document, without pulling a JSON library
+    into the dependency-free obs layer.  It handles objects, arrays,
+    strings (with the escapes {!escape} produces; non-ASCII [\u] escapes
+    are kept verbatim), numbers, [true]/[false]/[null] — i.e. everything
+    {!Profile.to_json} and {!Trace.to_json} write, which is all it is ever
+    pointed at. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Escape a string for embedding between double quotes in JSON output. *)
+
+val parse : string -> (t, string) result
+
+val parse_exn : string -> t
+(** @raise Failure on malformed input. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val to_float : t -> float option
+
+val to_string : t -> string option
+
+val to_list : t -> t list option

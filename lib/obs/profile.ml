@@ -1,16 +1,4 @@
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let escape = Json.escape
 
 let to_json () =
   let buf = Buffer.create 4096 in
@@ -42,8 +30,23 @@ let to_json () =
         (Printf.sprintf "    \"%s\": %.6f%s\n" (escape name) v
            (if i = List.length gauges - 1 then "" else ",")))
     gauges;
+  Buffer.add_string buf "  },\n  \"histograms\": {\n";
+  let hists = Histogram.dump () in
+  List.iteri
+    (fun i (name, (s : Histogram.summary)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    \"%s\": {\"count\": %d, \"sum\": %d, \"min\": %d, \
+            \"max\": %d, \"p50\": %d, \"p90\": %d, \"p99\": %d}%s\n"
+           (escape name) s.Histogram.s_count s.Histogram.s_sum
+           s.Histogram.s_min s.Histogram.s_max s.Histogram.s_p50
+           s.Histogram.s_p90 s.Histogram.s_p99
+           (if i = List.length hists - 1 then "" else ",")))
+    hists;
   Buffer.add_string buf
-    (Printf.sprintf "  },\n  \"slot_events\": %d\n}\n" (Events.length ()));
+    (Printf.sprintf
+       "  },\n  \"slot_events\": %d,\n  \"slot_events_dropped\": %d\n}\n"
+       (Events.length ()) (Events.dropped_count ()));
   Buffer.contents buf
 
 let write path =
@@ -66,4 +69,6 @@ let reset_all () =
   Span.reset_all ();
   Counter.reset_all ();
   Counter.Gauge.reset_all ();
-  Events.reset ()
+  Histogram.reset_all ();
+  Events.reset ();
+  Trace.reset ()

@@ -3,9 +3,13 @@
     One JSON document aggregating everything the registries hold: spans
     (per-phase wall time with self-time accounting), counters (LP pivots,
     refactorizations, BvN matchings, slots, backfilled units, ...), gauges
-    (utilization, ...) and a summary of the slot-event stream.  All
-    numbers come from the [Obs] registries — the same counters the bench
-    JSON reports — so the two artifacts can never disagree. *)
+    (utilization, ...), histograms (per-slot service time, per-pivot LP
+    time, BvN build sizes, per-coflow waiting/flow time — count, sum,
+    min/max and nearest-rank p50/p90/p99 each) and a summary of the
+    slot-event stream including how many events the bounded ring dropped.
+    All numbers come from the [Obs] registries — the same counters the
+    bench JSON reports — so the two artifacts can never disagree, and
+    [Profile_diff] can compare any two of them across revisions. *)
 
 val to_json : unit -> string
 (** The profile document, pretty enough to diff. *)
@@ -16,5 +20,5 @@ val write : string -> unit
     [path ^ ".slots.jsonl"] and [path ^ ".slots.csv"]. *)
 
 val reset_all : unit -> unit
-(** Clear spans, counters, gauges and events in one call — the boundary
-    between two measured runs. *)
+(** Clear spans, counters, gauges, histograms, slot events and trace
+    events in one call — the boundary between two measured runs. *)

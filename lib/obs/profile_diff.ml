@@ -1,0 +1,220 @@
+type kind = Counter | Span_self | Hist_stat
+
+let kind_name = function
+  | Counter -> "counter"
+  | Span_self -> "span.self_ns"
+  | Hist_stat -> "histogram"
+
+type row = {
+  name : string;
+  kind : kind;
+  time_based : bool;
+  old_v : float option;
+  new_v : float option;
+  delta_pct : float option;
+  regression : bool;
+}
+
+type report = {
+  threshold : float;
+  time_threshold : float option;
+  rows : row list;
+}
+
+let regressions r = List.filter (fun row -> row.regression) r.rows
+
+(* Wall-time metrics are machine- and load-dependent; everything else in a
+   seeded run is deterministic.  Spans are always wall time; a histogram is
+   wall time iff its name says so (the [_ns] suffix convention). *)
+let is_time_name name =
+  let suffix affix =
+    let la = String.length affix and ln = String.length name in
+    ln >= la && String.sub name (ln - la) la = affix
+  in
+  suffix "_ns" || suffix "_us" || suffix "_s"
+
+let num path json =
+  let rec walk json = function
+    | [] -> Json.to_float json
+    | key :: rest -> Option.bind (Json.member key json) (fun j -> walk j rest)
+  in
+  walk json path
+
+(* Flatten one profile document into (name, kind, time_based, value). *)
+let metrics json =
+  let counters =
+    match Json.member "counters" json with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (name, v) ->
+          Option.map
+            (fun f -> ((Counter, name), (false, f)))
+            (Json.to_float v))
+        fields
+    | _ -> []
+  in
+  let spans =
+    match Option.bind (Json.member "spans" json) Json.to_list with
+    | Some entries ->
+      List.filter_map
+        (fun entry ->
+          match (num [ "path" ] entry, Json.member "path" entry) with
+          | _, Some (Json.Str path) ->
+            Option.map
+              (fun self -> ((Span_self, path), (true, self)))
+              (num [ "self_ns" ] entry)
+          | _ -> None)
+        entries
+    | None -> []
+  in
+  let hists =
+    match Json.member "histograms" json with
+    | Some (Json.Obj fields) ->
+      List.concat_map
+        (fun (name, h) ->
+          let time = is_time_name name in
+          List.filter_map
+            (fun stat ->
+              Option.map
+                (fun f ->
+                  ( (Hist_stat, Printf.sprintf "%s.%s" name stat),
+                    ((if stat = "count" then false else time), f) ))
+                (num [ stat ] h))
+            [ "count"; "p50"; "p90"; "p99" ])
+        fields
+    | _ -> []
+  in
+  counters @ spans @ hists
+
+let delta_pct old_v new_v =
+  if old_v = 0.0 then if new_v = 0.0 then Some 0.0 else None
+  else Some ((new_v -. old_v) /. Float.abs old_v *. 100.0)
+
+let diff ?(threshold = 10.0) ?time_threshold ~old_profile ~new_profile () =
+  let old_m = metrics old_profile and new_m = metrics new_profile in
+  let keys =
+    List.sort_uniq compare (List.map fst old_m @ List.map fst new_m)
+  in
+  let rows =
+    List.map
+      (fun ((kind, name) as key) ->
+        let old_entry = List.assoc_opt key old_m in
+        let new_entry = List.assoc_opt key new_m in
+        let time_based =
+          match (old_entry, new_entry) with
+          | Some (t, _), _ | None, Some (t, _) -> t
+          | None, None -> false
+        in
+        let old_v = Option.map snd old_entry in
+        let new_v = Option.map snd new_entry in
+        let gate =
+          if time_based then time_threshold else Some threshold
+        in
+        let delta =
+          match (old_v, new_v) with
+          | Some o, Some n -> delta_pct o n
+          | _ -> None
+        in
+        let regression =
+          match gate with
+          | None -> false
+          | Some limit -> (
+            match (old_v, new_v) with
+            | Some _, None ->
+              (* a gated metric that vanished means instrumentation was
+                 lost — always a failure *)
+              true
+            | None, Some _ -> false (* new metric: informational *)
+            | None, None -> false
+            | Some o, Some n -> (
+              match delta_pct o n with
+              | Some pct -> Float.abs pct > limit
+              | None -> o <> n))
+        in
+        { name;
+          kind;
+          time_based;
+          old_v;
+          new_v;
+          delta_pct = delta;
+          regression;
+        })
+      keys
+  in
+  { threshold; time_threshold; rows }
+
+let fmt_value = function
+  | None -> "-"
+  | Some v ->
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.2f" v
+
+let fmt_delta row =
+  match (row.old_v, row.new_v, row.delta_pct) with
+  | Some _, None, _ -> "removed"
+  | None, Some _, _ -> "new"
+  | _, _, Some pct -> Printf.sprintf "%+.1f%%" pct
+  | Some _, Some _, None -> "0 -> nonzero"
+  | None, None, _ -> "-"
+
+let render ?(all = false) report =
+  let interesting row =
+    all || row.regression
+    || (match row.delta_pct with Some p -> Float.abs p > 0.0 | None -> true)
+  in
+  let rows = List.filter interesting report.rows in
+  let header = [ "metric"; "kind"; "old"; "new"; "delta"; "verdict" ] in
+  let cells =
+    List.map
+      (fun row ->
+        [ row.name;
+          kind_name row.kind ^ (if row.time_based then " (time)" else "");
+          fmt_value row.old_v;
+          fmt_value row.new_v;
+          fmt_delta row;
+          (if row.regression then "REGRESSION"
+           else if row.time_based && report.time_threshold = None then "info"
+           else "ok");
+        ])
+      rows
+  in
+  let table = header :: cells in
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map (fun _ -> 0) header)
+      table
+  in
+  let line row =
+    String.concat "  "
+      (List.map2 (fun w cell -> Printf.sprintf "%-*s" w cell) widths row)
+  in
+  let buf = Buffer.create 1024 in
+  let n_reg = List.length (regressions report) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "profile diff: %d metrics compared, %d changed shown, %d regressions \
+        (threshold %.1f%%%s)\n"
+       (List.length report.rows) (List.length rows) n_reg report.threshold
+       (match report.time_threshold with
+       | None -> ", time metrics informational"
+       | Some t -> Printf.sprintf ", time threshold %.1f%%" t));
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    table;
+  Buffer.contents buf
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      match Json.parse text with
+      | Ok json -> json
+      | Error msg -> failwith (Printf.sprintf "%s: malformed profile: %s" path msg))

@@ -1,0 +1,50 @@
+(** Compare two profile artifacts ({!Profile.to_json} documents) — the
+    perf-regression gate behind [bench/main.exe obs-diff OLD NEW].
+
+    Three metric families are diffed: counters, span self-times, and
+    histogram stats (count/p50/p90/p99).  Deterministic metrics — counters
+    and non-time histogram stats, which a seeded run reproduces exactly —
+    gate on [threshold] (percent change).  Wall-time metrics (span
+    self-times and [_ns]/[_us]/[_s] histogram percentiles) vary with the
+    machine, so they are informational unless an explicit
+    [time_threshold] opts them into gating.  A gated metric present in
+    OLD but missing in NEW counts as a regression (instrumentation lost);
+    metrics new in NEW are informational. *)
+
+type kind = Counter | Span_self | Hist_stat
+
+type row = {
+  name : string;
+  kind : kind;
+  time_based : bool;
+  old_v : float option;  (** [None]: absent from OLD *)
+  new_v : float option;  (** [None]: absent from NEW *)
+  delta_pct : float option;  (** [None] when undefined (0 -> nonzero, or a side is missing) *)
+  regression : bool;
+}
+
+type report = {
+  threshold : float;
+  time_threshold : float option;
+  rows : row list;  (** sorted by (kind, name) *)
+}
+
+val diff :
+  ?threshold:float ->
+  ?time_threshold:float ->
+  old_profile:Json.t ->
+  new_profile:Json.t ->
+  unit ->
+  report
+(** [threshold] defaults to 10 (percent); [time_threshold] defaults to
+    absent (time metrics never gate). *)
+
+val regressions : report -> row list
+
+val render : ?all:bool -> report -> string
+(** Human-readable table: changed metrics and regressions by default,
+    every compared metric with [~all:true]. *)
+
+val load_file : string -> Json.t
+(** Read and parse a profile artifact.  @raise Failure on malformed
+    input, [Sys_error] on IO errors. *)

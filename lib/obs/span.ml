@@ -55,6 +55,8 @@ let with_ name f =
       (match !stack with
       | top :: rest when top == path -> stack := rest
       | s -> stack := List.filter (fun p -> p != path) s);
+      if Trace.enabled () then
+        Trace.complete ~name:path ~cat:"span" ~start_ns:t0 ~dur_ns:elapsed_ns;
       record path ~parent ~elapsed_ns)
     f
 

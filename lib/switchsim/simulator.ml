@@ -11,6 +11,7 @@ type t = {
   demand : Mat.t array; (* mutated in place as units move *)
   left : int array; (* remaining units per coflow *)
   completed : int array; (* completion slot, -1 if unfinished *)
+  first_served : int array; (* slot of the first transfer, -1 if never *)
   mutable unfinished : int;
   mutable clock : int;
   mutable busy : int;
@@ -46,6 +47,7 @@ let create ?(validate = fun _ -> Ok ()) ~ports demands =
     demand;
     left;
     completed;
+    first_served = Array.make n (-1);
     unfinished = !unfinished;
     clock = 0;
     busy = 0;
@@ -121,6 +123,34 @@ let completion_time_exn t k =
   | Some c -> c
   | None -> invalid_arg "Simulator.completion_time_exn: coflow unfinished"
 
+let first_service_time t k =
+  check_coflow t k;
+  if t.first_served.(k) >= 0 then Some t.first_served.(k) else None
+
+(* ---- flight-recorder hooks (all gated on one atomic load each) ---- *)
+
+let h_wait = Obs.Histogram.make "coflow.wait_slots"
+
+let h_flow = Obs.Histogram.make "coflow.flow_slots"
+
+(* Coflows whose release date equals the current clock become serviceable
+   in the slot about to execute: open their "wait" slice.  Called at the
+   top of [step], which every driver (run, Recorder, Resilient, Injector)
+   funnels through, so the trace sees releases regardless of the loop. *)
+let trace_releases t =
+  Array.iteri
+    (fun k r ->
+      if r = t.clock && t.left.(k) > 0 then
+        Obs.Trace.async_begin ~name:"wait" ~cat:"coflow" ~id:k ~slot:r)
+    t.releases
+
+let trace_first_service t k =
+  Obs.Trace.async_end ~name:"wait" ~cat:"coflow" ~id:k ~slot:t.clock;
+  Obs.Trace.async_begin ~name:"serve" ~cat:"coflow" ~id:k ~slot:t.clock
+
+let trace_completion t k =
+  Obs.Trace.async_end ~name:"serve" ~cat:"coflow" ~id:k ~slot:t.clock
+
 let step t transfers =
   (* validate without mutating *)
   (match t.validate transfers with
@@ -152,6 +182,8 @@ let step t transfers =
                 dst)))
     transfers;
   (* commit *)
+  let tracing = Obs.Trace.enabled () in
+  if tracing then trace_releases t;
   t.clock <- t.clock + 1;
   if transfers <> [] then t.busy <- t.busy + 1;
   List.iter
@@ -159,15 +191,33 @@ let step t transfers =
       Mat.add_entry t.demand.(coflow) src dst (-1);
       t.left.(coflow) <- t.left.(coflow) - 1;
       t.moved <- t.moved + 1;
+      if t.first_served.(coflow) < 0 then begin
+        t.first_served.(coflow) <- t.clock;
+        if tracing then trace_first_service t coflow
+      end;
       if t.left.(coflow) = 0 then begin
         t.completed.(coflow) <- t.clock;
-        t.unfinished <- t.unfinished - 1
+        t.unfinished <- t.unfinished - 1;
+        if tracing then trace_completion t coflow;
+        if Obs.Histogram.enabled () then begin
+          (* waiting = idle slots between release and first service (first
+             service in slot r+1 means zero wait); flow = completion
+             relative to release *)
+          Obs.Histogram.observe h_wait
+            (t.first_served.(coflow) - 1 - t.releases.(coflow));
+          Obs.Histogram.observe h_flow (t.clock - t.releases.(coflow))
+        end
       end)
-    transfers
+    transfers;
+  if tracing then
+    Obs.Trace.counter ~name:"slot" ~slot:t.clock
+      [ ("transfers", List.length transfers) ]
 
 let c_slots = Obs.Counter.make "sim.slots"
 
 let c_units = Obs.Counter.make "sim.units_moved"
+
+let h_service = Obs.Histogram.make "slot.service_ns"
 
 let run ?(max_slots = 10_000_000) t ~policy =
   Obs.Span.with_ "sim.run" @@ fun () ->
@@ -175,8 +225,13 @@ let run ?(max_slots = 10_000_000) t ~policy =
   while not (all_complete t) do
     if !budget <= 0 then failwith "Simulator.run: slot budget exhausted";
     decr budget;
+    (* per-slot wall time (policy decision + commit), only measured while
+       histograms are on: the disabled hot path stays one atomic load *)
+    let t0 = if Obs.Histogram.enabled () then Obs.Clock.now_ns () else 0 in
     let transfers = policy t in
     step t transfers;
+    if t0 > 0 then
+      Obs.Histogram.observe h_service (Obs.Clock.elapsed_ns ~since:t0);
     Obs.Counter.incr c_slots;
     Obs.Counter.incr c_units ~by:(List.length transfers)
   done

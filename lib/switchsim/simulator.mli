@@ -83,10 +83,23 @@ val completion_time : t -> int -> int option
 
 val completion_time_exn : t -> int -> int
 
+val first_service_time : t -> int -> int option
+(** Slot in which coflow [k]'s first unit moved, if any has — together
+    with {!release_time} this is the coflow's waiting time, the tail
+    metric the flight recorder histograms and the per-coflow trace tracks
+    are built on. *)
+
 val step : t -> transfer list -> unit
 (** Execute one slot.  Validates that (i) no port appears twice, (ii) every
     transfer has positive remaining demand, (iii) every served coflow is
-    released.  Advances the clock even when the list is empty (idle slot). *)
+    released.  Advances the clock even when the list is empty (idle slot).
+
+    When {!Obs.Trace} is enabled, every step additionally emits the
+    per-coflow lifecycle events (release opens a ["wait"] slice, first
+    service switches it to ["serve"], completion closes it) and a
+    per-slot transfer counter sample — [step] is the choke point every
+    driver funnels through, so traces are complete no matter which loop
+    runs the policy. *)
 
 val run :
   ?max_slots:int -> t -> policy:(t -> transfer list) -> unit

@@ -761,8 +761,32 @@ let test_percentile_int_order () =
   let snapshot = Array.copy cs in
   check_int "p0 = min" 3 (Metrics.percentile 0.0 cs);
   check_int "p100 = max" 1024 (Metrics.percentile 1.0 cs);
-  check_int "p50" 256 (Metrics.percentile 0.5 cs);
+  (* nearest-rank: rank ceil(0.5 * 10) = 5 of sorted [3;3;9;41;88;...] *)
+  check_int "p50" 88 (Metrics.percentile 0.5 cs);
+  check_int "p90" 907 (Metrics.percentile 0.9 cs);
   Alcotest.(check (array int)) "input untouched" snapshot cs
+
+let test_percentile_matches_histogram () =
+  (* [Metrics.percentile] and [Obs.Histogram.percentile] implement the same
+     nearest-rank convention; on values below 32 (exact histogram buckets)
+     they must agree on every p — so a percentile printed by a report and
+     one exported in a profile artifact are directly comparable *)
+  let fixture = [| 9; 1; 5; 3; 7; 2; 8; 31; 0; 4; 17; 17; 30 |] in
+  Obs.Histogram.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Histogram.set_enabled false;
+      Obs.Histogram.reset_all ())
+    (fun () ->
+      let h = Obs.Histogram.make "test.metrics.crosscheck" in
+      Array.iter (Obs.Histogram.observe h) fixture;
+      List.iter
+        (fun p ->
+          check_int
+            (Printf.sprintf "p = %.2f agrees" p)
+            (Metrics.percentile p fixture)
+            (Obs.Histogram.percentile h p))
+        [ 0.0; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1.0 ])
 
 let test_metrics_validation () =
   (try
@@ -1218,6 +1242,8 @@ let () =
         [ Alcotest.test_case "values" `Quick test_metrics;
           Alcotest.test_case "percentile integer order" `Quick
             test_percentile_int_order;
+          Alcotest.test_case "percentile matches histogram" `Quick
+            test_percentile_matches_histogram;
           Alcotest.test_case "validation" `Quick test_metrics_validation;
           Alcotest.test_case "twct routes through metrics" `Quick
             test_twct_routes_through_metrics;

@@ -337,6 +337,96 @@ let test_fabric_rows () =
         (r.Exp_fabric.utilization > 0.0 && r.Exp_fabric.utilization <= 1.0))
     rows
 
+(* ---------- bench argv parsing ---------- *)
+
+(* The mode predicate bench/main.exe passes in, reduced to what the tests
+   need. *)
+let is_mode m = List.mem m [ "tables"; "kernels"; "table1"; "faults" ]
+
+let parse args = Bench_cli.parse ~is_mode args
+
+let ok args =
+  match parse args with
+  | Ok cli -> cli
+  | Error e -> Alcotest.failf "expected parse, got error: %s" e
+
+let err name args =
+  match parse args with
+  | Ok _ -> Alcotest.failf "%s: expected an error" name
+  | Error _ -> ()
+
+let test_cli_profile_must_not_eat_flags () =
+  (* the historic bug class: "--profile --json out.json" must profile to
+     the default path, not write the profile to "--json" *)
+  let cli = ok [ "--profile"; "--json"; "out.json" ] in
+  Alcotest.(check (option string)) "profile defaults"
+    (Some Bench_cli.default_profile_path) cli.Bench_cli.profile;
+  Alcotest.(check (option string)) "json kept" (Some "out.json")
+    cli.Bench_cli.json;
+  (* same guard for a mode name after the flag *)
+  let cli = ok [ "--profile"; "table1" ] in
+  Alcotest.(check (option string)) "mode not eaten"
+    (Some Bench_cli.default_profile_path) cli.Bench_cli.profile;
+  Alcotest.(check (list string)) "mode survives" [ "table1" ]
+    cli.Bench_cli.modes;
+  (* but a real path is consumed *)
+  let cli = ok [ "--profile"; "p.json"; "table1" ] in
+  Alcotest.(check (option string)) "explicit path" (Some "p.json")
+    cli.Bench_cli.profile
+
+let test_cli_trace_flag () =
+  let cli = ok [ "table1"; "--trace" ] in
+  Alcotest.(check (option string)) "trace defaults"
+    (Some Bench_cli.default_trace_path) cli.Bench_cli.trace;
+  let cli = ok [ "--trace"; "t.json"; "faults" ] in
+  Alcotest.(check (option string)) "trace path" (Some "t.json")
+    cli.Bench_cli.trace;
+  Alcotest.(check (list string)) "modes in order" [ "faults" ]
+    cli.Bench_cli.modes
+
+let test_cli_scale_and_modes () =
+  let cli = ok [ "tables"; "--scale"; "quick"; "kernels" ] in
+  Alcotest.(check bool) "scale parsed" true
+    (cli.Bench_cli.scale = Config.Quick);
+  Alcotest.(check (list string)) "argv order kept" [ "tables"; "kernels" ]
+    cli.Bench_cli.modes;
+  err "missing scale" [ "--scale" ];
+  err "bad scale" [ "--scale"; "bogus" ];
+  err "scale eats no flag" [ "--scale"; "--json" ];
+  err "unknown mode" [ "notamode" ];
+  err "unknown flag" [ "--frobnicate" ];
+  err "missing json" [ "--json" ];
+  err "json eats no flag" [ "--json"; "--profile" ]
+
+let test_cli_obs_diff () =
+  let cli = ok [ "obs-diff"; "a.json"; "b.json" ] in
+  (match cli.Bench_cli.diff with
+  | None -> Alcotest.fail "expected a diff"
+  | Some d ->
+    Alcotest.(check string) "old" "a.json" d.Bench_cli.old_path;
+    Alcotest.(check string) "new" "b.json" d.Bench_cli.new_path;
+    Alcotest.(check (float 0.0)) "default threshold" 10.0
+      d.Bench_cli.threshold;
+    Alcotest.(check bool) "time threshold absent" true
+      (d.Bench_cli.time_threshold = None));
+  let cli =
+    ok
+      [ "obs-diff"; "old.json"; "new.json"; "--threshold"; "5";
+        "--time-threshold"; "50";
+      ]
+  in
+  (match cli.Bench_cli.diff with
+  | None -> Alcotest.fail "expected a diff"
+  | Some d ->
+    Alcotest.(check (float 0.0)) "threshold" 5.0 d.Bench_cli.threshold;
+    Alcotest.(check (option (float 0.0))) "time threshold" (Some 50.0)
+      d.Bench_cli.time_threshold);
+  err "one path" [ "obs-diff"; "a.json" ];
+  err "three paths" [ "obs-diff"; "a"; "b"; "c" ];
+  err "negative threshold" [ "obs-diff"; "a"; "b"; "--threshold"; "-1" ];
+  err "non-numeric threshold" [ "obs-diff"; "a"; "b"; "--threshold"; "x" ];
+  err "unknown diff flag" [ "obs-diff"; "a"; "b"; "--bogus" ]
+
 let () =
   Alcotest.run "experiments"
     [ ( "report",
@@ -380,4 +470,11 @@ let () =
       ("robust", [ Alcotest.test_case "rows" `Quick test_robust_rows ]);
       ("dag-exp", [ Alcotest.test_case "rows" `Quick test_dag_rows ]);
       ("fabric-exp", [ Alcotest.test_case "rows" `Quick test_fabric_rows ]);
+      ( "bench-cli",
+        [ Alcotest.test_case "--profile never eats flags/modes" `Quick
+            test_cli_profile_must_not_eat_flags;
+          Alcotest.test_case "--trace" `Quick test_cli_trace_flag;
+          Alcotest.test_case "scale and modes" `Quick test_cli_scale_and_modes;
+          Alcotest.test_case "obs-diff" `Quick test_cli_obs_diff;
+        ] );
     ]
