@@ -19,7 +19,9 @@
                                 when a gated metric moved past the
                                 threshold (the CI perf-regression gate,
                                 run against bench/BASELINE.json).
-   Scale is chosen with "--scale quick|default|large"; "--profile [PATH]"
+   Scale is chosen with "--scale quick|default|large"; "--jobs N" runs the
+   independent experiment simulations on N domains (identical output at any
+   N); "--profile [PATH]"
    writes the profile artifact, "--trace [PATH]" a Perfetto-loadable
    flight-recorder trace (argv grammar in Experiments.Bench_cli). *)
 
@@ -27,6 +29,8 @@ open Bechamel
 open Toolkit
 
 let scale = ref Experiments.Config.Default
+
+let jobs = ref 1
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -44,7 +48,7 @@ let get_blocks cfg =
       (2 * List.length cfg.Experiments.Config.filters);
     let b, seconds =
       Obs.Span.timed "bench.blocks" (fun () ->
-          Experiments.Harness.all_blocks cfg)
+          Experiments.Harness.all_blocks ~jobs:!jobs cfg)
     in
     Printf.printf "[blocks ready in %.1fs]\n%!" seconds;
     blocks_cache := Some b;
@@ -131,11 +135,11 @@ let run_orderings cfg =
 
 let run_lp_grid cfg =
   section "E11 - LP interval-grid ablation (interval- vs time-indexed)";
-  print_string (Experiments.Exp_lp_grid.render cfg)
+  print_string (Experiments.Exp_lp_grid.render ~jobs:!jobs cfg)
 
 let run_online cfg =
   section "E12 - online vs offline under arrivals";
-  print_string (Experiments.Exp_online.render cfg)
+  print_string (Experiments.Exp_online.render ~jobs:!jobs cfg)
 
 let run_robust cfg =
   section "E13 - demand-uncertainty study";
@@ -152,7 +156,7 @@ let run_dag cfg =
 
 let run_fabric cfg =
   section "E15 - oversubscribed fabric (non-blocking assumption relaxed)";
-  print_string (Experiments.Exp_fabric.render cfg)
+  print_string (Experiments.Exp_fabric.render ~jobs:!jobs cfg)
 
 let run_faults cfg =
   section "E16 - fault injection and degradation-aware rescheduling";
@@ -362,6 +366,7 @@ let () =
   in
   Option.iter run_obs_diff cli.Experiments.Bench_cli.diff;
   scale := cli.Experiments.Bench_cli.scale;
+  jobs := cli.Experiments.Bench_cli.jobs;
   let json = cli.Experiments.Bench_cli.json in
   let profile = cli.Experiments.Bench_cli.profile in
   let trace = cli.Experiments.Bench_cli.trace in

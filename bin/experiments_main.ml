@@ -10,7 +10,11 @@
 
 open Cmdliner
 
-let run_all scale only csv_dir profile trace =
+let run_all scale only csv_dir profile trace jobs =
+  if jobs < 1 then begin
+    Format.eprintf "--jobs must be a positive integer@.";
+    exit 2
+  end;
   if profile <> None || trace <> None then begin
     Obs.Events.set_enabled true;
     Obs.Histogram.set_enabled true
@@ -30,7 +34,7 @@ let run_all scale only csv_dir profile trace =
         (2 * List.length cfg.Experiments.Config.filters);
       let blocks, seconds =
         Obs.Span.timed "experiments.blocks" (fun () ->
-            Experiments.Harness.all_blocks cfg)
+            Experiments.Harness.all_blocks ~jobs cfg)
       in
       Format.printf "blocks ready in %.1fs@.@." seconds;
       blocks
@@ -89,11 +93,11 @@ let run_all scale only csv_dir profile trace =
     print_newline ()
   end;
   if wants "E11" then begin
-    print_string (Experiments.Exp_lp_grid.render cfg);
+    print_string (Experiments.Exp_lp_grid.render ~jobs cfg);
     print_newline ()
   end;
   if wants "E12" then begin
-    print_string (Experiments.Exp_online.render cfg);
+    print_string (Experiments.Exp_online.render ~jobs cfg);
     print_newline ()
   end;
   if wants "E13" then begin
@@ -105,7 +109,7 @@ let run_all scale only csv_dir profile trace =
     print_newline ()
   end;
   if wants "E15" then begin
-    print_string (Experiments.Exp_fabric.render cfg);
+    print_string (Experiments.Exp_fabric.render ~jobs cfg);
     print_newline ()
   end;
   if wants "E16" then begin
@@ -176,11 +180,20 @@ let trace_arg =
           "Write a Chrome-trace-format (Perfetto-loadable) flight-recorder \
            trace to PATH; defaults to TRACE.json when PATH is omitted")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Run independent experiment simulations on N domains (default 1). \
+           Output is identical at any N.")
+
 let cmd =
   let doc = "Regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "coflow-experiments" ~doc)
     Term.(
-      const run_all $ scale_arg $ only_arg $ csv_arg $ profile_arg $ trace_arg)
+      const run_all $ scale_arg $ only_arg $ csv_arg $ profile_arg $ trace_arg
+      $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

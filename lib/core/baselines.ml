@@ -2,167 +2,123 @@ open Matrix
 open Workload
 open Switchsim
 
-(* One slot of order-respecting greedy matching. *)
-let greedy_slot sim priority =
-  let m = Simulator.ports sim in
-  let src_used = Array.make m false and dst_used = Array.make m false in
-  let transfers = ref [] in
-  Array.iter
-    (fun k ->
-      if Simulator.released sim k && not (Simulator.is_complete sim k) then
-        Simulator.iter_remaining sim k (fun i j _ ->
-            if not (src_used.(i) || dst_used.(j)) then begin
-              src_used.(i) <- true;
-              dst_used.(j) <- true;
-              transfers := { Simulator.src = i; dst = j; coflow = k } :: !transfers
-            end))
-    priority;
-  !transfers
+(* All baselines are Engine policies; the order-respecting ones share
+   {!Policy.greedy_matching} and differ only in how the priority is
+   produced each slot. *)
 
-let measure inst sim =
-  let n = Instance.num_coflows inst in
-  let completion =
-    Array.init n (fun k -> Simulator.completion_time_exn sim k)
-  in
-  { Scheduler.completion;
-    twct = Scheduler.twct_of_completions inst completion;
-    slots = Simulator.now sim;
-    utilization = Simulator.utilization sim;
-    matchings = 0;
-  }
+let greedy_policy order = Policy.of_priority ~describe:"greedy" order
 
-let greedy inst order =
-  let sim =
-    Simulator.create ~ports:(Instance.ports inst) (Instance.demands inst)
-  in
-  Simulator.run sim ~policy:(fun s -> greedy_slot s order);
-  measure inst sim
+let round_robin_policy n =
+  Policy.make ~describe:"round-robin" (fun _sim ->
+      let offset = ref 0 in
+      Policy.stepper (fun sim ->
+          let priority = Array.init n (fun i -> (i + !offset) mod n) in
+          incr offset;
+          Policy.greedy_matching sim ~priority))
+
+(* MaxWeight: exact maximum-weight matching per slot. *)
+let max_weight_policy ~weights =
+  Policy.stateless ~describe:"max-weight" (fun s ->
+      let n = Simulator.num_coflows s in
+      let m = Simulator.ports s in
+      let w = Array.make_matrix m m 0.0 in
+      let best = Array.make_matrix m m (-1) in
+      for k = 0 to n - 1 do
+        if Simulator.released s k && not (Simulator.is_complete s k) then begin
+          let urgency =
+            weights.(k) /. float_of_int (max 1 (Simulator.remaining_total s k))
+          in
+          Simulator.iter_remaining s k (fun i j _ ->
+              if urgency > w.(i).(j) then begin
+                w.(i).(j) <- urgency;
+                best.(i).(j) <- k
+              end)
+        end
+      done;
+      let pairs, _ = Matching.Hungarian.max_weight_matching w in
+      List.map
+        (fun (i, j) -> { Simulator.src = i; dst = j; coflow = best.(i).(j) })
+        pairs)
+
+(* Varys-style SEBF + MADD, discretised via per-pair credits. *)
+let sebf_madd_policy ~coflows:n =
+  Policy.make ~describe:"sebf+madd" (fun sim ->
+      let m = Simulator.ports sim in
+      let credit = Array.make (n * m * m) 0.0 in
+      Policy.stepper (fun s ->
+          (* SEBF: active coflows by smallest remaining bottleneck *)
+          let active = ref [] in
+          for k = n - 1 downto 0 do
+            if Simulator.released s k && not (Simulator.is_complete s k) then
+              active := k :: !active
+          done;
+          let keyed =
+            List.map (fun k -> (Mat.load (Simulator.remaining s k), k)) !active
+          in
+          let order = List.map snd (List.sort compare keyed) in
+          (* MADD rates: flow (i, j) of the head coflow paced at
+             rem_ij / gamma, later coflows backfill what capacity is left *)
+          let cap_in = Array.make m 1.0 and cap_out = Array.make m 1.0 in
+          List.iter
+            (fun k ->
+              let rem = Simulator.remaining s k in
+              let gamma = float_of_int (Mat.load rem) in
+              if gamma > 0.0 then
+                Mat.iter_nonzero
+                  (fun i j v ->
+                    let want = float_of_int v /. gamma in
+                    let rate = min want (min cap_in.(i) cap_out.(j)) in
+                    if rate > 0.0 then begin
+                      cap_in.(i) <- cap_in.(i) -. rate;
+                      cap_out.(j) <- cap_out.(j) -. rate;
+                      let idx = (k * m * m) + (i * m) + j in
+                      credit.(idx) <- credit.(idx) +. rate
+                    end)
+                  rem)
+            order;
+          (* realise the fluid plan: serve a greedy matching by decreasing
+             accumulated credit *)
+          let candidates = ref [] in
+          List.iter
+            (fun k ->
+              Mat.iter_nonzero
+                (fun i j _ ->
+                  let idx = (k * m * m) + (i * m) + j in
+                  if credit.(idx) > 0.0 then
+                    candidates := (credit.(idx), k, i, j) :: !candidates)
+                (Simulator.remaining s k))
+            order;
+          let sorted =
+            List.sort (fun (a, _, _, _) (b, _, _, _) -> Float.compare b a)
+              !candidates
+          in
+          let src_used = Array.make m false and dst_used = Array.make m false in
+          let transfers = ref [] in
+          List.iter
+            (fun (_, k, i, j) ->
+              if not (src_used.(i) || dst_used.(j)) then begin
+                src_used.(i) <- true;
+                dst_used.(j) <- true;
+                let idx = (k * m * m) + (i * m) + j in
+                credit.(idx) <- credit.(idx) -. 1.0;
+                transfers :=
+                  { Simulator.src = i; dst = j; coflow = k } :: !transfers
+              end)
+            sorted;
+          (* work conservation: top up with order-respecting greedy on pairs
+             the credit plan left idle *)
+          Policy.greedy_matching ~init:!transfers s
+            ~priority:(Array.of_list order)))
+
+let greedy inst order = Engine.run inst (greedy_policy order)
 
 let fifo inst = greedy inst (Ordering.arrival inst)
 
 let round_robin inst =
-  let n = Instance.num_coflows inst in
-  let sim =
-    Simulator.create ~ports:(Instance.ports inst) (Instance.demands inst)
-  in
-  let offset = ref 0 in
-  let policy s =
-    let priority = Array.init n (fun i -> (i + !offset) mod n) in
-    incr offset;
-    greedy_slot s priority
-  in
-  Simulator.run sim ~policy;
-  measure inst sim
+  Engine.run inst (round_robin_policy (Instance.num_coflows inst))
 
-(* MaxWeight: exact maximum-weight matching per slot. *)
 let max_weight inst =
-  let n = Instance.num_coflows inst in
-  let m = Instance.ports inst in
-  let weights = Instance.weights inst in
-  let sim = Simulator.create ~ports:m (Instance.demands inst) in
-  let policy s =
-    let w = Array.make_matrix m m 0.0 in
-    let best = Array.make_matrix m m (-1) in
-    for k = 0 to n - 1 do
-      if Simulator.released s k && not (Simulator.is_complete s k) then begin
-        let urgency =
-          weights.(k) /. float_of_int (max 1 (Simulator.remaining_total s k))
-        in
-        Simulator.iter_remaining s k (fun i j _ ->
-            if urgency > w.(i).(j) then begin
-              w.(i).(j) <- urgency;
-              best.(i).(j) <- k
-            end)
-      end
-    done;
-    let pairs, _ = Matching.Hungarian.max_weight_matching w in
-    List.map
-      (fun (i, j) -> { Simulator.src = i; dst = j; coflow = best.(i).(j) })
-      pairs
-  in
-  Simulator.run sim ~policy;
-  measure inst sim
+  Engine.run inst (max_weight_policy ~weights:(Instance.weights inst))
 
-(* Varys-style SEBF + MADD, discretised via per-pair credits. *)
 let sebf_madd inst =
-  let n = Instance.num_coflows inst in
-  let m = Instance.ports inst in
-  let sim = Simulator.create ~ports:m (Instance.demands inst) in
-  let credit = Array.make (n * m * m) 0.0 in
-  let policy s =
-    (* SEBF: active coflows by smallest remaining bottleneck *)
-    let active = ref [] in
-    for k = n - 1 downto 0 do
-      if Simulator.released s k && not (Simulator.is_complete s k) then
-        active := k :: !active
-    done;
-    let keyed =
-      List.map (fun k -> (Mat.load (Simulator.remaining s k), k)) !active
-    in
-    let order = List.map snd (List.sort compare keyed) in
-    (* MADD rates: flow (i, j) of the head coflow paced at rem_ij / gamma,
-       later coflows backfill what capacity is left *)
-    let cap_in = Array.make m 1.0 and cap_out = Array.make m 1.0 in
-    List.iter
-      (fun k ->
-        let rem = Simulator.remaining s k in
-        let gamma = float_of_int (Mat.load rem) in
-        if gamma > 0.0 then
-          Mat.iter_nonzero
-            (fun i j v ->
-              let want = float_of_int v /. gamma in
-              let rate = min want (min cap_in.(i) cap_out.(j)) in
-              if rate > 0.0 then begin
-                cap_in.(i) <- cap_in.(i) -. rate;
-                cap_out.(j) <- cap_out.(j) -. rate;
-                let idx = (k * m * m) + (i * m) + j in
-                credit.(idx) <- credit.(idx) +. rate
-              end)
-            rem)
-      order;
-    (* realise the fluid plan: serve a greedy matching by decreasing
-       accumulated credit *)
-    let candidates = ref [] in
-    List.iter
-      (fun k ->
-        Mat.iter_nonzero
-          (fun i j _ ->
-            let idx = (k * m * m) + (i * m) + j in
-            if credit.(idx) > 0.0 then
-              candidates := (credit.(idx), k, i, j) :: !candidates)
-          (Simulator.remaining s k))
-      order;
-    let sorted =
-      List.sort (fun (a, _, _, _) (b, _, _, _) -> Float.compare b a)
-        !candidates
-    in
-    let src_used = Array.make m false and dst_used = Array.make m false in
-    let transfers = ref [] in
-    List.iter
-      (fun (_, k, i, j) ->
-        if not (src_used.(i) || dst_used.(j)) then begin
-          src_used.(i) <- true;
-          dst_used.(j) <- true;
-          let idx = (k * m * m) + (i * m) + j in
-          credit.(idx) <- credit.(idx) -. 1.0;
-          transfers := { Simulator.src = i; dst = j; coflow = k } :: !transfers
-        end)
-      sorted;
-    (* work conservation: top up with order-respecting greedy on pairs the
-       credit plan left idle *)
-    List.iter
-      (fun k ->
-        Mat.iter_nonzero
-          (fun i j _ ->
-            if not (src_used.(i) || dst_used.(j)) then begin
-              src_used.(i) <- true;
-              dst_used.(j) <- true;
-              transfers :=
-                { Simulator.src = i; dst = j; coflow = k } :: !transfers
-            end)
-          (Simulator.remaining s k))
-      order;
-    !transfers
-  in
-  Simulator.run sim ~policy;
-  measure inst sim
+  Engine.run inst (sebf_madd_policy ~coflows:(Instance.num_coflows inst))

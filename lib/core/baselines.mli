@@ -2,7 +2,19 @@
 
     These are deliberately simple policies without the BvN machinery:
     every slot they build a greedy maximal matching over the remaining
-    demand, differing only in coflow priority. *)
+    demand ({!Policy.greedy_matching}), differing only in coflow priority.
+    Each is exposed both as a {!Policy.t} (compose with {!Engine.run} or
+    a custom simulator) and as a one-call runner. *)
+
+val greedy_policy : Ordering.t -> Policy.t
+
+val round_robin_policy : int -> Policy.t
+(** [round_robin_policy n] rotates the priority over [n] coflows, one
+    offset per slot; fresh offset per prepared run. *)
+
+val max_weight_policy : weights:float array -> Policy.t
+
+val sebf_madd_policy : coflows:int -> Policy.t
 
 val greedy : Workload.Instance.t -> Ordering.t -> Scheduler.result
 (** Greedy by fixed priority: scan coflows in the given order and claim free

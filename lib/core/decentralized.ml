@@ -77,20 +77,11 @@ let decide rule weights rounds sim =
   done;
   !transfers
 
+let as_policy ?(rounds = 3) ~weights rule =
+  if rounds <= 0 then
+    invalid_arg "Decentralized.as_policy: rounds must be positive";
+  Policy.stateless ~describe:(rule_name rule) (decide rule weights rounds)
+
 let run ?(rounds = 3) rule inst =
   if rounds <= 0 then invalid_arg "Decentralized.run: rounds must be positive";
-  let sim =
-    Simulator.create ~ports:(Instance.ports inst) (Instance.demands inst)
-  in
-  let weights = Instance.weights inst in
-  Simulator.run sim ~policy:(decide rule weights rounds);
-  let n = Instance.num_coflows inst in
-  let completion =
-    Array.init n (fun k -> Simulator.completion_time_exn sim k)
-  in
-  { Scheduler.completion;
-    twct = Scheduler.twct_of_completions inst completion;
-    slots = Simulator.now sim;
-    utilization = Simulator.utilization sim;
-    matchings = 0;
-  }
+  Engine.run inst (as_policy ~rounds ~weights:(Instance.weights inst) rule)

@@ -24,7 +24,12 @@ val rule_name : local_rule -> string
 
 val all_rules : local_rule list
 
+val as_policy : ?rounds:int -> weights:float array -> local_rule -> Policy.t
+(** The protocol as a first-class {!Policy.t} (stateless: each slot's
+    arbitration is rebuilt from simulator state).
+    @raise Invalid_argument when [rounds <= 0]. *)
+
 val run :
   ?rounds:int -> local_rule -> Workload.Instance.t -> Scheduler.result
 (** [rounds] (default [3]) is the number of request/grant iterations per
-    slot. *)
+    slot.  Runs through {!Engine.run}. *)

@@ -1,0 +1,123 @@
+open Workload
+open Switchsim
+
+type result = {
+  completion : int array;
+  twct : float;
+  slots : int;
+  utilization : float;
+  matchings : int;
+}
+
+let c_runs = Obs.Counter.make "engine.runs"
+
+(* Kept under the historical name so profile artifacts stay comparable
+   across the refactor that moved result assembly out of Scheduler. *)
+let g_utilization = Obs.Counter.Gauge.make "sched.utilization"
+
+let measure inst sim ~matchings =
+  let n = Instance.num_coflows inst in
+  let completion =
+    Array.init n (fun k -> Simulator.completion_time_exn sim k)
+  in
+  { completion;
+    twct =
+      Metrics.total_weighted_completion ~weights:(Instance.weights inst)
+        completion;
+    slots = Simulator.now sim;
+    utilization = Simulator.utilization sim;
+    matchings;
+  }
+
+let run ?max_slots ?sim inst (p : Policy.t) =
+  Obs.Span.with_ "engine.run" @@ fun () ->
+  Obs.Counter.incr c_runs;
+  let sim =
+    match sim with
+    | Some s -> s
+    | None ->
+      Simulator.create ~ports:(Instance.ports inst) (Instance.demands inst)
+  in
+  let st = p.Policy.prepare sim in
+  let policy =
+    (* fold the lifecycle hooks into the per-slot closure so the simulator
+       loop stays the single choke point (budget, validation, per-slot
+       instrumentation) *)
+    match (st.Policy.pre_slot, st.Policy.on_decided) with
+    | None, None -> st.Policy.next_slot
+    | pre, decided ->
+      fun s ->
+        (match pre with Some f -> f s | None -> ());
+        let transfers = st.Policy.next_slot s in
+        (match decided with Some f -> f s transfers | None -> ());
+        transfers
+  in
+  Simulator.run ?max_slots sim ~policy;
+  let r = measure inst sim ~matchings:(st.Policy.matchings ()) in
+  Obs.Counter.Gauge.set g_utilization r.utilization;
+  r
+
+(* ---- parallel job execution across OCaml 5 domains ---- *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let run_many ~jobs thunks =
+  if jobs < 1 then invalid_arg "Engine.run_many: jobs must be >= 1";
+  let tasks = Array.of_list thunks in
+  let n = Array.length tasks in
+  let results : ('a, exn) Stdlib.result option array = Array.make n None in
+  let events = Array.make n [] in
+  let traces = Array.make n [] in
+  (* Jobs are claimed from an atomic cursor (work stealing), but every
+     side effect that could expose scheduling order is captured per job:
+     slot events and trace fragments go to per-domain buffers re-injected
+     below in job-index order, spans/counters/histograms aggregate
+     commutatively, and the return values land at the job's own index.
+     The same capture discipline runs at [jobs = 1], so output is
+     byte-identical at any job count. *)
+  let next = Atomic.make 0 in
+  let run_task i =
+    let outcome =
+      try
+        let (v, evs), trs =
+          Obs.Trace.capture (fun () ->
+              Obs.Events.capture (fun () -> tasks.(i) ()))
+        in
+        events.(i) <- evs;
+        traces.(i) <- trs;
+        Ok v
+      with e -> Error e
+    in
+    results.(i) <- Some outcome
+  in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        run_task i;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let workers = min jobs n in
+  if workers <= 1 then worker ()
+  else begin
+    (* worker domains start with an empty span stack: seed them with the
+       caller's open span so paths nest exactly as the sequential run *)
+    let parent = Obs.Span.fork_context () in
+    let doms =
+      Array.init (workers - 1) (fun _ ->
+          Domain.spawn (fun () -> Obs.Span.run_with_context parent worker))
+    in
+    worker ();
+    Array.iter Domain.join doms
+  end;
+  (* deterministic merge: job-index order, never completion order *)
+  Array.iter Obs.Events.append events;
+  Array.iter Obs.Trace.append traces;
+  Array.to_list results
+  |> List.map (function
+       | Some (Ok v) -> v
+       | Some (Error e) -> raise e
+       | None -> assert false)

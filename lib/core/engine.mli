@@ -1,0 +1,47 @@
+(** The slot-loop engine: one place that owns policy execution.
+
+    {!run} drives a {!Policy.t} against the simulator — the loop itself is
+    {!Switchsim.Simulator.run}, the single choke point for slot validation,
+    budget enforcement and per-slot instrumentation — and assembles the
+    {!result} every scheduler used to hand-roll: completion vector, TWCT
+    under the instance's weights, makespan, utilization, matchings built.
+
+    {!run_many} executes independent jobs across OCaml 5 domains.
+    Determinism contract: a job must be a pure function of its closure
+    (own [Random.State], own simulator).  Observability streams that are
+    order-sensitive (slot events, trace fragments) are captured per job
+    and merged in job-index order at the join; counters, histograms and
+    span aggregates commute.  Output is therefore byte-identical at any
+    job count. *)
+
+type result = {
+  completion : int array;  (** completion slot per working index *)
+  twct : float;  (** total weighted completion time *)
+  slots : int;  (** schedule length (makespan) *)
+  utilization : float;
+  matchings : int;  (** distinct BvN matchings computed *)
+}
+
+val run :
+  ?max_slots:int ->
+  ?sim:Switchsim.Simulator.t ->
+  Workload.Instance.t ->
+  Policy.t ->
+  result
+(** [run inst policy] prepares the policy on a fresh simulator for [inst]
+    (or on [sim] when a custom one — fabric-validated, fault-injected — is
+    supplied; it must have been created from [inst]'s demands) and steps it
+    to completion.  [max_slots] as in {!Switchsim.Simulator.run}.
+    @raise Switchsim.Simulator.Invalid_slot on a bad policy decision,
+    [Failure] when the slot budget is exhausted. *)
+
+val run_many : jobs:int -> (unit -> 'a) list -> 'a list
+(** [run_many ~jobs thunks] evaluates every thunk and returns their values
+    in input order, using up to [jobs] domains ([jobs = 1]: the calling
+    domain only, no spawn).  A raising thunk re-raises at the join, after
+    all jobs finish — the earliest failing index wins deterministically.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1 — a sensible
+    [--jobs] value that leaves a core for the driver. *)

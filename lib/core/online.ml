@@ -32,35 +32,13 @@ let keyed_priority rule sim weights =
   List.map key !alive |> List.sort compare |> List.map snd
 
 let decide rule weights sim =
-  let m = Simulator.ports sim in
-  let src_used = Array.make m false and dst_used = Array.make m false in
-  let transfers = ref [] in
-  List.iter
-    (fun k ->
-      Simulator.iter_remaining sim k (fun i j _ ->
-          if not (src_used.(i) || dst_used.(j)) then begin
-            src_used.(i) <- true;
-            dst_used.(j) <- true;
-            transfers := { Simulator.src = i; dst = j; coflow = k } :: !transfers
-          end))
-    (keyed_priority rule sim weights);
-  !transfers
+  Policy.greedy_matching sim
+    ~priority:(Array.of_list (keyed_priority rule sim weights))
 
 let policy rule sim = decide rule None sim
 
+let as_policy ?weights rule =
+  Policy.stateless ~describe:(rule_name rule) (decide rule weights)
+
 let run rule inst =
-  let sim =
-    Simulator.create ~ports:(Instance.ports inst) (Instance.demands inst)
-  in
-  let weights = Some (Instance.weights inst) in
-  Simulator.run sim ~policy:(decide rule weights);
-  let n = Instance.num_coflows inst in
-  let completion =
-    Array.init n (fun k -> Simulator.completion_time_exn sim k)
-  in
-  { Scheduler.completion;
-    twct = Scheduler.twct_of_completions inst completion;
-    slots = Simulator.now sim;
-    utilization = Simulator.utilization sim;
-    matchings = 0;
-  }
+  Engine.run inst (as_policy ~weights:(Instance.weights inst) rule)

@@ -1,0 +1,51 @@
+open Switchsim
+
+type stepper = {
+  next_slot : Simulator.t -> Simulator.transfer list;
+  pre_slot : (Simulator.t -> unit) option;
+  on_decided : (Simulator.t -> Simulator.transfer list -> unit) option;
+  matchings : unit -> int;
+}
+
+type t = {
+  describe : string;
+  prepare : Simulator.t -> stepper;
+}
+
+let stepper ?pre_slot ?on_decided ?(matchings = fun () -> 0) next_slot =
+  { next_slot; pre_slot; on_decided; matchings }
+
+let make ~describe prepare = { describe; prepare }
+
+let describe t = t.describe
+
+let stateless ~describe next_slot =
+  { describe; prepare = (fun _ -> stepper next_slot) }
+
+(* The greedy maximal matching every order-respecting policy is built on:
+   scan coflows in priority order, claim still-free port pairs from their
+   remaining demand.  [init] seeds the claimed ports (work-conserving
+   top-ups extend a partial slot); new transfers are consed onto it. *)
+let greedy_matching ?(init = []) sim ~priority =
+  let m = Simulator.ports sim in
+  let src_used = Array.make m false and dst_used = Array.make m false in
+  List.iter
+    (fun { Simulator.src; dst; _ } ->
+      src_used.(src) <- true;
+      dst_used.(dst) <- true)
+    init;
+  let transfers = ref init in
+  Array.iter
+    (fun k ->
+      if Simulator.released sim k && not (Simulator.is_complete sim k) then
+        Simulator.iter_remaining sim k (fun i j _ ->
+            if not (src_used.(i) || dst_used.(j)) then begin
+              src_used.(i) <- true;
+              dst_used.(j) <- true;
+              transfers := { Simulator.src = i; dst = j; coflow = k } :: !transfers
+            end))
+    priority;
+  !transfers
+
+let of_priority ~describe priority =
+  stateless ~describe (fun sim -> greedy_matching sim ~priority)

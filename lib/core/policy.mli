@@ -1,0 +1,66 @@
+(** First-class slot policies — the one shape every scheduler in the repo
+    (the paper's Algorithm 2 cases, the non-LP baselines, the online and
+    decentralized heuristics, the fault-resilient chain) is expressed in,
+    and the unit {!Engine.run} executes.
+
+    A policy is a {e recipe}: [prepare sim] builds the per-run mutable
+    state and returns the stepper the engine drives, so one policy value
+    can be run any number of times (and concurrently, each run owning its
+    state).  A new policy is ~30 lines: a [next_slot] function plus
+    optional lifecycle hooks, instead of a hand-rolled copy of the slot
+    loop and its result bookkeeping. *)
+
+type stepper = {
+  next_slot : Switchsim.Simulator.t -> Switchsim.Simulator.transfer list;
+      (** the per-slot decision the simulator validates and commits *)
+  pre_slot : (Switchsim.Simulator.t -> unit) option;
+      (** runs before [next_slot] every slot — the fault clock
+          ({!Faults.Injector.tick}), re-planning triggers, etc. *)
+  on_decided :
+    (Switchsim.Simulator.t -> Switchsim.Simulator.transfer list -> unit)
+    option;
+      (** observes the decided transfers before they commit — audit
+          logging, per-tier accounting *)
+  matchings : unit -> int;
+      (** matchings built so far, folded into {!Engine.result} *)
+}
+
+type t = {
+  describe : string;  (** human-readable label, e.g. ["HLP (d)"] *)
+  prepare : Switchsim.Simulator.t -> stepper;
+}
+
+val make : describe:string -> (Switchsim.Simulator.t -> stepper) -> t
+
+val stepper :
+  ?pre_slot:(Switchsim.Simulator.t -> unit) ->
+  ?on_decided:
+    (Switchsim.Simulator.t -> Switchsim.Simulator.transfer list -> unit) ->
+  ?matchings:(unit -> int) ->
+  (Switchsim.Simulator.t -> Switchsim.Simulator.transfer list) ->
+  stepper
+(** Stepper with defaults: no hooks, zero matchings. *)
+
+val describe : t -> string
+
+val stateless :
+  describe:string ->
+  (Switchsim.Simulator.t -> Switchsim.Simulator.transfer list) ->
+  t
+(** A policy whose decision depends only on simulator state — [prepare]
+    allocates nothing. *)
+
+val greedy_matching :
+  ?init:Switchsim.Simulator.transfer list ->
+  Switchsim.Simulator.t ->
+  priority:int array ->
+  Switchsim.Simulator.transfer list
+(** Order-respecting greedy maximal matching: scan released, unfinished
+    coflows in [priority] order and claim free port pairs from their
+    remaining demand.  [init] (default empty) marks already-claimed pairs —
+    work-conserving extensions pass the partial slot and get it extended.
+    This is the shared core of {!Baselines.greedy}, the scheduler's
+    backfill paths and the online rules. *)
+
+val of_priority : describe:string -> int array -> t
+(** The simplest policy: greedy matching under one fixed priority. *)

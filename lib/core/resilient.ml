@@ -150,7 +150,6 @@ let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
   let tier = ref config.primary in
   let need_replan = ref true in
   let boundaries = ref (Fault_plan.boundaries plan) in
-  let budget = ref config.max_slots in
   (* open "replan" trace slice: (async id, tier it planned with) *)
   let open_plan = ref None in
   let close_plan ~slot =
@@ -160,11 +159,9 @@ let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
       Obs.Trace.async_end ~name:(tier_name t) ~cat:"replan" ~id ~slot;
       open_plan := None
   in
-  while not (Simulator.all_complete sim) do
-    if !budget <= 0 then failwith "Resilient.run: slot budget exhausted";
-    decr budget;
+  let pre_slot s =
     Injector.tick inj;
-    let now = Simulator.now sim in
+    let now = Simulator.now s in
     (* a fault boundary invalidates the current plan *)
     let rec drain () =
       match !boundaries with
@@ -192,20 +189,22 @@ let run ?(config = default_config) ?topo ?(plan = Fault_plan.empty) inst =
       incr replans;
       Obs.Counter.incr c_replans;
       need_replan := false
-    end;
-    let transfers = Injector.greedy_policy inj !order sim in
-    Simulator.step sim transfers;
+    end
+  in
+  let on_decided _s transfers =
     tier_counts.(tier_index !tier) <- tier_counts.(tier_index !tier) + 1;
     log := { Audit.tier = tier_name !tier; transfers } :: !log
-  done;
+  in
+  let policy =
+    Policy.make ~describe:"resilient" (fun _ ->
+        Policy.stepper ~pre_slot ~on_decided (fun s ->
+            Injector.greedy_policy inj !order s))
+  in
+  let er = Engine.run ~max_slots:config.max_slots ~sim inst policy in
   if Obs.Trace.enabled () then close_plan ~slot:(Simulator.now sim);
-  let n = Instance.num_coflows inst in
-  let completion = Array.init n (fun k -> Simulator.completion_time_exn sim k) in
-  { completion;
-    twct =
-      Metrics.total_weighted_completion ~weights:(Instance.weights inst)
-        completion;
-    slots = Simulator.now sim;
+  { completion = er.Engine.completion;
+    twct = er.Engine.twct;
+    slots = er.Engine.slots;
     tier_slots = List.map (fun t -> (t, tier_counts.(tier_index t))) all_tiers;
     replans = !replans;
     lp_failures = !lp_failures;

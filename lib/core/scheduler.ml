@@ -12,7 +12,7 @@ let case_name = function
   | Group -> "c"
   | Group_backfill -> "d"
 
-type result = {
+type result = Engine.result = {
   completion : int array;
   twct : float;
   slots : int;
@@ -85,45 +85,13 @@ let pick_coflow sim candidates i j =
 (* Greedy maximal matching over released, unfinished coflows in priority
    order — used by backfilling policies while the next group is gated by a
    release date. *)
-let greedy_fill sim candidates =
-  let m = Simulator.ports sim in
-  let src_used = Array.make m false and dst_used = Array.make m false in
-  let transfers = ref [] in
-  Array.iter
-    (fun k ->
-      if Simulator.released sim k && not (Simulator.is_complete sim k) then
-        Simulator.iter_remaining sim k (fun i j _ ->
-            if not (src_used.(i) || dst_used.(j)) then begin
-              src_used.(i) <- true;
-              dst_used.(j) <- true;
-              transfers := { Simulator.src = i; dst = j; coflow = k } :: !transfers
-            end))
-    candidates;
-  !transfers
+let greedy_fill sim candidates = Policy.greedy_matching sim ~priority:candidates
 
 (* Work-conserving extension of backfilling (an ablation beyond the paper):
    after the BvN matching has claimed its pairs, any ports left idle are
    matched greedily against the remaining demand in priority order. *)
 let aggressive_fill sim candidates transfers =
-  let m = Simulator.ports sim in
-  let src_used = Array.make m false and dst_used = Array.make m false in
-  List.iter
-    (fun { Simulator.src; dst; _ } ->
-      src_used.(src) <- true;
-      dst_used.(dst) <- true)
-    transfers;
-  let extra = ref transfers in
-  Array.iter
-    (fun k ->
-      if Simulator.released sim k && not (Simulator.is_complete sim k) then
-        Simulator.iter_remaining sim k (fun i j _ ->
-            if not (src_used.(i) || dst_used.(j)) then begin
-              src_used.(i) <- true;
-              dst_used.(j) <- true;
-              extra := { Simulator.src = i; dst = j; coflow = k } :: !extra
-            end))
-    candidates;
-  !extra
+  Policy.greedy_matching ~init:transfers sim ~priority:candidates
 
 (* Per-call accounting, folded into the state, the obs counters and the
    slot-event stream by the [next_slot] wrapper below. *)
@@ -276,23 +244,20 @@ let policy ?(backfill = false) ?(aggressive = false) _inst groups =
 let twct_of_completions inst completion =
   Metrics.total_weighted_completion ~weights:(Instance.weights inst) completion
 
-let g_utilization = Obs.Counter.Gauge.make "sched.utilization"
+let as_policy ?(backfill = false) ?(aggressive = false) ~describe groups =
+  Policy.make ~describe (fun _sim ->
+      let state = make_state groups in
+      Policy.stepper
+        ~matchings:(fun () -> state.matchings_built)
+        (fun sim -> next_slot state ~backfill ~aggressive sim))
 
 let run_grouped ?(backfill = false) ?(aggressive = false) inst groups =
-  let sim = Simulator.create ~ports:(Instance.ports inst) (Instance.demands inst) in
-  let state = make_state groups in
-  Simulator.run sim ~policy:(fun s -> next_slot state ~backfill ~aggressive s);
-  Obs.Counter.Gauge.set g_utilization (Simulator.utilization sim);
-  let n = Instance.num_coflows inst in
-  let completion =
-    Array.init n (fun k -> Simulator.completion_time_exn sim k)
+  let describe =
+    Printf.sprintf "grouped%s%s"
+      (if backfill then "+backfill" else "")
+      (if aggressive then "+aggressive" else "")
   in
-  { completion;
-    twct = twct_of_completions inst completion;
-    slots = Simulator.now sim;
-    utilization = Simulator.utilization sim;
-    matchings = state.matchings_built;
-  }
+  Engine.run inst (as_policy ~backfill ~aggressive ~describe groups)
 
 let run ?(case = Group) inst order =
   let groups =

@@ -23,13 +23,15 @@ val all_cases : case list
 val case_name : case -> string
 (** ["a" | "b" | "c" | "d"]. *)
 
-type result = {
+type result = Engine.result = {
   completion : int array;  (** completion slot per working index *)
   twct : float;  (** total weighted completion time *)
   slots : int;  (** schedule length (makespan) *)
   utilization : float;
   matchings : int;  (** distinct BvN matchings computed *)
 }
+(** Re-export of {!Engine.result}: the engine assembles it for every
+    policy; this alias keeps the historical name every caller uses. *)
 
 type state = {
   groups : int array array;  (** the grouping being executed, in order *)
@@ -80,9 +82,19 @@ val policy :
     non-backfilling policy idles, matching the sequential discipline of
     Algorithm 2. *)
 
+val as_policy :
+  ?backfill:bool ->
+  ?aggressive:bool ->
+  describe:string ->
+  Grouping.t ->
+  Policy.t
+(** The grouped policy as a first-class {!Policy.t}: fresh state per
+    prepared run, matchings-built folded into the engine's result.  This is
+    what {!run} / {!run_grouped} hand to {!Engine.run}. *)
+
 val run : ?case:case -> Workload.Instance.t -> Ordering.t -> result
 (** Build the grouping for [case] (default [Group], the paper's algorithm),
-    simulate to completion, return measured statistics. *)
+    simulate to completion via {!Engine.run}, return measured statistics. *)
 
 val run_grouped :
   ?backfill:bool ->

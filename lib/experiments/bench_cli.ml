@@ -7,6 +7,7 @@ type diff_opts = {
 
 type t = {
   scale : Config.scale;
+  jobs : int;
   json : string option;
   profile : string option;
   trace : string option;
@@ -84,6 +85,14 @@ let parse ~is_mode args =
         match Config.scale_of_string s with
         | Some scale -> go { acc with scale } tl
         | None -> Error (Printf.sprintf "unknown scale %S" s)))
+    | "--jobs" :: rest -> (
+      match required_arg "--jobs" rest with
+      | Error e -> Error e
+      | Ok (v, tl) -> (
+        match int_of_string_opt v with
+        | Some jobs when jobs >= 1 -> go { acc with jobs } tl
+        | _ ->
+          Error (Printf.sprintf "--jobs: %S is not a positive integer" v)))
     | "--json" :: rest -> (
       match required_arg "--json" rest with
       | Error e -> Error e
@@ -108,6 +117,7 @@ let parse ~is_mode args =
   in
   go
     { scale = Config.Default;
+      jobs = 1;
       json = None;
       profile = None;
       trace = None;

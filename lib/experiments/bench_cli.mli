@@ -5,7 +5,7 @@
 
     Grammar:
     {v
-    main.exe [MODE ...] [--scale S] [--json PATH]
+    main.exe [MODE ...] [--scale S] [--jobs N] [--json PATH]
              [--profile [PATH]] [--trace [PATH]]
     main.exe obs-diff OLD NEW [--threshold PCT] [--time-threshold PCT]
     v} *)
@@ -20,6 +20,9 @@ type diff_opts = {
 
 type t = {
   scale : Config.scale;
+  jobs : int;
+      (** domains for the experiment runs (default 1); results are
+          identical at any value *)
   json : string option;
   profile : string option;  (** [Some "PROFILE.json"] when PATH omitted *)
   trace : string option;  (** [Some "TRACE.json"] when PATH omitted *)

@@ -9,7 +9,7 @@ type row = {
   utilization : float;
 }
 
-let run (cfg : Config.t) =
+let run ?(jobs = 1) (cfg : Config.t) =
   let inst =
     Instance.filter_m0 (Harness.base_instance cfg)
       (List.nth cfg.Config.filters 0)
@@ -20,7 +20,6 @@ let run (cfg : Config.t) =
   let ports = Instance.ports inst in
   let rack_size = max 1 (ports / 6) in
   let priority = Ordering.by_load_over_weight inst in
-  let weights = Instance.weights inst in
   let sweep =
     [ ("non-blocking", ports);
       ("2:1 oversubscribed", max 1 (ports / 2));
@@ -28,24 +27,29 @@ let run (cfg : Config.t) =
       ("10:1 oversubscribed", max 1 (ports / 10));
     ]
   in
-  List.map
-    (fun (label, core_capacity) ->
-      let topo =
-        Switchsim.Fabric.topology ~ports ~rack_size ~core_capacity
-      in
-      let sim =
-        Switchsim.Fabric.run_greedy topo ~priority (Instance.demands inst)
-      in
-      { label;
-        core_capacity;
-        twct = Switchsim.Simulator.total_weighted_completion sim weights;
-        makespan = Switchsim.Simulator.now sim;
-        utilization = Switchsim.Simulator.utilization sim;
-      })
-    sweep
+  (* each sweep point is an independent simulation — one engine job each *)
+  Engine.run_many ~jobs
+    (List.map
+       (fun (label, core_capacity) () ->
+         let topo =
+           Switchsim.Fabric.topology ~ports ~rack_size ~core_capacity
+         in
+         let sim = Switchsim.Fabric.create topo (Instance.demands inst) in
+         let policy =
+           Policy.stateless ~describe:("fabric " ^ label)
+             (Switchsim.Fabric.greedy_policy topo priority)
+         in
+         let r = Engine.run ~sim inst policy in
+         { label;
+           core_capacity;
+           twct = r.Engine.twct;
+           makespan = r.Engine.slots;
+           utilization = r.Engine.utilization;
+         })
+       sweep)
 
-let render cfg =
-  let rows = run cfg in
+let render ?jobs cfg =
+  let rows = run ?jobs cfg in
   Report.table
     ~title:
       "Oversubscribed fabric: capacity-aware greedy (H_rho priority), racks \

@@ -16,6 +16,8 @@ type row = {
   utilization : float;
 }
 
-val run : Config.t -> row list
+val run : ?jobs:int -> Config.t -> row list
+(** [jobs] (default 1) runs the sweep points on that many domains via
+    {!Core.Engine.run_many}; rows are identical at any job count. *)
 
-val render : Config.t -> string
+val render : ?jobs:int -> Config.t -> string

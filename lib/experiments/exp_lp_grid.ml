@@ -19,36 +19,36 @@ let workload (cfg : Config.t) =
   let st = Random.State.make [| cfg.Config.seed; 0x96D |] in
   Instance.with_weights inst (Weights.random_permutation st n)
 
-let run ?(bases = default_bases) cfg =
+let run ?(jobs = 1) ?(bases = default_bases) cfg =
   let inst = workload cfg in
-  (* Hints are time-based, so the previous base's basis transfers onto the
-     next grid even though the interval boundaries differ. *)
-  let warm = ref None in
-  List.map
-    (fun base ->
-      let lp, solve_seconds =
-        Obs.Span.timed "lp_grid.solve" (fun () ->
-            Lp_relax.solve_interval_base ?warm_start:!warm ~base inst)
-      in
-      warm := lp.Lp_relax.warm;
-      let intervals =
-        (* distinct grid levels actually used by the solution encoding *)
-        List.fold_left (fun acc (_, l, _) -> max acc l) 0 lp.Lp_relax.values
-      in
-      let order = Ordering.by_lp lp in
-      let sched = Scheduler.run ~case:Scheduler.Group_backfill inst order in
-      { base;
-        intervals;
-        iterations = lp.Lp_relax.iterations;
-        refactors = lp.Lp_relax.refactors;
-        solve_seconds;
-        lower_bound = lp.Lp_relax.lower_bound;
-        twct = sched.Scheduler.twct;
-      })
-    bases
+  (* Each base is an independent cold solve: no warm-start chaining across
+     bases, so the rows are a pure function of (instance, base) and the
+     sweep parallelizes with identical output at any job count. *)
+  Engine.run_many ~jobs
+  @@ List.map
+       (fun base () ->
+         let lp, solve_seconds =
+           Obs.Span.timed "lp_grid.solve" (fun () ->
+               Lp_relax.solve_interval_base ~base inst)
+         in
+         let intervals =
+           (* distinct grid levels actually used by the solution encoding *)
+           List.fold_left (fun acc (_, l, _) -> max acc l) 0 lp.Lp_relax.values
+         in
+         let order = Ordering.by_lp lp in
+         let sched = Scheduler.run ~case:Scheduler.Group_backfill inst order in
+         { base;
+           intervals;
+           iterations = lp.Lp_relax.iterations;
+           refactors = lp.Lp_relax.refactors;
+           solve_seconds;
+           lower_bound = lp.Lp_relax.lower_bound;
+           twct = sched.Scheduler.twct;
+         })
+       bases
 
-let render ?bases cfg =
-  let rows = run ?bases cfg in
+let render ?jobs ?bases cfg =
+  let rows = run ?jobs ?bases cfg in
   Report.table
     ~title:
       "LP-grid ablation: tighter interval grids vs the paper's powers of \

@@ -18,10 +18,11 @@ type row = {
   twct : float;  (** case (d) schedule under the resulting order *)
 }
 
-val run : ?bases:float list -> Config.t -> row list
+val run : ?jobs:int -> ?bases:float list -> Config.t -> row list
 (** Default bases: [1.2; 1.5; 2.0; 3.0; 4.0].  Uses the largest-filter
-    random-weights workload of the configuration.  Each base's solve is
-    warm-started from the previous base's final basis (time-remapped onto
-    the new grid). *)
+    random-weights workload of the configuration.  Each base is an
+    independent cold solve; [jobs] (default 1) spreads the sweep over that
+    many domains via {!Core.Engine.run_many} with identical rows at any job
+    count. *)
 
-val render : ?bases:float list -> Config.t -> string
+val render : ?jobs:int -> ?bases:float list -> Config.t -> string

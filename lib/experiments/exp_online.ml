@@ -3,7 +3,7 @@ open Core
 
 type row = { algo : string; twct : float; twft : float; makespan : int }
 
-let run (cfg : Config.t) =
+let run ?(jobs = 1) (cfg : Config.t) =
   let st = Random.State.make [| cfg.Config.seed; 0x0A1 |] in
   let inst =
     Fb_like.generate_with_arrivals ~mean_gap:cfg.Config.release_mean_gap
@@ -26,31 +26,33 @@ let run (cfg : Config.t) =
     }
   in
   let lp = Lp_relax.solve_interval inst in
-  let offline_rows =
-    [ row "offline Algorithm 2 (H_LP, grouped)"
-        (Scheduler.run ~case:Scheduler.Group inst (Ordering.by_lp lp));
-      row "offline H_LP + grouping + backfilling"
-        (Scheduler.run ~case:Scheduler.Group_backfill inst
-           (Ordering.by_lp lp));
-      row "offline H_pd (primal-dual) + group + bf"
-        (Scheduler.run ~case:Scheduler.Group_backfill inst
-           (Primal_dual.order inst));
+  (* after the (shared) LP solve every row is an independent simulation;
+     fan them out over the engine's domains *)
+  let runs =
+    [ (fun () ->
+        row "offline Algorithm 2 (H_LP, grouped)"
+          (Scheduler.run ~case:Scheduler.Group inst (Ordering.by_lp lp)));
+      (fun () ->
+        row "offline H_LP + grouping + backfilling"
+          (Scheduler.run ~case:Scheduler.Group_backfill inst
+             (Ordering.by_lp lp)));
+      (fun () ->
+        row "offline H_pd (primal-dual) + group + bf"
+          (Scheduler.run ~case:Scheduler.Group_backfill inst
+             (Primal_dual.order inst)));
     ]
+    @ List.map
+        (fun rule () -> row (Online.rule_name rule) (Online.run rule inst))
+        Online.all_rules
+    @ List.map
+        (fun rule () ->
+          row (Decentralized.rule_name rule) (Decentralized.run rule inst))
+        Decentralized.all_rules
   in
-  let online_rows =
-    List.map (fun rule -> row (Online.rule_name rule) (Online.run rule inst))
-      Online.all_rules
-  in
-  let decentralized_rows =
-    List.map
-      (fun rule ->
-        row (Decentralized.rule_name rule) (Decentralized.run rule inst))
-      Decentralized.all_rules
-  in
-  (offline_rows @ online_rows @ decentralized_rows, lp.Lp_relax.lower_bound)
+  (Engine.run_many ~jobs runs, lp.Lp_relax.lower_bound)
 
-let render cfg =
-  let rows, bound = run cfg in
+let render ?jobs cfg =
+  let rows, bound = run ?jobs cfg in
   Report.table
     ~title:
       (Printf.sprintf

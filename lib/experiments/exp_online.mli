@@ -13,7 +13,10 @@ type row = {
   makespan : int;
 }
 
-val run : Config.t -> row list * float
-(** Rows plus the interval-LP lower bound on the offline TWCT. *)
+val run : ?jobs:int -> Config.t -> row list * float
+(** Rows plus the interval-LP lower bound on the offline TWCT.  [jobs]
+    (default 1) spreads the per-algorithm simulations over that many
+    domains via {!Core.Engine.run_many}; rows are identical at any job
+    count. *)
 
-val render : Config.t -> string
+val render : ?jobs:int -> Config.t -> string

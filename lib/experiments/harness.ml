@@ -66,21 +66,36 @@ let block ?warm_start cfg ~filter ~weighting =
 
 (* The two weightings of a filter share the instance (and thus the
    constraint rows); only the objective differs, so the equal-weight optimum
-   is a natural warm start for the random-weight solve. *)
-let all_blocks cfg =
-  List.concat_map
-    (fun filter ->
-      let equal = block cfg ~filter ~weighting:Equal in
-      let random =
-        block ?warm_start:equal.lp.Lp_relax.warm cfg ~filter ~weighting:Random
-      in
-      [ equal; random ])
-    cfg.Config.filters
+   is a natural warm start for the random-weight solve.  One job per filter:
+   the equal->random warm chaining stays inside a job, and different filters
+   are fully independent, so the block list is identical at any job count. *)
+let all_blocks ?(jobs = 1) cfg =
+  Engine.run_many ~jobs
+    (List.map
+       (fun filter () ->
+         let equal = block cfg ~filter ~weighting:Equal in
+         let random =
+           block ?warm_start:equal.lp.Lp_relax.warm cfg ~filter
+             ~weighting:Random
+         in
+         [ equal; random ])
+       cfg.Config.filters)
+  |> List.concat
 
 let find b ~order case =
-  List.find
-    (fun e -> e.order_name = order && e.case = case)
-    b.entries
+  match
+    List.find_opt
+      (fun e -> e.order_name = order && e.case = case)
+      b.entries
+  with
+  | Some e -> e
+  | None ->
+    failwith
+      (Printf.sprintf
+         "Harness.find: no entry for order %S, case (%s) in block (filter \
+          M0>=%d, %s weights)"
+         order (Scheduler.case_name case) b.filter
+         (weighting_name b.weighting))
 
 let twct b ~order case = (find b ~order case).result.Scheduler.twct
 

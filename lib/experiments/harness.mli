@@ -37,12 +37,16 @@ val block :
     {!Core.Lp_relax.solve_interval}); {!all_blocks} uses it to chain each
     filter's equal-weight basis into the random-weight solve. *)
 
-val all_blocks : Config.t -> block list
+val all_blocks : ?jobs:int -> Config.t -> block list
 (** Every (filter, weighting) combination of the configuration; this is
-    where the six LP solves happen. *)
+    where the six LP solves happen.  [jobs] (default 1) distributes the
+    filters over that many domains via {!Core.Engine.run_many} — the
+    equal-to-random warm-start chaining stays within a filter, so the
+    returned blocks are identical at any job count. *)
 
 val find : block -> order:string -> Core.Scheduler.case -> entry
-(** @raise Not_found if absent. *)
+(** @raise Failure naming the missing (order, case) pair and the block's
+    (filter, weighting) when absent. *)
 
 val twct : block -> order:string -> Core.Scheduler.case -> float
 

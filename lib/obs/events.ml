@@ -57,20 +57,44 @@ let grow_locked () =
     start := 0
   end
 
+let record_global ev =
+  with_lock (fun () ->
+      if !capacity > 0 && !len >= !capacity then begin
+        (* full ring: overwrite the oldest *)
+        !store.(!start) <- ev;
+        start := (!start + 1) mod Array.length !store;
+        incr dropped
+      end
+      else begin
+        if !len >= Array.length !store then grow_locked ();
+        !store.((!start + !len) mod Array.length !store) <- ev;
+        incr len
+      end)
+
+(* Per-domain capture redirection: while a buffer is installed on the
+   calling domain, its recordings accumulate locally (newest first) instead
+   of entering the shared ring.  {!Core.Engine.run_many} uses this to give
+   every parallel job its own stream and merge them in job order at join,
+   so the exported slot stream is identical at any [--jobs] value. *)
+let local : slot_event list ref option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
 let record ev =
   if Atomic.get flag then
-    with_lock (fun () ->
-        if !capacity > 0 && !len >= !capacity then begin
-          (* full ring: overwrite the oldest *)
-          !store.(!start) <- ev;
-          start := (!start + 1) mod Array.length !store;
-          incr dropped
-        end
-        else begin
-          if !len >= Array.length !store then grow_locked ();
-          !store.((!start + !len) mod Array.length !store) <- ev;
-          incr len
-        end)
+    match !(Domain.DLS.get local) with
+    | Some buf -> buf := ev :: !buf
+    | None -> record_global ev
+
+let capture f =
+  let cell = Domain.DLS.get local in
+  let saved = !cell in
+  let buf = ref [] in
+  cell := Some buf;
+  let finally () = cell := saved in
+  let v = Fun.protect ~finally f in
+  (v, List.rev !buf)
+
+let append evs = if Atomic.get flag then List.iter record_global evs
 
 let length () = with_lock (fun () -> !len)
 

@@ -26,7 +26,19 @@ val set_enabled : bool -> unit
 val enabled : unit -> bool
 
 val record : slot_event -> unit
-(** No-op while disabled. *)
+(** No-op while disabled.  While a {!capture} scope is active on the
+    calling domain, the event goes to that scope's buffer instead of the
+    shared ring. *)
+
+val capture : (unit -> 'a) -> 'a * slot_event list
+(** [capture f] runs [f] with this domain's recordings redirected into a
+    private buffer and returns them (oldest first) alongside [f]'s result.
+    Scopes nest (the inner scope wins) and are domain-local, so concurrent
+    jobs never interleave their streams.  Re-inject with {!append}. *)
+
+val append : slot_event list -> unit
+(** Append previously captured events to the shared ring, in order (no-op
+    while disabled) — the deterministic merge step at a parallel join. *)
 
 val length : unit -> int
 (** Events currently held (after any ring eviction). *)

@@ -11,8 +11,13 @@ let lock = Mutex.create ()
 
 let registry : (string, stats) Hashtbl.t = Hashtbl.create 32
 
-(* Paths of the currently open spans, innermost first. *)
-let stack : string list ref = ref []
+(* Paths of the currently open spans, innermost first.  Domain-local so
+   concurrent engine jobs each keep their own nesting chain; the registry
+   they record into stays shared (aggregation is commutative). *)
+let stack : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let get_stack () = Domain.DLS.get stack
 
 let with_lock f =
   Mutex.lock lock;
@@ -43,6 +48,7 @@ let record path ~parent ~elapsed_ns =
           { ps with children_ns = ps.children_ns + elapsed_ns })
 
 let with_ name f =
+  let stack = get_stack () in
   let parent = match !stack with [] -> None | p :: _ -> Some p in
   let path =
     match parent with None -> name | Some p -> p ^ "/" ^ name
@@ -60,6 +66,15 @@ let with_ name f =
       record path ~parent ~elapsed_ns)
     f
 
+let fork_context () =
+  match !(get_stack ()) with [] -> None | p :: _ -> Some p
+
+let run_with_context parent f =
+  let stack = get_stack () in
+  let saved = !stack in
+  stack := (match parent with None -> [] | Some p -> [ p ]);
+  Fun.protect ~finally:(fun () -> stack := saved) f
+
 let timed name f =
   let t0 = Clock.now_ns () in
   let v = with_ name f in
@@ -75,4 +90,4 @@ let dump () =
 let reset_all () =
   with_lock (fun () ->
       Hashtbl.reset registry;
-      stack := [])
+      get_stack () := [])

@@ -7,8 +7,11 @@
     spans, from which exporters derive self time ([total - children]) —
     nested spans therefore never double-count a parent's exclusive time.
 
-    The registry is mutex-guarded; the nesting stack is process-global
-    (the schedulers and solvers instrumented here are single-domain).
+    The registry is mutex-guarded; the nesting stack is {e domain-local},
+    so concurrent {!Core.Engine.run_many} jobs each keep their own chain
+    while recording into the shared registry (aggregation commutes).
+    A spawned domain starts with an empty stack — seed it with
+    {!run_with_context} so paths match the sequential nesting.
     Overhead per span is two clock reads and one guarded table update —
     cheap enough for per-phase use, too hot for per-slot use (that is what
     {!Events} is for). *)
@@ -31,6 +34,16 @@ val with_ : string -> (unit -> 'a) -> 'a
 val timed : string -> (unit -> 'a) -> 'a * float
 (** Like {!with_} but also returns the elapsed seconds of this call — for
     call sites that report a duration inline as well as to the registry. *)
+
+val fork_context : unit -> string option
+(** Full path of the innermost open span on the calling domain, if any —
+    capture it before spawning worker domains. *)
+
+val run_with_context : string option -> (unit -> 'a) -> 'a
+(** [run_with_context parent f] runs [f] with the calling domain's span
+    stack temporarily replaced by just [parent] (or empty), so spans opened
+    by [f] record under the same paths they would have had when nested
+    under [parent] sequentially.  Restores the previous stack on exit. *)
 
 val stats : string -> stats option
 (** Aggregate for a full path such as ["harness.block/lp.solve"]. *)

@@ -29,11 +29,33 @@ let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
+let push_global ev =
+  with_lock (fun () ->
+      events := ev :: !events;
+      incr n_events)
+
+(* Per-domain capture redirection, mirroring {!Events.capture}: parallel
+   engine jobs buffer their rendered events locally and the join re-injects
+   them in job order, keeping the trace document deterministic. *)
+let local : string list ref option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
 let push ev =
   if Atomic.get flag then
-    with_lock (fun () ->
-        events := ev :: !events;
-        incr n_events)
+    match !(Domain.DLS.get local) with
+    | Some buf -> buf := ev :: !buf
+    | None -> push_global ev
+
+let capture f =
+  let cell = Domain.DLS.get local in
+  let saved = !cell in
+  let buf = ref [] in
+  cell := Some buf;
+  let finally () = cell := saved in
+  let v = Fun.protect ~finally f in
+  (v, List.rev !buf)
+
+let append evs = if Atomic.get flag then List.iter push_global evs
 
 let length () = with_lock (fun () -> !n_events)
 

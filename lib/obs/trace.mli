@@ -44,6 +44,16 @@ val async_end : name:string -> cat:string -> id:int -> slot:int -> unit
 (** Async slices join by ([cat], [id]); begin/end pairs must use the same
     [name]. *)
 
+val capture : (unit -> 'a) -> 'a * string list
+(** [capture f] redirects this domain's emissions into a private buffer
+    and returns the rendered event fragments (oldest first) with [f]'s
+    result — the per-job side of {!Core.Engine.run_many}'s deterministic
+    trace merge.  Scopes nest and are domain-local. *)
+
+val append : string list -> unit
+(** Re-inject captured fragments into the shared buffer, in order (no-op
+    while disabled). *)
+
 val length : unit -> int
 (** Recorded (non-metadata) events. *)
 

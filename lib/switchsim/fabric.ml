@@ -52,8 +52,3 @@ let greedy_policy t priority sim =
             end))
     priority;
   !transfers
-
-let run_greedy t ~priority demands =
-  let sim = create t demands in
-  Simulator.run sim ~policy:(greedy_policy t priority);
-  sim

@@ -38,12 +38,5 @@ val greedy_policy :
 (** Capacity-aware greedy matching in the given coflow priority order:
     claims free port pairs as usual but stops taking core-crossing
     transfers once the budget is spent (rack-local transfers are always
-    admissible). *)
-
-val run_greedy :
-  topology ->
-  priority:int array ->
-  (int * Matrix.Mat.t) list ->
-  Simulator.t
-(** Convenience wrapper: build, run to completion, return the simulator for
-    inspection. *)
+    admissible).  Hand it to {!Simulator.run} on a simulator built with
+    {!create}, or wrap it in a [Core.Policy] for the engine. *)

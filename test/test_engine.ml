@@ -1,0 +1,193 @@
+(* Tests for the Policy/Engine layer: golden equivalence against the
+   pre-refactor slot loops (values captured at the parent commit on a fixed
+   fb-like instance), jobs-count determinism of Engine.run_many, and the
+   shared greedy-matching helper's invariants. *)
+
+open Workload
+open Core
+
+let check_int = Alcotest.(check int)
+
+(* The exact workload the pre-refactor goldens below were captured on. *)
+let golden_instance =
+  lazy
+    (let st = Random.State.make [| 424242 |] in
+     let inst = Fb_like.generate ~ports:10 ~coflows:40 st in
+     let n = Instance.num_coflows inst in
+     let wst = Random.State.make [| 424243 |] in
+     Instance.with_weights inst (Weights.random_permutation wst n))
+
+let check_result name ~twct ~slots ?matchings (r : Scheduler.result) =
+  Alcotest.(check (float 0.0)) (name ^ " twct") twct r.Scheduler.twct;
+  check_int (name ^ " slots") slots r.Scheduler.slots;
+  match matchings with
+  | Some m -> check_int (name ^ " matchings") m r.Scheduler.matchings
+  | None -> ()
+
+(* H_LP x case (d): the full pipeline (LP, ordering, grouping, BvN,
+   backfilling) through the engine must reproduce the legacy loop. *)
+let test_golden_hlp_case_d () =
+  let inst = Lazy.force golden_instance in
+  let lp = Lp_relax.solve_interval inst in
+  let r =
+    Scheduler.run ~case:Scheduler.Group_backfill inst (Ordering.by_lp lp)
+  in
+  check_result "hlp_d" ~twct:262389.0 ~slots:2347 ~matchings:113 r;
+  Alcotest.(check (float 1e-6)) "hlp_d utilization" 0.265190
+    r.Scheduler.utilization
+
+let test_golden_baselines () =
+  let inst = Lazy.force golden_instance in
+  check_result "greedy_hrho" ~twct:150715.0 ~slots:1395
+    (Baselines.greedy inst (Ordering.by_load_over_weight inst));
+  check_result "fifo" ~twct:464505.0 ~slots:1390 (Baselines.fifo inst);
+  check_result "round_robin" ~twct:319070.0 ~slots:1390
+    (Baselines.round_robin inst);
+  check_result "max_weight" ~twct:148734.0 ~slots:1401
+    (Baselines.max_weight inst);
+  check_result "sebf_madd" ~twct:155810.0 ~slots:1390
+    (Baselines.sebf_madd inst)
+
+let test_golden_online () =
+  let inst = Lazy.force golden_instance in
+  check_result "online wb" ~twct:150535.0 ~slots:1391
+    (Online.run Online.Weighted_bottleneck inst);
+  check_result "online wr" ~twct:150277.0 ~slots:1396
+    (Online.run Online.Weighted_remaining inst);
+  check_result "online fcfs" ~twct:464505.0 ~slots:1390
+    (Online.run Online.Arrival_order inst)
+
+let test_golden_decentralized () =
+  let inst = Lazy.force golden_instance in
+  check_result "dec sebf" ~twct:182210.0 ~slots:1462
+    (Decentralized.run ~rounds:3 Decentralized.Local_sebf inst);
+  check_result "dec fifo" ~twct:518380.0 ~slots:1429
+    (Decentralized.run ~rounds:3 Decentralized.Local_fifo inst)
+
+let test_golden_resilient () =
+  let inst = Lazy.force golden_instance in
+  let r = Resilient.run inst in
+  Alcotest.(check (float 0.0)) "resilient twct" 151856.0 r.Resilient.twct;
+  check_int "resilient slots" 1397 r.Resilient.slots;
+  check_int "resilient replans" 1 r.Resilient.replans
+
+(* ---------- run_many determinism ---------- *)
+
+(* The same job list must produce identical results AND an identical
+   merged slot-event stream at any job count. *)
+let jobs_fixture () =
+  let inst = Lazy.force golden_instance in
+  let order = Ordering.by_load_over_weight inst in
+  List.map
+    (fun case () -> Scheduler.run ~case inst order)
+    Scheduler.all_cases
+  @ [ (fun () -> Baselines.fifo inst);
+      (fun () -> Online.run Online.Weighted_bottleneck inst);
+    ]
+
+let run_at ~jobs =
+  Obs.Events.set_enabled true;
+  Obs.Events.reset ();
+  Fun.protect ~finally:(fun () ->
+      Obs.Events.reset ();
+      Obs.Events.set_enabled false)
+  @@ fun () ->
+  let results = Engine.run_many ~jobs (jobs_fixture ()) in
+  (results, Obs.Events.to_list ())
+
+let test_run_many_jobs_invariant () =
+  let r1, e1 = run_at ~jobs:1 in
+  let r4, e4 = run_at ~jobs:4 in
+  check_int "result count" (List.length r1) (List.length r4);
+  List.iteri
+    (fun i ((a : Scheduler.result), (b : Scheduler.result)) ->
+      let name = Printf.sprintf "job %d" i in
+      Alcotest.(check (float 0.0)) (name ^ " twct") a.Scheduler.twct
+        b.Scheduler.twct;
+      check_int (name ^ " slots") a.Scheduler.slots b.Scheduler.slots;
+      check_int (name ^ " matchings") a.Scheduler.matchings
+        b.Scheduler.matchings;
+      Alcotest.(check (array int)) (name ^ " completions")
+        a.Scheduler.completion b.Scheduler.completion)
+    (List.combine r1 r4);
+  check_int "event count" (List.length e1) (List.length e4);
+  Alcotest.(check bool) "event streams identical" true (e1 = e4)
+
+let test_run_many_rejects_bad_jobs () =
+  try
+    ignore (Engine.run_many ~jobs:0 [ (fun () -> ()) ]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_run_many_reraises () =
+  (* a failing job must re-raise at the join, at its own index *)
+  try
+    ignore
+      (Engine.run_many ~jobs:2
+         [ (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) ]);
+    Alcotest.fail "expected Failure"
+  with Failure m -> Alcotest.(check string) "message" "boom" m
+
+(* ---------- greedy matching helper ---------- *)
+
+let random_instance ~ports ~coflows seed =
+  let st = Random.State.make [| seed |] in
+  Synthetic.uniform ~ports ~coflows ~density:0.4 ~max_size:4 st
+
+let prop_greedy_matching_valid_and_maximal =
+  QCheck.Test.make ~name:"Policy.greedy_matching is a maximal matching"
+    ~count:80
+    QCheck.(triple (int_range 2 6) (int_range 1 6) (int_range 0 100_000))
+    (fun (ports, coflows, seed) ->
+      let inst = random_instance ~ports ~coflows seed in
+      let sim =
+        Switchsim.Simulator.create ~ports (Instance.demands inst)
+      in
+      let priority = Array.init coflows (fun k -> k) in
+      let ts = Policy.greedy_matching sim ~priority in
+      let src_used = Array.make ports false in
+      let dst_used = Array.make ports false in
+      List.iter
+        (fun { Switchsim.Simulator.src; dst; coflow } ->
+          (* a matching: each port claimed at most once *)
+          assert (not src_used.(src));
+          assert (not dst_used.(dst));
+          src_used.(src) <- true;
+          dst_used.(dst) <- true;
+          (* backed by real demand from a released coflow *)
+          assert (Switchsim.Simulator.remaining_at sim coflow src dst > 0))
+        ts;
+      (* maximal: no free pair still has demand from a released, unfinished
+         coflow *)
+      Array.iter
+        (fun k ->
+          if
+            Switchsim.Simulator.released sim k
+            && not (Switchsim.Simulator.is_complete sim k)
+          then
+            Switchsim.Simulator.iter_remaining sim k (fun i j _ ->
+                assert (src_used.(i) || dst_used.(j))))
+        priority;
+      true)
+
+let () =
+  Alcotest.run "engine"
+    [ ( "golden",
+        [ Alcotest.test_case "H_LP case (d)" `Slow test_golden_hlp_case_d;
+          Alcotest.test_case "baselines" `Quick test_golden_baselines;
+          Alcotest.test_case "online" `Quick test_golden_online;
+          Alcotest.test_case "decentralized" `Quick test_golden_decentralized;
+          Alcotest.test_case "resilient" `Quick test_golden_resilient;
+        ] );
+      ( "run_many",
+        [ Alcotest.test_case "jobs=1 equals jobs=4" `Quick
+            test_run_many_jobs_invariant;
+          Alcotest.test_case "rejects jobs=0" `Quick
+            test_run_many_rejects_bad_jobs;
+          Alcotest.test_case "re-raises job failure" `Quick
+            test_run_many_reraises;
+        ] );
+      ( "policy",
+        [ QCheck_alcotest.to_alcotest prop_greedy_matching_valid_and_maximal ]
+      );
+    ]

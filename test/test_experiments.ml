@@ -128,6 +128,47 @@ let test_filter_removes_everything_rejected () =
      Alcotest.fail "expected Invalid_argument"
    with Invalid_argument _ -> ())
 
+let test_find_missing_names_the_pair () =
+  let b = List.hd (Lazy.force blocks) in
+  try
+    ignore (Harness.find b ~order:"Hnope" Core.Scheduler.Base);
+    Alcotest.fail "expected Failure"
+  with Failure msg ->
+    Alcotest.(check bool) "names the order" true
+      (Astring.String.is_infix ~affix:{|"Hnope"|} msg);
+    Alcotest.(check bool) "names the case" true
+      (Astring.String.is_infix ~affix:"case (a)" msg)
+
+let test_all_blocks_jobs_invariant () =
+  (* the block list must be identical at any job count: same LP bounds,
+     orders and schedule results (the warm-start chaining stays within a
+     filter, so parallelising over filters changes nothing) *)
+  let seq = Lazy.force blocks in
+  let par = Harness.all_blocks ~jobs:4 tiny_cfg in
+  check_int "same block count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Harness.block) (b : Harness.block) ->
+      check_int "filter" a.Harness.filter b.Harness.filter;
+      Alcotest.(check (float 0.0)) "lp bound"
+        a.Harness.lp.Core.Lp_relax.lower_bound
+        b.Harness.lp.Core.Lp_relax.lower_bound;
+      check_int "lp pivots" a.Harness.lp.Core.Lp_relax.iterations
+        b.Harness.lp.Core.Lp_relax.iterations;
+      Alcotest.(check (array int)) "lp order"
+        a.Harness.lp.Core.Lp_relax.order b.Harness.lp.Core.Lp_relax.order;
+      List.iter2
+        (fun (x : Harness.entry) (y : Harness.entry) ->
+          Alcotest.(check string) "entry order" x.Harness.order_name
+            y.Harness.order_name;
+          Alcotest.(check (float 0.0)) "entry twct"
+            x.Harness.result.Core.Scheduler.twct
+            y.Harness.result.Core.Scheduler.twct;
+          Alcotest.(check (array int)) "entry completions"
+            x.Harness.result.Core.Scheduler.completion
+            y.Harness.result.Core.Scheduler.completion)
+        a.Harness.entries b.Harness.entries)
+    seq par
+
 (* ---------- E1: Table 1 ---------- *)
 
 let test_table1_rows () =
@@ -398,6 +439,16 @@ let test_cli_scale_and_modes () =
   err "missing json" [ "--json" ];
   err "json eats no flag" [ "--json"; "--profile" ]
 
+let test_cli_jobs () =
+  Alcotest.(check int) "default 1" 1 (ok []).Bench_cli.jobs;
+  Alcotest.(check int) "parsed" 4
+    (ok [ "--jobs"; "4"; "tables" ]).Bench_cli.jobs;
+  err "missing jobs" [ "--jobs" ];
+  err "jobs eats no flag" [ "--jobs"; "--json" ];
+  err "zero jobs" [ "--jobs"; "0" ];
+  err "negative jobs" [ "--jobs"; "-2" ];
+  err "non-numeric jobs" [ "--jobs"; "many" ]
+
 let test_cli_obs_diff () =
   let cli = ok [ "obs-diff"; "a.json"; "b.json" ] in
   (match cli.Bench_cli.diff with
@@ -445,6 +496,10 @@ let () =
             test_lp_is_lower_bound_for_all_entries;
           Alcotest.test_case "dense = revised orderings" `Quick
             test_dense_and_revised_order_identically;
+          Alcotest.test_case "find names missing pair" `Quick
+            test_find_missing_names_the_pair;
+          Alcotest.test_case "all_blocks jobs-invariant" `Quick
+            test_all_blocks_jobs_invariant;
           Alcotest.test_case "empty filter rejected" `Quick
             test_filter_removes_everything_rejected;
         ] );
@@ -475,6 +530,7 @@ let () =
             test_cli_profile_must_not_eat_flags;
           Alcotest.test_case "--trace" `Quick test_cli_trace_flag;
           Alcotest.test_case "scale and modes" `Quick test_cli_scale_and_modes;
+          Alcotest.test_case "--jobs" `Quick test_cli_jobs;
           Alcotest.test_case "obs-diff" `Quick test_cli_obs_diff;
         ] );
     ]

@@ -288,7 +288,8 @@ let test_fabric_greedy_respects_core () =
   let topo = Fabric.topology ~ports:4 ~rack_size:2 ~core_capacity:1 in
   let st = Random.State.make [| 5 |] in
   let d = Mat.random ~density:0.8 ~max_entry:3 st 4 in
-  let sim = Fabric.run_greedy topo ~priority:[| 0 |] [ (0, d) ] in
+  let sim = Fabric.create topo [ (0, d) ] in
+  Simulator.run sim ~policy:(Fabric.greedy_policy topo [| 0 |]);
   Alcotest.(check bool) "completes" true (Simulator.all_complete sim)
 
 let test_fabric_nonblocking_equals_plain_greedy () =
@@ -296,7 +297,8 @@ let test_fabric_nonblocking_equals_plain_greedy () =
   let topo = Fabric.topology ~ports:4 ~rack_size:2 ~core_capacity:4 in
   let st = Random.State.make [| 6 |] in
   let d = Mat.random ~density:0.6 ~max_entry:3 st 4 in
-  let sim = Fabric.run_greedy topo ~priority:[| 0 |] [ (0, d) ] in
+  let sim = Fabric.create topo [ (0, d) ] in
+  Simulator.run sim ~policy:(Fabric.greedy_policy topo [| 0 |]);
   (* a single coflow under greedy completes in at most total units slots
      and at least rho slots *)
   let c = Simulator.completion_time_exn sim 0 in
