@@ -1,7 +1,7 @@
 (* Benchmark / reproduction harness.
 
    Modes:
-     main.exe                 — regenerate every table and figure (E1..E16)
+     main.exe                 — regenerate every table and figure (E1..E17)
                                 at the default scale, then run the Bechamel
                                 kernel benchmarks.
      main.exe tables          — only the tables/figures.
@@ -12,7 +12,7 @@
                                 as JSON (a machine-readable perf baseline,
                                 e.g. BENCH_<rev>.json).
      main.exe table1|fig2a|fig2b|lowerbound|audit|randomized|releases|openshop
-              |...|fabric|faults
+              |...|fabric|faults|soak
                               — a single experiment.
      main.exe obs-diff OLD NEW [--threshold PCT] [--time-threshold PCT]
                               — compare two --profile artifacts; exits 1
@@ -162,6 +162,10 @@ let run_faults cfg =
   section "E16 - fault injection and degradation-aware rescheduling";
   print_string (Experiments.Exp_faults.render cfg)
 
+let run_soak cfg =
+  section "E17 - service soak (streaming arrivals, admission, degradation)";
+  print_string (Experiments.Exp_soak.render cfg)
+
 let all_experiments =
   [ ("table1", run_table1);
     ("fig2a", run_fig2a);
@@ -179,6 +183,7 @@ let all_experiments =
     ("dag", run_dag);
     ("fabric", run_fabric);
     ("faults", run_faults);
+    ("soak", run_soak);
   ]
 
 let run_tables cfg = List.iter (fun (_, f) -> f cfg) all_experiments
@@ -361,7 +366,7 @@ let () =
     match Experiments.Bench_cli.parse ~is_mode args with
     | Ok cli -> cli
     | Error msg ->
-      Printf.eprintf "%s\n" msg;
+      Printf.eprintf "%s\n%s\n" msg Experiments.Bench_cli.usage;
       exit 2
   in
   Option.iter run_obs_diff cli.Experiments.Bench_cli.diff;
@@ -391,7 +396,8 @@ let () =
           match List.assoc_opt m all_experiments with
           | Some f -> f cfg
           | None ->
-            Printf.eprintf "unknown mode %S\n" m;
+            Printf.eprintf "unknown mode %S\n%s\n" m
+              Experiments.Bench_cli.usage;
             exit 2))
       modes);
   Option.iter

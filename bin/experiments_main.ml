@@ -6,15 +6,11 @@
    Experiment ids: E1 table1, E2 fig2a, E3 fig2b, E4 lowerbound, E5 audit,
    E6 randomized, E7 releases, E8 openshop is bench-only, E9 ablation,
    E10 orderings, E11 lpgrid, E12 online, E13 robust, E14 dag, E15 fabric,
-   E16 faults. *)
+   E16 faults, E17 soak. *)
 
 open Cmdliner
 
 let run_all scale only csv_dir profile trace jobs =
-  if jobs < 1 then begin
-    Format.eprintf "--jobs must be a positive integer@.";
-    exit 2
-  end;
   if profile <> None || trace <> None then begin
     Obs.Events.set_enabled true;
     Obs.Histogram.set_enabled true
@@ -116,6 +112,10 @@ let run_all scale only csv_dir profile trace jobs =
     print_string (Experiments.Exp_faults.render cfg);
     print_newline ()
   end;
+  if wants "E17" then begin
+    print_string (Experiments.Exp_soak.render cfg);
+    print_newline ()
+  end;
   (match profile with
   | None -> ()
   | Some path ->
@@ -149,12 +149,25 @@ let scale_arg =
     & opt scale_conv Experiments.Config.Default
     & info [ "scale" ] ~docv:"SCALE" ~doc:"quick | default | large")
 
+let experiment_ids =
+  List.init 17 (fun i -> Printf.sprintf "E%d" (i + 1))
+
+let experiment_id_conv =
+  let parse s =
+    if List.mem s experiment_ids then Ok s
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "unknown experiment id %S (expected E1..E17)" s))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
 let only_arg =
   Arg.(
     value
-    & opt (list string) []
+    & opt (list experiment_id_conv) []
     & info [ "only" ] ~docv:"IDS"
-        ~doc:"Comma-separated experiment ids (E1..E16); default all")
+        ~doc:"Comma-separated experiment ids (E1..E17); default all")
 
 let csv_arg =
   Arg.(
@@ -180,9 +193,18 @@ let trace_arg =
           "Write a Chrome-trace-format (Perfetto-loadable) flight-recorder \
            trace to PATH; defaults to TRACE.json when PATH is omitted")
 
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | Some _ -> Error (`Msg "must be a positive integer")
+    | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
-    value & opt int 1
+    value & opt positive_int 1
     & info [ "jobs" ] ~docv:"N"
         ~doc:
           "Run independent experiment simulations on N domains (default 1). \

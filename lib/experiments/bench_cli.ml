@@ -15,6 +15,11 @@ type t = {
   modes : string list;
 }
 
+let usage =
+  "usage: main.exe [MODE ...] [--scale quick|default|large] [--jobs N]\n\
+  \       [--json PATH] [--profile [PATH]] [--trace [PATH]]\n\
+  \       main.exe obs-diff OLD NEW [--threshold PCT] [--time-threshold PCT]"
+
 let default_profile_path = "PROFILE.json"
 
 let default_trace_path = "TRACE.json"

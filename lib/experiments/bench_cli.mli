@@ -30,6 +30,10 @@ type t = {
   modes : string list;  (** in argv order *)
 }
 
+val usage : string
+(** The grammar above, rendered for stderr: printed alongside any parse
+    error so CLI misuse never fails silently. *)
+
 val default_profile_path : string
 
 val default_trace_path : string

@@ -1,0 +1,27 @@
+(** E17 — fault-soak of the long-lived scheduler service.
+
+    Streams seeded arrival processes through {!Service.Epoch_loop} with
+    fault injection on and every hard gate armed: steady Poisson load near
+    the admission design point, bursty MMPP load, and an overloaded stream
+    that exercises deadline-based rejection.  Every run verifies replay
+    (same seeds, byte-identical decision fingerprint), certifies each slot
+    with the incremental auditor, and checks the live-set ceiling and the
+    p99 wait SLO.
+
+    All runs use pivot budgets only ([lp_deadline = None]), so the whole
+    experiment is a deterministic function of the configuration seed. *)
+
+type row = {
+  label : string;
+  config : Service.Soak.config;
+  report : Service.Soak.report;
+}
+
+val run : Config.t -> row list
+(** One row per arrival regime; coflow counts scale with
+    [cfg.Config.coflows]. *)
+
+val render : Config.t -> string
+
+val all_pass : row list -> bool
+(** No gate failed in any row. *)

@@ -27,57 +27,91 @@ let tier_slot_counts t =
 
 (* ---------- certification ---------- *)
 
-let check ?topo ~plan t =
-  let ports = t.ports in
-  let src_used = Array.make ports false and dst_used = Array.make ports false in
-  let rec scan s =
-    if s >= num_slots t then Ok ()
-    else begin
-      let { transfers; _ } = t.slots.(s) in
-      Array.fill src_used 0 ports false;
-      Array.fill dst_used 0 ports false;
-      let matching_ok =
-        List.fold_left
-          (fun acc { Simulator.src; dst; _ } ->
-            match acc with
-            | Error _ -> acc
-            | Ok () ->
-              if src < 0 || src >= ports || dst < 0 || dst >= ports then
-                Error
-                  (Printf.sprintf "slot %d: port out of range %d->%d" s src
-                     dst)
-              else if src_used.(src) then
-                Error (Printf.sprintf "slot %d: ingress %d used twice" s src)
-              else if dst_used.(dst) then
-                Error (Printf.sprintf "slot %d: egress %d used twice" s dst)
-              else begin
-                src_used.(src) <- true;
-                dst_used.(dst) <- true;
-                Ok ()
-              end)
-          (Ok ()) transfers
-      in
+(* Incremental certification: a soak feeds each slot as it is served, so a
+   violation surfaces at the offending slot instead of at end-of-run, and
+   the auditor's memory stays O(ports) no matter how long the run is. *)
+type checker = {
+  c_ports : int;
+  c_topo : Fabric.topology option;
+  c_plan : Fault_plan.t;
+  c_src : bool array;  (* scratch: ingress ports claimed this slot *)
+  c_dst : bool array;
+  c_base_slot : int;  (* plan-time of the checker's first record *)
+  mutable c_next : int;  (* records fed so far *)
+  mutable c_error : string option;  (* first violation, sticky *)
+}
+
+let checker ?topo ?(start_slot = 0) ~plan ~ports () =
+  if ports <= 0 then invalid_arg "Audit.checker: ports must be positive";
+  if start_slot < 0 then invalid_arg "Audit.checker: negative start slot";
+  { c_ports = ports;
+    c_topo = topo;
+    c_plan = plan;
+    c_src = Array.make ports false;
+    c_dst = Array.make ports false;
+    c_base_slot = start_slot;
+    c_next = 0;
+    c_error = None;
+  }
+
+let checked_slots c = c.c_next
+
+let checker_error c = c.c_error
+
+let feed c { transfers; _ } =
+  match c.c_error with
+  | Some e -> Error e
+  | None ->
+    let ports = c.c_ports in
+    let s = c.c_base_slot + c.c_next in
+    c.c_next <- c.c_next + 1;
+    Array.fill c.c_src 0 ports false;
+    Array.fill c.c_dst 0 ports false;
+    let matching_ok =
+      List.fold_left
+        (fun acc { Simulator.src; dst; _ } ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+            if src < 0 || src >= ports || dst < 0 || dst >= ports then
+              Error
+                (Printf.sprintf "slot %d: port out of range %d->%d" s src dst)
+            else if c.c_src.(src) then
+              Error (Printf.sprintf "slot %d: ingress %d used twice" s src)
+            else if c.c_dst.(dst) then
+              Error (Printf.sprintf "slot %d: egress %d used twice" s dst)
+            else begin
+              c.c_src.(src) <- true;
+              c.c_dst.(dst) <- true;
+              Ok ()
+            end)
+        (Ok ()) transfers
+    in
+    let verdict =
       match matching_ok with
       | Error _ as e -> e
-      | Ok () -> (
+      | Ok () ->
         let capacity =
           let base =
-            match topo with
+            match c.c_topo with
             | Some tp -> tp.Fabric.core_capacity
             | None -> ports
           in
-          match Fault_plan.core_capacity plan ~slot:s with
-          | Some c -> min base c
+          match Fault_plan.core_capacity c.c_plan ~slot:s with
+          | Some cap -> min base cap
           | None -> base
         in
-        match
-          Injector.check_slot ?topo ~plan ~ports ~capacity ~slot:s transfers
-        with
-        | Error _ as e -> e
-        | Ok () -> scan (s + 1))
-    end
-  in
-  scan 0
+        Injector.check_slot ?topo:c.c_topo ~plan:c.c_plan ~ports ~capacity
+          ~slot:s transfers
+    in
+    (match verdict with Error e -> c.c_error <- Some e | Ok () -> ());
+    verdict
+
+let check ?topo ~plan t =
+  let c = checker ?topo ~plan ~ports:t.ports () in
+  Array.fold_left
+    (fun acc record -> match acc with Error _ -> acc | Ok () -> feed c record)
+    (Ok ()) t.slots
 
 (* ---------- text format ---------- *)
 

@@ -39,6 +39,40 @@ val check :
     every fault constraint.  [Error] carries the first violation with its
     slot number. *)
 
+(** {2 Incremental certification}
+
+    A long-lived run cannot afford to accumulate its whole audit log and
+    certify at end-of-run: a violation would surface hours after the
+    offending slot, and the log would grow without bound.  A {!checker}
+    certifies one {!slot_record} at a time in O(ports) memory; the first
+    violation is reported at the slot that committed it and latched, so
+    every later {!feed} returns the same error.  {!check} is itself
+    implemented as a fold over a checker. *)
+
+type checker
+
+val checker :
+  ?topo:Switchsim.Fabric.topology ->
+  ?start_slot:int ->
+  plan:Fault_plan.t ->
+  ports:int ->
+  unit ->
+  checker
+(** [start_slot] (default 0) is the plan-time of the first record fed —
+    an epoch-based service audits each epoch against the epoch's plan
+    starting at the epoch's first slot.
+    @raise Invalid_argument on non-positive ports or negative start slot. *)
+
+val feed : checker -> slot_record -> (unit, string) result
+(** Certify the next slot.  [Error] carries the first violation (this
+    slot's, or an earlier latched one) with its slot number. *)
+
+val checked_slots : checker -> int
+(** Records fed so far. *)
+
+val checker_error : checker -> string option
+(** The latched first violation, if any. *)
+
 (** {2 Text format}
 
     {v

@@ -1,0 +1,153 @@
+open Workload
+
+type coflow = {
+  id : int;
+  arrival : int;
+  demand : Matrix.Mat.t;
+  weight : float;
+}
+
+type process =
+  | Poisson of { mean_gap : float }
+  | Mmpp of { mean_gaps : float array; mean_dwell : int }
+  | Replay of Workload.Instance.t
+
+let process_name = function
+  | Poisson _ -> "poisson"
+  | Mmpp _ -> "mmpp"
+  | Replay _ -> "replay"
+
+type t = {
+  a_ports : int;
+  params : Fb_like.params;
+  st : Random.State.t;
+  random_weights : bool;
+  proc : process;
+  replay : coflow array;  (* Replay only: coflows in release order *)
+  mutable clock : int;  (* arrival slot of the next generated coflow *)
+  mutable phase : int;  (* Mmpp phase index *)
+  mutable drawn : int;
+  mutable pending : coflow option;  (* generated, not yet consumed *)
+}
+
+let validate_process = function
+  | Poisson { mean_gap } ->
+    if not (mean_gap > 0.0) then
+      invalid_arg "Arrivals.create: Poisson mean_gap must be positive"
+  | Mmpp { mean_gaps; mean_dwell } ->
+    if Array.length mean_gaps = 0 then
+      invalid_arg "Arrivals.create: Mmpp needs at least one phase";
+    Array.iter
+      (fun g ->
+        if not (g > 0.0) then
+          invalid_arg "Arrivals.create: Mmpp mean gaps must be positive")
+      mean_gaps;
+    if mean_dwell < 1 then
+      invalid_arg "Arrivals.create: Mmpp mean_dwell must be >= 1"
+  | Replay _ -> ()
+
+let create ?params ?(random_weights = false) ~ports ~seed proc =
+  if ports <= 0 then invalid_arg "Arrivals.create: ports must be positive";
+  validate_process proc;
+  let params =
+    match params with
+    | Some p -> p
+    | None -> Fb_like.default_params ~ports ~coflows:0
+  in
+  if params.Fb_like.ports <> ports then
+    invalid_arg "Arrivals.create: params disagree with ports";
+  let replay =
+    match proc with
+    | Replay inst ->
+      (match Instance.num_coflows inst with
+      | 0 -> [||]
+      | _ when Instance.ports inst <> ports ->
+        invalid_arg "Arrivals.create: replay instance port mismatch"
+      | _ ->
+        let cs = Instance.coflows inst in
+        (* stable by (release, id): arrival order, ties in trace order *)
+        Array.sort
+          (fun a b ->
+            match compare a.Instance.release b.Instance.release with
+            | 0 -> compare a.Instance.id b.Instance.id
+            | c -> c)
+          cs;
+        Array.map
+          (fun c ->
+            { id = c.Instance.id;
+              arrival = c.Instance.release;
+              demand = c.Instance.demand;
+              weight = c.Instance.weight;
+            })
+          cs)
+    | _ -> [||]
+  in
+  { a_ports = ports;
+    params;
+    st = Random.State.make [| seed; 0x5e41 |];
+    random_weights;
+    proc;
+    replay;
+    clock = 0;
+    phase = 0;
+    drawn = 0;
+    pending = None;
+  }
+
+(* Exponential gap with the given mean, rounded to whole slots; a zero gap
+   means two coflows share an arrival slot. *)
+let draw_gap st ~mean_gap =
+  let u = max 1e-12 (1.0 -. Random.State.float st 1.0) in
+  let g = -.mean_gap *. log u in
+  max 0 (int_of_float (Float.round g))
+
+(* Only called with [t.pending = None], so [t.drawn] is the index of the
+   next coflow to produce. *)
+let generate t =
+  match t.proc with
+  | Replay _ ->
+    if t.drawn >= Array.length t.replay then None else Some t.replay.(t.drawn)
+  | Poisson { mean_gap } ->
+    let arrival = t.clock in
+    t.clock <- t.clock + draw_gap t.st ~mean_gap;
+    let demand = Fb_like.draw_demand t.params t.st in
+    let weight =
+      if t.random_weights then float_of_int (1 + Random.State.int t.st 9)
+      else 1.0
+    in
+    Some { id = t.drawn; arrival; demand; weight }
+  | Mmpp { mean_gaps; mean_dwell } ->
+    let arrival = t.clock in
+    (* phase advances (cyclically) with probability 1/mean_dwell per
+       arrival, so the expected burst length is mean_dwell coflows *)
+    if Random.State.int t.st mean_dwell = 0 then
+      t.phase <- (t.phase + 1) mod Array.length mean_gaps;
+    t.clock <- t.clock + draw_gap t.st ~mean_gap:mean_gaps.(t.phase);
+    let demand = Fb_like.draw_demand t.params t.st in
+    let weight =
+      if t.random_weights then float_of_int (1 + Random.State.int t.st 9)
+      else 1.0
+    in
+    Some { id = t.drawn; arrival; demand; weight }
+
+let fill t =
+  match t.pending with
+  | Some _ -> ()
+  | None -> t.pending <- generate t
+
+let peek_arrival t =
+  fill t;
+  Option.map (fun c -> c.arrival) t.pending
+
+let next t =
+  fill t;
+  match t.pending with
+  | None -> None
+  | Some c ->
+    t.pending <- None;
+    t.drawn <- t.drawn + 1;
+    Some c
+
+let drawn t = t.drawn
+
+let ports t = t.a_ports

@@ -1,0 +1,71 @@
+(** Open-ended coflow arrival sources for the long-lived scheduler service.
+
+    A batch experiment owns its whole instance up front; a service receives
+    coflows one at a time from an arrival process and must keep answering.
+    This module turns the calibrated {!Workload.Fb_like} generator into a
+    stream: each drawn coflow carries a stable id, an arrival slot
+    (nondecreasing), a demand matrix from the published four-way mix, and a
+    weight.
+
+    Three processes are provided:
+
+    - {b Poisson}: independent exponential inter-arrival gaps with a given
+      mean (rounded to whole slots, so several coflows may share a slot) —
+      the open-arrival regime of the experimental follow-up
+      (arXiv:1603.07981);
+    - {b MMPP}: a Markov-modulated Poisson process cycling through phases
+      with different mean gaps (after each arrival the phase advances with
+      probability [1 / mean_dwell]), producing the bursty on/off load real
+      clusters exhibit;
+    - {b Replay}: the coflows of an existing {!Workload.Instance.t} in
+      release order — the bridge from recorded traces
+      ({!Workload.Trace.load}) into the service.
+
+    Every stream is a pure function of its seed: replaying a seed yields
+    byte-identical arrivals, which is what the soak harness's determinism
+    gate relies on. *)
+
+type coflow = {
+  id : int;  (** stable identifier, unique within the stream *)
+  arrival : int;  (** arrival slot, nondecreasing across the stream *)
+  demand : Matrix.Mat.t;
+  weight : float;  (** positive *)
+}
+
+type process =
+  | Poisson of { mean_gap : float }  (** mean slots between arrivals, > 0 *)
+  | Mmpp of { mean_gaps : float array; mean_dwell : int }
+      (** per-phase mean gaps (each > 0, at least one phase); the phase
+          advances cyclically with probability [1 / mean_dwell] per
+          arrival ([mean_dwell >= 1]) *)
+  | Replay of Workload.Instance.t
+
+val process_name : process -> string
+(** ["poisson"], ["mmpp"], ["replay"]. *)
+
+type t
+
+val create :
+  ?params:Workload.Fb_like.params ->
+  ?random_weights:bool ->
+  ports:int ->
+  seed:int ->
+  process ->
+  t
+(** [random_weights] (default false) draws each weight uniformly from
+    [1.0 .. 9.0] instead of 1.0; [params] overrides the generator shape
+    (defaults to {!Workload.Fb_like.default_params}).  Replay ignores both
+    and keeps the instance's ids, weights and releases.
+    @raise Invalid_argument on bad process parameters or [ports <= 0]. *)
+
+val peek_arrival : t -> int option
+(** Arrival slot of the next coflow without consuming it; [None] when a
+    replay stream is exhausted (generative streams never end). *)
+
+val next : t -> coflow option
+(** Draw the next coflow.  [None] only for an exhausted replay. *)
+
+val drawn : t -> int
+(** Coflows emitted so far. *)
+
+val ports : t -> int

@@ -1,0 +1,108 @@
+(** The long-lived scheduler daemon: an epoch-based re-solve loop over an
+    open arrival stream.
+
+    Batch experiments solve once and run to completion; the service never
+    sees the whole input.  Time is divided into {e epochs} of at most
+    [epoch_length] slots.  At each epoch boundary the loop:
+
+    + drains the arrival source of every coflow due by "now" and runs each
+      through {!Admission} (queue-depth backpressure, deadline tagging) —
+      admitted coflows join the bounded live set, rejected ones are
+      counted and dropped;
+    + draws the epoch's seeded fault plan ({!Faults.Fault_plan.random} at
+      [fault_intensity]; epoch-local slot numbering) and builds a fresh
+      fault-injected simulator over the live set's {e residual} demands;
+    + re-solves the coflow order, walking the degradation chain
+      [H_LP -> H_rho -> H_A] (the {!Core.Resilient} chain, now across
+      epochs): the LP runs under [lp_deadline] wall-clock seconds and
+      [lp_max_iterations] pivots with [lp_retries] doubled-budget retries,
+      warm-started from the previous epoch's exported basis (remapped from
+      global coflow ids and shifted by the elapsed slots); a solver outage
+      in the epoch's fault plan, an exhausted LP budget, or {e SLO
+      pressure} (live set above [degrade_live_above]) all degrade to a
+      cheaper tier instead of stalling the service — every degradation is
+      counted ([service.degradations], per-cause counters) and emitted as
+      a trace instant;
+    + serves up to [epoch_length] slots of fault-aware greedy matching in
+      the chosen order, feeding every slot to an incremental
+      {!Faults.Audit.checker} (a violation stops the run at the offending
+      slot) and folding admissions, completions and tiers into a rolling
+      {!Fingerprint};
+    + retires completed coflows (their absolute completion time feeds the
+      TWCT and the deadline-miss counter) and carries the survivors'
+      remaining demands into the next epoch.
+
+    When the live set is empty the clock jumps directly to the next
+    arrival (event-driven idle skip), so a sparse stream costs nothing to
+    simulate.
+
+    {b Memory ceiling}: the loop's state is O(max_live) — the live set is
+    bounded by admission, the audit is incremental, the waits are bucketed
+    and the fingerprint is a single word.  {b Determinism}: with
+    [lp_deadline = None] the whole run is a pure function of (arrival
+    seed, plan seed, config): replaying yields an identical
+    {!stats.fingerprint}.  A wall-clock [lp_deadline] trades that for
+    bounded epoch latency — degradations may then depend on machine speed,
+    which is the operational trade the paper's setting demands. *)
+
+type config = {
+  epoch_length : int;  (** re-solve cadence, slots, >= 1 *)
+  admission : Admission.config;
+  lp_deadline : float option;
+      (** wall-clock budget (seconds) per LP attempt; [None] = unlimited
+          (and fully deterministic) *)
+  lp_max_iterations : int;  (** simplex pivot budget per LP attempt *)
+  lp_retries : int;  (** doubled-budget retries after an LP failure *)
+  lp_warm_start : bool;  (** seed each epoch's LP from the previous basis *)
+  degrade_live_above : int;
+      (** SLO-aware degradation: skip the LP tier while the live set is
+          larger than this (the solve would outlast the epoch) *)
+  fault_intensity : float;  (** {!Faults.Fault_plan.random} intensity *)
+  max_slots : int;  (** safety valve on total simulated slots *)
+}
+
+val default_config : config
+(** Epoch 64 slots, default admission, 1 s LP deadline, 60k pivots, one
+    retry, warm starts on, degrade above 48 live, no faults, 10M slots. *)
+
+val validate_config : config -> unit
+(** @raise Invalid_argument on non-positive epoch length / pivot budget,
+    negative retries or intensity, or a bad admission config. *)
+
+type stats = {
+  arrived : int;  (** coflows drawn from the source *)
+  admitted : int;
+  rejected_queue : int;  (** backpressure rejections *)
+  rejected_deadline : int;  (** deadline-infeasible rejections *)
+  completed : int;
+  twct : float;  (** sum of weight x absolute completion over completed *)
+  slots : int;  (** simulated slots actually served (idle jumps excluded) *)
+  epochs : int;
+  idle_jumps : int;  (** event-driven skips to the next arrival *)
+  tier_slots : (Core.Resilient.tier * int) list;
+      (** slots served per tier, in {!Core.Resilient.all_tiers} order *)
+  degradations : int;  (** epochs planned below the primary LP tier *)
+  slo_degradations : int;  (** of which: SLO pressure (live set too big) *)
+  lp_failures : int;  (** LP attempts lost to budget *)
+  lp_iterations : int;  (** pivots across successful epoch solves *)
+  deadline_misses : int;  (** admitted coflows that finished past deadline *)
+  max_live : int;  (** live-set high-water mark (<= admission.max_live) *)
+  audited_slots : int;  (** slots certified by the incremental auditor *)
+  audit_violation : (int * string) option;
+      (** first violation as (absolute slot, message); [None] on a clean
+          run.  A violation stops the run at that slot. *)
+  wait_p50 : int;
+  wait_p99 : int;
+      (** admission-to-first-service latency percentiles, slots, computed
+          from the run's own bucket counts (same quantization as
+          {!Obs.Histogram}), so they are exact replay-deterministic values
+          even when profiling is off *)
+  fingerprint : string;  (** rolling digest of every decision in order *)
+}
+
+val run : ?plan_seed:int -> config -> Arrivals.t -> coflows:int -> stats
+(** [run config source ~coflows] consumes up to [coflows] arrivals from
+    [source] (fewer if a replay source is exhausted), serves until every
+    admitted coflow completes, and returns the run's statistics.
+    [plan_seed] (default 0) seeds the per-epoch fault plans.
+    @raise Failure when [max_slots] is exhausted. *)

@@ -1,0 +1,20 @@
+type t = { mutable h : int64 }
+
+let offset_basis = 0xcbf29ce484222325L
+
+let prime = 0x100000001b3L
+
+let create () = { h = offset_basis }
+
+let byte t b =
+  t.h <- Int64.mul (Int64.logxor t.h (Int64.of_int (b land 0xff))) prime
+
+let int t v =
+  let v = Int64.of_int v in
+  for i = 0 to 7 do
+    byte t (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+  done
+
+let str t s = String.iter (fun c -> byte t (Char.code c)) s
+
+let hex t = Printf.sprintf "%016Lx" t.h

@@ -1,0 +1,19 @@
+(** Rolling 64-bit FNV-1a digest — O(1) memory no matter how long the run.
+
+    The soak harness asserts byte-identical replay over millions of
+    coflows; keeping every completion around just to hash it at the end
+    would defeat the memory ceiling, so the epoch loop folds each decision
+    (admit, reject, completion, epoch tier) into this running digest as it
+    happens.  Two runs are byte-identical iff their digests match. *)
+
+type t
+
+val create : unit -> t
+
+val int : t -> int -> unit
+(** Fold one integer (all 8 bytes, so sign and magnitude both count). *)
+
+val str : t -> string -> unit
+
+val hex : t -> string
+(** 16-hex-digit rendering of the current digest. *)

@@ -1,0 +1,62 @@
+(** Fault-soak harness: run the service loop long and hard, then gate.
+
+    A soak is a seeded {!Epoch_loop.run} over a generative arrival stream
+    with fault injection on, followed by a fixed battery of pass/fail
+    gates — the things a long-lived scheduler must not do even once:
+
+    - {b audit}: zero incremental-audit violations;
+    - {b drained}: every admitted coflow completed;
+    - {b live-ceiling}: the live-set high-water mark stayed within the
+      admission bound (the memory ceiling);
+    - {b slo-p99}: the p99 admission-to-first-service wait stayed within
+      [wait_p99_slo] slots (when set);
+    - {b replay}: an immediate same-seed re-run produced a byte-identical
+      decision fingerprint (when [verify_replay] — requires
+      [lp_deadline = None], since wall-clock budgets are not replayable).
+
+    The report carries the loop's stats plus each gate's outcome, so a CLI
+    can render it and exit nonzero iff {!failed} is non-empty. *)
+
+type config = {
+  process : Arrivals.process;
+  params : Workload.Fb_like.params option;
+      (** generator shape override; [None] = calibrated defaults *)
+  random_weights : bool;
+  coflows : int;  (** arrivals to consume, >= 0 *)
+  seed : int;  (** arrival-stream seed *)
+  plan_seed : int;  (** per-epoch fault-plan seed *)
+  loop : Epoch_loop.config;
+  wait_p99_slo : int option;  (** p99 wait gate, slots; [None] = no gate *)
+}
+
+val default_config : config
+(** Poisson arrivals (mean gap 48) on 8 ports via [loop] defaults with
+    faults at intensity 1.0, deterministic LP budgets
+    ([lp_deadline = None]), 2000 coflows, p99 SLO of 512 slots. *)
+
+type gate = {
+  gate : string;
+  failure : string option;  (** [None] = passed *)
+}
+
+type report = {
+  stats : Epoch_loop.stats;
+  elapsed_s : float;  (** wall-clock, first run only *)
+  replay_fingerprint : string option;  (** second run's, when verified *)
+  gates : gate list;
+}
+
+val ports : config -> int
+(** Ports of the arrival stream ([loop]-independent): the replay
+    instance's ports, else the generator params', else 8. *)
+
+val run : ?verify_replay:bool -> config -> report
+(** Execute the soak.  [verify_replay] (default false) immediately re-runs
+    with the same seeds and compares fingerprints.  @raise Invalid_argument
+    on a bad config (via {!Epoch_loop.validate_config} /
+    {!Arrivals.create}). *)
+
+val failed : report -> gate list
+(** The gates that failed; [[]] is a passing soak. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -120,6 +120,8 @@ let build ?params ~ports ~coflows ~mean_gap st =
   in
   Instance.make ~ports (List.init coflows make_coflow)
 
+let draw_demand p st = coflow_demand st p (draw_class st)
+
 let generate ?params ~ports ~coflows st =
   build ?params ~ports ~coflows ~mean_gap:0 st
 

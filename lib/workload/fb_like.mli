@@ -38,6 +38,11 @@ val generate : ?params:params -> ports:int -> coflows:int -> Random.State.t -> I
 (** Weights are all 1 (callers re-weight with {!Weights}); releases are 0 as
     in the paper's evaluation. *)
 
+val draw_demand : params -> Random.State.t -> Matrix.Mat.t
+(** One coflow's demand matrix, drawn from the calibrated four-way mix —
+    the unit of work an open arrival stream ({!Service.Arrivals}) emits one
+    at a time instead of as a closed batch. *)
+
 val generate_with_arrivals :
   ?params:params ->
   mean_gap:int ->

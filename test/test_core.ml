@@ -187,6 +187,27 @@ let test_lp_warm_start_remapped_hints () =
   Alcotest.(check (float 1e-6)) "same bound under stale hints"
     cold.Lp_relax.lower_bound warm.Lp_relax.lower_bound
 
+let test_lp_warm_start_colliding_hints_fall_back () =
+  (* an epoch-crossing remap can collide (several old indices landing on
+     one live coflow) or misalign times entirely; the resulting basis
+     proposal is singular or infeasible, and the solver must silently fall
+     back to the crash basis and reproduce the cold optimum *)
+  let inst = random_instance ~ports:4 ~coflows:8 31 in
+  let cold = Lp_relax.solve_interval inst in
+  let hints = Option.get cold.Lp_relax.warm in
+  let collided =
+    Lp_relax.remap_hints ~index_map:(fun _ -> Some 0) hints
+  in
+  let a = Lp_relax.solve_interval ~warm_start:collided inst in
+  Alcotest.(check (float 1e-6)) "collided hints: cold bound"
+    cold.Lp_relax.lower_bound a.Lp_relax.lower_bound;
+  let shifted_away =
+    Lp_relax.remap_hints ~time_shift:1.0e9 hints
+  in
+  let b = Lp_relax.solve_interval ~warm_start:shifted_away inst in
+  Alcotest.(check (float 1e-6)) "absurd time shift: cold bound"
+    cold.Lp_relax.lower_bound b.Lp_relax.lower_bound
+
 let test_lp_order_is_permutation () =
   let inst = random_instance 17 in
   let r = Lp_relax.solve_interval inst in
@@ -1167,6 +1188,8 @@ let () =
             test_lp_warm_start_reuses_basis;
           Alcotest.test_case "warm start survives remapping" `Quick
             test_lp_warm_start_remapped_hints;
+          Alcotest.test_case "colliding warm hints fall back" `Quick
+            test_lp_warm_start_colliding_hints_fall_back;
           Alcotest.test_case "order is permutation" `Quick
             test_lp_order_is_permutation;
           Alcotest.test_case "release dates respected" `Quick

@@ -478,6 +478,30 @@ let test_cli_obs_diff () =
   err "non-numeric threshold" [ "obs-diff"; "a"; "b"; "--threshold"; "x" ];
   err "unknown diff flag" [ "obs-diff"; "a"; "b"; "--bogus" ]
 
+let test_cli_trailing_garbage () =
+  (* anything after "--trace PATH" that is not a recognised mode or flag
+     must be an error, not silently ignored *)
+  err "garbage after trace path" [ "--trace"; "t.json"; "garbage" ];
+  err "garbage after profile path" [ "--profile"; "p.json"; "nonsense" ];
+  err "garbage after modes" [ "table1"; "kernels"; "leftovers" ];
+  (* a real mode in the same position still parses *)
+  let cli = ok [ "--trace"; "t.json"; "faults" ] in
+  Alcotest.(check (list string)) "mode accepted" [ "faults" ]
+    cli.Bench_cli.modes
+
+let test_cli_usage_text () =
+  (* the usage string the drivers print on misuse names every flag the
+     parser accepts, so the two cannot drift silently *)
+  List.iter
+    (fun flag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "usage mentions %s" flag)
+        true
+        (Astring.String.is_infix ~affix:flag Bench_cli.usage))
+    [ "--scale"; "--jobs"; "--json"; "--profile"; "--trace"; "obs-diff";
+      "--threshold"; "--time-threshold";
+    ]
+
 let () =
   Alcotest.run "experiments"
     [ ( "report",
@@ -532,5 +556,9 @@ let () =
           Alcotest.test_case "scale and modes" `Quick test_cli_scale_and_modes;
           Alcotest.test_case "--jobs" `Quick test_cli_jobs;
           Alcotest.test_case "obs-diff" `Quick test_cli_obs_diff;
+          Alcotest.test_case "trailing garbage rejected" `Quick
+            test_cli_trailing_garbage;
+          Alcotest.test_case "usage names every flag" `Quick
+            test_cli_usage_text;
         ] );
     ]

@@ -351,6 +351,70 @@ let test_audit_catches_violations () =
   expect_error "port out of range"
     (Audit.make ~ports:2 [ { Audit.tier = "lp"; transfers = [ t 2 0 0 ] } ])
 
+let test_audit_incremental_matches_batch () =
+  (* slot-by-slot certification must agree with the batch fold, surface
+     the violation at the offending slot, and latch it *)
+  let plan = sample_plan () in
+  let ok_rec = { Audit.tier = "lp"; transfers = [ t 1 0 0 ] } in
+  let bad_rec = { Audit.tier = "lp"; transfers = [ t 0 1 0 ] } in
+  let records = [ ok_rec; ok_rec; bad_rec ] in
+  let batch = Audit.check ~plan (Audit.make ~ports:2 records) in
+  let c = Audit.checker ~plan ~ports:2 () in
+  (match Audit.feed c ok_rec with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("slot 0 rejected: " ^ m));
+  (match Audit.feed c ok_rec with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("slot 1 rejected: " ^ m));
+  check_int "checked slots" 2 (Audit.checked_slots c);
+  Alcotest.(check bool) "no error yet" true (Audit.checker_error c = None);
+  let msg =
+    match Audit.feed c bad_rec with
+    | Ok () -> Alcotest.fail "dead port not caught incrementally"
+    | Error m -> m
+  in
+  Alcotest.(check bool) "offending slot named" true
+    (Astring.String.is_infix ~affix:"slot 2" msg);
+  (match batch with
+  | Ok () -> Alcotest.fail "batch check missed the violation"
+  | Error m -> Alcotest.(check string) "batch = incremental" m msg);
+  (* latched: a later clean record still reports the first violation *)
+  (match Audit.feed c ok_rec with
+  | Ok () -> Alcotest.fail "error did not latch"
+  | Error m -> Alcotest.(check string) "sticky first error" msg m);
+  Alcotest.(check (option string)) "checker_error" (Some msg)
+    (Audit.checker_error c);
+  check_int "feeds counted once latched" 3 (Audit.checked_slots c)
+
+let test_audit_checker_start_slot () =
+  (* the same record is legal at plan-time 0 and illegal at plan-time 2:
+     start_slot shifts the epoch-local log into plan time *)
+  let plan = sample_plan () in
+  let r = { Audit.tier = "rho"; transfers = [ t 0 0 0 ] } in
+  let at0 = Audit.checker ~plan ~ports:2 () in
+  (match Audit.feed at0 r with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("legal at slot 0: " ^ m));
+  let at2 = Audit.checker ~start_slot:2 ~plan ~ports:2 () in
+  (match Audit.feed at2 r with
+  | Ok () -> Alcotest.fail "port 0 down at plan-time 2, not caught"
+  | Error m ->
+    Alcotest.(check bool) "plan-time slot named" true
+      (Astring.String.is_infix ~affix:"slot 2" m))
+
+let test_audit_checker_validation () =
+  let plan = sample_plan () in
+  List.iter
+    (fun (label, f) ->
+      try
+        ignore (f ());
+        Alcotest.fail (label ^ ": expected Invalid_argument")
+      with Invalid_argument _ -> ())
+    [ ("bad ports", fun () -> Audit.checker ~plan ~ports:0 ());
+      ( "negative start",
+        fun () -> Audit.checker ~start_slot:(-1) ~plan ~ports:2 () );
+    ]
+
 let test_audit_core_cap_violation () =
   let plan =
     Fault_plan.make
@@ -576,6 +640,12 @@ let () =
             test_audit_certifies_clean_run;
           Alcotest.test_case "violations caught" `Quick
             test_audit_catches_violations;
+          Alcotest.test_case "incremental matches batch" `Quick
+            test_audit_incremental_matches_batch;
+          Alcotest.test_case "checker start slot" `Quick
+            test_audit_checker_start_slot;
+          Alcotest.test_case "checker validation" `Quick
+            test_audit_checker_validation;
           Alcotest.test_case "core cap violation" `Quick
             test_audit_core_cap_violation;
         ] );

@@ -153,6 +153,27 @@ let test_warm_basis_rejected_falls_back () =
   check_status "optimal anyway" "optimal" (status r);
   check_obj "objective" 2.0 r
 
+let test_warm_basis_singular_falls_back () =
+  (* a structurally plausible proposal can still be rank-deficient: the
+     same variable on two rows duplicates a basis column, so B is
+     singular.  A long-lived service remapping a stale basis across
+     epochs can produce exactly this; the solver must detect it, fall
+     back to the crash basis, and still reach the cold optimum. *)
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  ignore (Model.add_constraint m [ (1.0, x); (1.0, y) ] Model.Eq 4.0);
+  ignore (Model.add_constraint m [ (1.0, x); (2.0, y) ] Model.Le 6.0);
+  Model.minimize m [ (3.0, x); (1.0, y) ];
+  let cold = Revised_simplex.solve m in
+  check_status "cold optimal" "optimal" (status cold);
+  let singular = Revised_simplex.solve ~warm_basis:[| (x :> int); (x :> int) |] m in
+  check_status "singular proposal recovered" "optimal" (status singular);
+  check_obj "same objective" cold.Solution.objective singular;
+  (* out-of-range column indices are equally survivable *)
+  let garbage = Revised_simplex.solve ~warm_basis:[| 99; -7 |] m in
+  check_status "garbage proposal recovered" "optimal" (status garbage);
+  check_obj "same objective again" cold.Solution.objective garbage
+
 let test_redundant_equality_rows () =
   (* duplicated equality rows exercise the redundant-artificial path in the
      revised solver's phase-1 cleanup *)
@@ -601,6 +622,8 @@ let () =
           Alcotest.test_case "warm basis accepted" `Quick test_warm_basis_used;
           Alcotest.test_case "warm basis rejected" `Quick
             test_warm_basis_rejected_falls_back;
+          Alcotest.test_case "warm basis singular" `Quick
+            test_warm_basis_singular_falls_back;
           Alcotest.test_case "redundant equalities" `Quick
             test_redundant_equality_rows;
           Alcotest.test_case "residuals" `Quick test_residuals;
