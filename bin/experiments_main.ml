@@ -6,11 +6,12 @@
    Experiment ids: E1 table1, E2 fig2a, E3 fig2b, E4 lowerbound, E5 audit,
    E6 randomized, E7 releases, E8 openshop is bench-only, E9 ablation,
    E10 orderings, E11 lpgrid, E12 online, E13 robust, E14 dag, E15 fabric,
-   E16 faults, E17 soak. *)
+   E16 faults, E17 soak, E18 scale (150 ports; --stretch adds the 10x
+   variant). *)
 
 open Cmdliner
 
-let run_all scale only csv_dir profile trace jobs =
+let run_all scale only csv_dir profile trace jobs stretch =
   if profile <> None || trace <> None then begin
     Obs.Events.set_enabled true;
     Obs.Histogram.set_enabled true
@@ -116,6 +117,10 @@ let run_all scale only csv_dir profile trace jobs =
     print_string (Experiments.Exp_soak.render cfg);
     print_newline ()
   end;
+  if wants "E18" then begin
+    print_string (Experiments.Exp_scale.render ~stretch ~jobs cfg);
+    print_newline ()
+  end;
   (match profile with
   | None -> ()
   | Some path ->
@@ -150,7 +155,7 @@ let scale_arg =
     & info [ "scale" ] ~docv:"SCALE" ~doc:"quick | default | large")
 
 let experiment_ids =
-  List.init 17 (fun i -> Printf.sprintf "E%d" (i + 1))
+  List.init 18 (fun i -> Printf.sprintf "E%d" (i + 1))
 
 let experiment_id_conv =
   let parse s =
@@ -158,7 +163,7 @@ let experiment_id_conv =
     else
       Error
         (`Msg
-           (Printf.sprintf "unknown experiment id %S (expected E1..E17)" s))
+           (Printf.sprintf "unknown experiment id %S (expected E1..E18)" s))
   in
   Arg.conv (parse, Format.pp_print_string)
 
@@ -167,7 +172,7 @@ let only_arg =
     value
     & opt (list experiment_id_conv) []
     & info [ "only" ] ~docv:"IDS"
-        ~doc:"Comma-separated experiment ids (E1..E17); default all")
+        ~doc:"Comma-separated experiment ids (E1..E18); default all")
 
 let csv_arg =
   Arg.(
@@ -210,12 +215,20 @@ let jobs_arg =
           "Run independent experiment simulations on N domains (default 1). \
            Output is identical at any N.")
 
+let stretch_arg =
+  Arg.(
+    value & flag
+    & info [ "stretch" ]
+        ~doc:
+          "E18 only: also run the 10x-coflow-count stretch variant (5260 \
+           coflows at 150 ports)")
+
 let cmd =
   let doc = "Regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "coflow-experiments" ~doc)
     Term.(
       const run_all $ scale_arg $ only_arg $ csv_arg $ profile_arg $ trace_arg
-      $ jobs_arg)
+      $ jobs_arg $ stretch_arg)
 
 let () = exit (Cmd.eval' cmd)

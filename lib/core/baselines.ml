@@ -1,4 +1,3 @@
-open Matrix
 open Workload
 open Switchsim
 
@@ -53,7 +52,7 @@ let sebf_madd_policy ~coflows:n =
               active := k :: !active
           done;
           let keyed =
-            List.map (fun k -> (Mat.load (Simulator.remaining s k), k)) !active
+            List.map (fun k -> (Simulator.remaining_load s k, k)) !active
           in
           let order = List.map snd (List.sort compare keyed) in
           (* MADD rates: flow (i, j) of the head coflow paced at
@@ -61,11 +60,9 @@ let sebf_madd_policy ~coflows:n =
           let cap_in = Array.make m 1.0 and cap_out = Array.make m 1.0 in
           List.iter
             (fun k ->
-              let rem = Simulator.remaining s k in
-              let gamma = float_of_int (Mat.load rem) in
+              let gamma = float_of_int (Simulator.remaining_load s k) in
               if gamma > 0.0 then
-                Mat.iter_nonzero
-                  (fun i j v ->
+                Simulator.iter_remaining s k (fun i j v ->
                     let want = float_of_int v /. gamma in
                     let rate = min want (min cap_in.(i) cap_out.(j)) in
                     if rate > 0.0 then begin
@@ -73,20 +70,17 @@ let sebf_madd_policy ~coflows:n =
                       cap_out.(j) <- cap_out.(j) -. rate;
                       let idx = (k * m * m) + (i * m) + j in
                       credit.(idx) <- credit.(idx) +. rate
-                    end)
-                  rem)
+                    end))
             order;
           (* realise the fluid plan: serve a greedy matching by decreasing
              accumulated credit *)
           let candidates = ref [] in
           List.iter
             (fun k ->
-              Mat.iter_nonzero
-                (fun i j _ ->
+              Simulator.iter_remaining s k (fun i j _ ->
                   let idx = (k * m * m) + (i * m) + j in
                   if credit.(idx) > 0.0 then
-                    candidates := (credit.(idx), k, i, j) :: !candidates)
-                (Simulator.remaining s k))
+                    candidates := (credit.(idx), k, i, j) :: !candidates))
             order;
           let sorted =
             List.sort (fun (a, _, _, _) (b, _, _, _) -> Float.compare b a)

@@ -1,4 +1,3 @@
-open Matrix
 open Workload
 open Switchsim
 
@@ -65,8 +64,7 @@ let run ?(max_slots = 10_000_000) priority dag =
     match priority with
     | Critical_path -> (float_of_int (-cp.(k)), k)
     | Weighted_bottleneck ->
-      ( float_of_int (Mat.load (Simulator.remaining sim k)) /. s.Dag.weight,
-        k )
+      (float_of_int (Simulator.remaining_load sim k) /. s.Dag.weight, k)
     | Fifo -> (float_of_int (Simulator.release_time sim k), k)
   in
   let policy s =

@@ -5,6 +5,7 @@ type result = {
   completion : int array;
   twct : float;
   slots : int;
+  seconds : float;
   utilization : float;
   matchings : int;
 }
@@ -15,7 +16,15 @@ let c_runs = Obs.Counter.make "engine.runs"
    across the refactor that moved result assembly out of Scheduler. *)
 let g_utilization = Obs.Counter.Gauge.make "sched.utilization"
 
-let measure inst sim ~matchings =
+(* Wall-clock throughput of the most recent run.  The [_per_sec] suffix
+   marks them informational for the obs-diff gate, like every other
+   wall-time metric — the deterministic side of the batching win is gated
+   through [sim.batch_steps] / [sim.batched_slots] instead. *)
+let g_slots_per_sec = Obs.Counter.Gauge.make "engine.slots_per_sec"
+
+let g_coflows_per_sec = Obs.Counter.Gauge.make "engine.coflows_per_sec"
+
+let measure inst sim ~matchings ~seconds =
   let n = Instance.num_coflows inst in
   let completion =
     Array.init n (fun k -> Simulator.completion_time_exn sim k)
@@ -25,11 +34,12 @@ let measure inst sim ~matchings =
       Metrics.total_weighted_completion ~weights:(Instance.weights inst)
         completion;
     slots = Simulator.now sim;
+    seconds;
     utilization = Simulator.utilization sim;
     matchings;
   }
 
-let run ?max_slots ?sim inst (p : Policy.t) =
+let run ?max_slots ?sim ?(batch = true) inst (p : Policy.t) =
   Obs.Span.with_ "engine.run" @@ fun () ->
   Obs.Counter.incr c_runs;
   let sim =
@@ -39,22 +49,37 @@ let run ?max_slots ?sim inst (p : Policy.t) =
       Simulator.create ~ports:(Instance.ports inst) (Instance.demands inst)
   in
   let st = p.Policy.prepare sim in
-  let policy =
-    (* fold the lifecycle hooks into the per-slot closure so the simulator
-       loop stays the single choke point (budget, validation, per-slot
-       instrumentation) *)
-    match (st.Policy.pre_slot, st.Policy.on_decided) with
-    | None, None -> st.Policy.next_slot
-    | pre, decided ->
-      fun s ->
-        (match pre with Some f -> f s | None -> ());
-        let transfers = st.Policy.next_slot s in
-        (match decided with Some f -> f s transfers | None -> ());
-        transfers
+  let t0 = Obs.Clock.now_ns () in
+  (match (st.Policy.next_batch, st.Policy.pre_slot, st.Policy.on_decided) with
+  | Some next_batch, None, None when batch ->
+    (* event-driven loop: per-slot hooks would observe every slot, so only
+       a hook-free stepper may jump the clock *)
+    Simulator.run_batched ?max_slots sim ~policy:next_batch
+  | _ ->
+    let policy =
+      (* fold the lifecycle hooks into the per-slot closure so the simulator
+         loop stays the single choke point (budget, validation, per-slot
+         instrumentation) *)
+      match (st.Policy.pre_slot, st.Policy.on_decided) with
+      | None, None -> st.Policy.next_slot
+      | pre, decided ->
+        fun s ->
+          (match pre with Some f -> f s | None -> ());
+          let transfers = st.Policy.next_slot s in
+          (match decided with Some f -> f s transfers | None -> ());
+          transfers
+    in
+    Simulator.run ?max_slots sim ~policy);
+  let seconds =
+    float_of_int (Obs.Clock.elapsed_ns ~since:t0) /. 1e9
   in
-  Simulator.run ?max_slots sim ~policy;
-  let r = measure inst sim ~matchings:(st.Policy.matchings ()) in
+  let r = measure inst sim ~matchings:(st.Policy.matchings ()) ~seconds in
   Obs.Counter.Gauge.set g_utilization r.utilization;
+  if seconds > 0.0 then begin
+    Obs.Counter.Gauge.set g_slots_per_sec (float_of_int r.slots /. seconds);
+    Obs.Counter.Gauge.set g_coflows_per_sec
+      (float_of_int (Array.length r.completion) /. seconds)
+  end;
   r
 
 (* ---- parallel job execution across OCaml 5 domains ---- *)

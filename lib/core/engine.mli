@@ -18,6 +18,7 @@ type result = {
   completion : int array;  (** completion slot per working index *)
   twct : float;  (** total weighted completion time *)
   slots : int;  (** schedule length (makespan) *)
+  seconds : float;  (** wall-clock time of the simulation loop *)
   utilization : float;
   matchings : int;  (** distinct BvN matchings computed *)
 }
@@ -25,6 +26,7 @@ type result = {
 val run :
   ?max_slots:int ->
   ?sim:Switchsim.Simulator.t ->
+  ?batch:bool ->
   Workload.Instance.t ->
   Policy.t ->
   result
@@ -32,6 +34,15 @@ val run :
     (or on [sim] when a custom one — fabric-validated, fault-injected — is
     supplied; it must have been created from [inst]'s demands) and steps it
     to completion.  [max_slots] as in {!Switchsim.Simulator.run}.
+
+    When the prepared stepper offers a batched decision and installs no
+    per-slot hooks, the engine drives
+    {!Switchsim.Simulator.run_batched} — the event-driven loop that jumps
+    the clock across runs of identical slots.  [batch:false] forces the
+    slot-by-slot loop (the A/B lever the equivalence tests and the
+    throughput experiments use); results are identical either way, only
+    [seconds] differs.  Wall-clock throughput of the run is published on
+    the [engine.slots_per_sec] / [engine.coflows_per_sec] gauges.
     @raise Switchsim.Simulator.Invalid_slot on a bad policy decision,
     [Failure] when the slot budget is exhausted. *)
 

@@ -1,4 +1,3 @@
-open Matrix
 open Workload
 open Switchsim
 
@@ -24,7 +23,7 @@ let keyed_priority rule sim weights =
     let w = match weights with Some w -> w.(k) | None -> 1.0 in
     match rule with
     | Weighted_bottleneck ->
-      (float_of_int (Mat.load (Simulator.remaining sim k)) /. w, k)
+      (float_of_int (Simulator.remaining_load sim k) /. w, k)
     | Weighted_remaining ->
       (float_of_int (Simulator.remaining_total sim k) /. w, k)
     | Arrival_order -> (float_of_int (Simulator.release_time sim k), k)

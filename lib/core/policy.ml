@@ -2,6 +2,8 @@ open Switchsim
 
 type stepper = {
   next_slot : Simulator.t -> Simulator.transfer list;
+  next_batch :
+    (Simulator.t -> max_n:int -> Simulator.transfer list * int) option;
   pre_slot : (Simulator.t -> unit) option;
   on_decided : (Simulator.t -> Simulator.transfer list -> unit) option;
   matchings : unit -> int;
@@ -12,8 +14,9 @@ type t = {
   prepare : Simulator.t -> stepper;
 }
 
-let stepper ?pre_slot ?on_decided ?(matchings = fun () -> 0) next_slot =
-  { next_slot; pre_slot; on_decided; matchings }
+let stepper ?next_batch ?pre_slot ?on_decided ?(matchings = fun () -> 0)
+    next_slot =
+  { next_slot; next_batch; pre_slot; on_decided; matchings }
 
 let make ~describe prepare = { describe; prepare }
 
@@ -25,27 +28,126 @@ let stateless ~describe next_slot =
 (* The greedy maximal matching every order-respecting policy is built on:
    scan coflows in priority order, claim still-free port pairs from their
    remaining demand.  [init] seeds the claimed ports (work-conserving
-   top-ups extend a partial slot); new transfers are consed onto it. *)
+   top-ups extend a partial slot); new transfers are consed onto it.
+   Iteration is over the simulator's sparse per-coflow views, so a slot
+   costs O(sum of live nonzeros), not O(coflows * ports^2). *)
+exception Saturated
+
 let greedy_matching ?(init = []) sim ~priority =
   let m = Simulator.ports sim in
-  let src_used = Array.make m false and dst_used = Array.make m false in
+  let words = Matrix.Bits.words_for m in
+  let bpw = Matrix.Bits.bits_per_word in
+  (* free ports as bitsets: word w starts with every valid bit set *)
+  let free_word w = Matrix.Bits.low_mask (min bpw (m - (w * bpw))) in
+  let free_src = Array.init words free_word in
+  let free_dst = Array.init words free_word in
+  let n_src = ref 0 and n_dst = ref 0 in
+  let claim_src i =
+    let w = Matrix.Bits.word_of i in
+    free_src.(w) <- free_src.(w) land lnot (1 lsl Matrix.Bits.bit_of i);
+    incr n_src
+  and claim_dst j =
+    let w = Matrix.Bits.word_of j in
+    free_dst.(w) <- free_dst.(w) land lnot (1 lsl Matrix.Bits.bit_of j);
+    incr n_dst
+  in
   List.iter
     (fun { Simulator.src; dst; _ } ->
-      src_used.(src) <- true;
-      dst_used.(dst) <- true)
+      if free_src.(Matrix.Bits.word_of src) land (1 lsl Matrix.Bits.bit_of src)
+         <> 0
+      then claim_src src;
+      if free_dst.(Matrix.Bits.word_of dst) land (1 lsl Matrix.Bits.bit_of dst)
+         <> 0
+      then claim_dst dst)
     init;
   let transfers = ref init in
-  Array.iter
-    (fun k ->
-      if Simulator.released sim k && not (Simulator.is_complete sim k) then
-        Simulator.iter_remaining sim k (fun i j _ ->
-            if not (src_used.(i) || dst_used.(j)) then begin
-              src_used.(i) <- true;
-              dst_used.(j) <- true;
-              transfers := { Simulator.src = i; dst = j; coflow = k } :: !transfers
-            end))
-    priority;
+  (* The scan claims at most one pair per (coflow, src) row — a claimed
+     source blocks the rest of its row — and works wholesale on bitset
+     words: a coflow's candidate sources are [live_rows land free_src]
+     (one [land] per word covers 62 ports), and a row's first usable
+     destination is the lowest set bit of [row_support land free_dst].
+     Lowest-bit iteration is exactly ascending row / ascending column
+     order, so the result is the very matching the naive entry-by-entry
+     greedy scan produces.  Once every src (or every dst) is claimed no
+     later coflow can add a transfer and the whole scan stops — at scale
+     the head of the priority order saturates the fabric and the long
+     tail is never touched. *)
+  (try
+     Array.iter
+       (fun k ->
+         if !n_src = m || !n_dst = m then raise Saturated;
+         if Simulator.released sim k && not (Simulator.is_complete sim k)
+         then
+           for w = 0 to words - 1 do
+             (* candidate srcs: rows with demand whose port is free.
+                Claims inside this word only ever clear the bit being
+                iterated, so the snapshot stays valid. *)
+             let cand =
+               ref (Simulator.remaining_live_mask sim k w land free_src.(w))
+             in
+             while !cand <> 0 do
+               let b = !cand land - !cand in
+               cand := !cand land lnot b;
+               let i = (w * bpw) + Matrix.Bits.ntz b in
+               let rec row_scan w2 =
+                 if w2 < words then begin
+                   let rb =
+                     Simulator.remaining_row_mask sim k i w2 land free_dst.(w2)
+                   in
+                   if rb = 0 then row_scan (w2 + 1)
+                   else begin
+                     let j = (w2 * bpw) + Matrix.Bits.ntz (rb land -rb) in
+                     claim_src i;
+                     claim_dst j;
+                     transfers :=
+                       { Simulator.src = i; dst = j; coflow = k } :: !transfers;
+                     if !n_src = m || !n_dst = m then raise Saturated
+                   end
+                 end
+               in
+               row_scan 0
+             done
+           done)
+       priority
+   with Saturated -> ());
   !transfers
 
+(* How many consecutive slots [transfers] may be replayed for without any
+   risk of diverging from the slot-by-slot policy:
+
+     - no served pair may hit zero strictly inside the batch (zeros change
+       the nonzero structure greedy scans, and completions change the
+       candidate set), so the batch is capped at the minimum remaining
+       demand over the served pairs — an entry reaching zero exactly at the
+       batch's final slot is fine, the next decision sees it;
+     - no release boundary may fall inside the batch (a newly released
+       coflow changes the candidate set), so it is also capped at the gap
+       to the next pending release.
+
+   Any priority that is a pure function of (released set, completion set,
+   nonzero structure) — every fixed-order greedy, and the scheduler's BvN
+   matching replay — is invariant across such a batch.  For an idle slot
+   ([transfers = []]) while releases are pending this degenerates to the
+   classic event jump straight to the next release. *)
+let skip_bound sim transfers ~max_n =
+  let bound = ref max_n in
+  (match Simulator.next_release_gap sim with
+  | Some g -> if g < !bound then bound := g
+  | None -> ());
+  List.iter
+    (fun { Simulator.src; dst; coflow } ->
+      let r = Simulator.remaining_at sim coflow src dst in
+      if r < !bound then bound := r)
+    transfers;
+  max 1 !bound
+
 let of_priority ~describe priority =
-  stateless ~describe (fun sim -> greedy_matching sim ~priority)
+  { describe;
+    prepare =
+      (fun _ ->
+        stepper
+          ~next_batch:(fun sim ~max_n ->
+            let transfers = greedy_matching sim ~priority in
+            (transfers, skip_bound sim transfers ~max_n))
+          (fun sim -> greedy_matching sim ~priority));
+  }

@@ -13,6 +13,19 @@
 type stepper = {
   next_slot : Switchsim.Simulator.t -> Switchsim.Simulator.transfer list;
       (** the per-slot decision the simulator validates and commits *)
+  next_batch :
+    (Switchsim.Simulator.t ->
+    max_n:int ->
+    Switchsim.Simulator.transfer list * int)
+    option;
+      (** event-driven decision: the slot's transfers plus the number of
+          consecutive slots [n] ([1 <= n <= max_n]) they may be replayed
+          for without diverging from [next_slot] — see {!skip_bound} for
+          the safety argument.  When present (and no per-slot hooks are
+          installed) the engine drives
+          {!Switchsim.Simulator.run_batched} instead of the slot loop;
+          totals, events and counters must come out identical either
+          way. *)
   pre_slot : (Switchsim.Simulator.t -> unit) option;
       (** runs before [next_slot] every slot — the fault clock
           ({!Faults.Injector.tick}), re-planning triggers, etc. *)
@@ -33,13 +46,18 @@ type t = {
 val make : describe:string -> (Switchsim.Simulator.t -> stepper) -> t
 
 val stepper :
+  ?next_batch:
+    (Switchsim.Simulator.t ->
+    max_n:int ->
+    Switchsim.Simulator.transfer list * int) ->
   ?pre_slot:(Switchsim.Simulator.t -> unit) ->
   ?on_decided:
     (Switchsim.Simulator.t -> Switchsim.Simulator.transfer list -> unit) ->
   ?matchings:(unit -> int) ->
   (Switchsim.Simulator.t -> Switchsim.Simulator.transfer list) ->
   stepper
-(** Stepper with defaults: no hooks, zero matchings. *)
+(** Stepper with defaults: no hooks, zero matchings, no batched decision
+    (the engine falls back to the slot-by-slot loop). *)
 
 val describe : t -> string
 
@@ -62,5 +80,23 @@ val greedy_matching :
     This is the shared core of {!Baselines.greedy}, the scheduler's
     backfill paths and the online rules. *)
 
+val skip_bound :
+  Switchsim.Simulator.t ->
+  Switchsim.Simulator.transfer list ->
+  max_n:int ->
+  int
+(** [skip_bound sim transfers ~max_n] — how many consecutive slots
+    [transfers] may be replayed for without any risk of diverging from the
+    slot-by-slot policy: the minimum of [max_n], the gap to the next
+    pending release, and the remaining demand on every served pair (at
+    least 1 — a single slot is always safe).  Within such a batch no served
+    entry hits zero strictly inside it and no coflow is released, so any
+    priority that is a pure function of (released set, completion set,
+    nonzero structure) — every fixed-order greedy, and the scheduler's BvN
+    matching replay — decides identically for all covered slots.  For an
+    idle slot ([transfers = []]) while releases are pending this
+    degenerates to the classic event jump straight to the next release. *)
+
 val of_priority : describe:string -> int array -> t
-(** The simplest policy: greedy matching under one fixed priority. *)
+(** The simplest policy: greedy matching under one fixed priority, batched
+    via {!skip_bound}. *)

@@ -16,6 +16,7 @@ type result = Engine.result = {
   completion : int array;
   twct : float;
   slots : int;
+  seconds : float;
   utilization : float;
   matchings : int;
 }
@@ -58,29 +59,72 @@ let group_complete sim group =
 let group_released sim group =
   Array.for_all (fun k -> Simulator.released sim k) group
 
-(* Aggregate remaining demand of a group. *)
+(* Aggregate remaining demand of a group, assembled sparsely: O(group
+   nonzeros), never O(ports^2). *)
 let aggregate_remaining sim group =
-  let d = Mat.make (Simulator.ports sim) in
+  let d = Smat.make (Simulator.ports sim) in
   Array.iter
     (fun k ->
-      Simulator.iter_remaining sim k (fun i j v -> Mat.add_entry d i j v))
+      Simulator.iter_remaining sim k (fun i j v -> Smat.add_entry d i j v))
     group;
   d
 
-(* First coflow among [candidates] (in priority order) that is released and
-   still needs pair (i, j). *)
-let pick_coflow sim candidates i j =
-  let n = Array.length candidates in
-  let rec scan idx =
-    if idx >= n then None
-    else begin
-      let k = candidates.(idx) in
-      if Simulator.released sim k && Simulator.remaining_at sim k i j > 0 then
-        Some k
-      else scan (idx + 1)
-    end
+(* Owner of every pair of [matching]: for pair (i, j), the first coflow
+   (group first, then — with [backfill] — the suffix) in priority order
+   that is released and still owes (i, j).  Pair assignments are
+   independent, so this coflow-major bitset sweep picks exactly what a
+   per-pair first-owner scan picks, at O(candidates * words) instead of
+   O(pairs * candidates * log): a coflow's claimable pairs are one
+   [land] of its live-row mask with the still-unclaimed sources.
+   Returns (owner per src, dst per src, picks served from the suffix). *)
+let assign_pairs sim matching ~group ~suffix ~backfill =
+  let m = Simulator.ports sim in
+  let words = Bits.words_for m in
+  let bpw = Bits.bits_per_word in
+  let pair_dst = Array.make m (-1) in
+  let owner = Array.make m (-1) in
+  let unclaimed = Array.make words 0 in
+  Array.iter
+    (fun (i, j) ->
+      pair_dst.(i) <- j;
+      let w = Bits.word_of i in
+      unclaimed.(w) <- unclaimed.(w) lor (1 lsl Bits.bit_of i))
+    matching;
+  let left = ref (Array.length matching) in
+  let from_suffix = ref 0 in
+  let scan ~counting cands =
+    let n = Array.length cands in
+    let idx = ref 0 in
+    while !left > 0 && !idx < n do
+      let k = cands.(!idx) in
+      incr idx;
+      if Simulator.released sim k then
+        for w = 0 to words - 1 do
+          let cand =
+            ref (Simulator.remaining_live_mask sim k w land unclaimed.(w))
+          in
+          while !cand <> 0 do
+            let b = !cand land - !cand in
+            cand := !cand land lnot b;
+            let i = (w * bpw) + Bits.ntz b in
+            let j = pair_dst.(i) in
+            if
+              Simulator.remaining_row_mask sim k i (Bits.word_of j)
+              land (1 lsl Bits.bit_of j)
+              <> 0
+            then begin
+              owner.(i) <- k;
+              unclaimed.(w) <- unclaimed.(w) land lnot b;
+              decr left;
+              if counting then incr from_suffix
+            end
+          done
+        done
+    done
   in
-  scan 0
+  scan ~counting:false group;
+  if backfill && !left > 0 then scan ~counting:true suffix;
+  (owner, pair_dst, !from_suffix)
 
 (* Greedy maximal matching over released, unfinished coflows in priority
    order — used by backfilling policies while the next group is gated by a
@@ -94,7 +138,9 @@ let aggressive_fill sim candidates transfers =
   Policy.greedy_matching ~init:transfers sim ~priority:candidates
 
 (* Per-call accounting, folded into the state, the obs counters and the
-   slot-event stream by the [next_slot] wrapper below. *)
+   slot-event stream by the [next_slot] wrapper below.  A batched call
+   accounts for every slot it covers, so the totals are identical to the
+   slot-by-slot loop's. *)
 type slot_meta = {
   mutable m_built : int;
   mutable m_reused : int;
@@ -107,7 +153,12 @@ let c_reused = Obs.Counter.make "sched.matchings_reused"
 
 let c_backfilled = Obs.Counter.make "sched.backfilled_units"
 
-let rec slot_impl state ~backfill ~aggressive ~meta sim =
+(* One decision covering [n] consecutive identical slots, [1 <= n <= max_n].
+   Every batch is bounded by {!Policy.skip_bound} (demand zeros and release
+   boundaries) plus the active matching's remaining slot budget, so the
+   transfers the slot-by-slot loop would pick at each covered slot are
+   exactly these. *)
+let rec slot_impl state ~backfill ~aggressive ~meta ~max_n sim =
   let n_groups = Array.length state.groups in
   (* advance past finished groups *)
   while
@@ -124,8 +175,9 @@ let rec slot_impl state ~backfill ~aggressive ~meta sim =
        slot until the budget trips; serve the leftovers greedily instead. *)
     let leftovers = Array.init (Simulator.num_coflows sim) (fun k -> k) in
     let transfers = greedy_fill sim leftovers in
-    meta.m_backfilled <- meta.m_backfilled + List.length transfers;
-    transfers
+    let n = Policy.skip_bound sim transfers ~max_n in
+    meta.m_backfilled <- meta.m_backfilled + (n * List.length transfers);
+    (transfers, n)
   end
   else begin
     let group = state.groups.(state.current) in
@@ -134,13 +186,16 @@ let rec slot_impl state ~backfill ~aggressive ~meta sim =
         (* gated by a release date *)
         if backfill then begin
           let transfers = greedy_fill sim state.suffix.(state.current) in
-          meta.m_backfilled <- meta.m_backfilled + List.length transfers;
-          transfers
+          let n = Policy.skip_bound sim transfers ~max_n in
+          meta.m_backfilled <- meta.m_backfilled + (n * List.length transfers);
+          (transfers, n)
         end
-        else []
+        else
+          (* idle until the gating release: the classic event jump *)
+          ([], Policy.skip_bound sim [] ~max_n)
       end
       else begin
-        let schedule = Bvn.schedule (aggregate_remaining sim group) in
+        let schedule = Bvn.schedule_sparse (aggregate_remaining sim group) in
         let built = List.length schedule in
         state.matchings_built <- state.matchings_built + built;
         meta.m_built <- meta.m_built + built;
@@ -155,62 +210,62 @@ let rec slot_impl state ~backfill ~aggressive ~meta sim =
              is deterministic — and spin until [max_slots]; advancing is
              the only progressing move. *)
           state.current <- state.current + 1;
-          slot_impl state ~backfill ~aggressive ~meta sim
+          slot_impl state ~backfill ~aggressive ~meta ~max_n sim
         end
-        else slot_impl state ~backfill ~aggressive ~meta sim
+        else slot_impl state ~backfill ~aggressive ~meta ~max_n sim
       end
     end
     else begin
       match state.queue with
       | [] -> assert false
       | (matching, q, q0) :: rest ->
-        if !q < q0 then begin
-          state.matchings_reused <- state.matchings_reused + 1;
-          meta.m_reused <- meta.m_reused + 1;
-          Obs.Counter.incr c_reused
-        end;
+        let owner, pair_dst, suffix_picks =
+          assign_pairs sim matching ~group
+            ~suffix:state.suffix.(state.current) ~backfill
+        in
         let transfers = ref [] in
+        let backfill_picks = ref suffix_picks in
         Array.iter
-          (fun (i, j) ->
-            let candidate =
-              match pick_coflow sim group i j with
-              | Some k -> Some k
-              | None ->
-                if backfill then begin
-                  match pick_coflow sim state.suffix.(state.current) i j with
-                  | Some k ->
-                    meta.m_backfilled <- meta.m_backfilled + 1;
-                    Some k
-                  | None -> None
-                end
-                else None
-            in
-            match candidate with
-            | Some k ->
+          (fun (i, _) ->
+            if owner.(i) >= 0 then
               transfers :=
-                { Simulator.src = i; dst = j; coflow = k } :: !transfers
-            | None -> ())
+                { Simulator.src = i; dst = pair_dst.(i); coflow = owner.(i) }
+                :: !transfers)
           matching;
-        decr q;
+        let transfers, aggressive_picks =
+          if aggressive then begin
+            let filled =
+              aggressive_fill sim
+                (Array.append group state.suffix.(state.current))
+                !transfers
+            in
+            (filled, List.length filled - List.length !transfers)
+          end
+          else (!transfers, 0)
+        in
+        (* the batch may not outlive this matching's slot budget *)
+        let n = Policy.skip_bound sim transfers ~max_n:(min max_n !q) in
+        (* of the [n] covered slots, every one except a first use of a
+           fresh matching is a reuse — exactly what the slot-by-slot loop
+           counts one call at a time *)
+        let reuses = n - (if !q = q0 then 1 else 0) in
+        if reuses > 0 then begin
+          state.matchings_reused <- state.matchings_reused + reuses;
+          meta.m_reused <- meta.m_reused + reuses;
+          Obs.Counter.incr c_reused ~by:reuses
+        end;
+        meta.m_backfilled <-
+          meta.m_backfilled + (n * (!backfill_picks + aggressive_picks));
+        q := !q - n;
         if !q = 0 then state.queue <- rest;
-        if aggressive then begin
-          let filled =
-            aggressive_fill sim
-              (Array.append group state.suffix.(state.current))
-              !transfers
-          in
-          meta.m_backfilled <-
-            meta.m_backfilled + List.length filled - List.length !transfers;
-          filled
-        end
-        else !transfers
+        (transfers, n)
     end
   end
 
-let next_slot state ~backfill ?(aggressive = false) sim =
+let next_slot_batched state ~backfill ?(aggressive = false) ~max_n sim =
   let meta = { m_built = 0; m_reused = 0; m_backfilled = 0 } in
   let slot = Simulator.now sim in
-  let transfers = slot_impl state ~backfill ~aggressive ~meta sim in
+  let transfers, n = slot_impl state ~backfill ~aggressive ~meta ~max_n sim in
   if meta.m_backfilled > 0 then
     Obs.Counter.incr c_backfilled ~by:meta.m_backfilled;
   if Obs.Events.enabled () then
@@ -235,7 +290,10 @@ let next_slot state ~backfill ?(aggressive = false) sim =
         ("built", meta.m_built);
         ("backfilled", meta.m_backfilled);
       ];
-  transfers
+  (transfers, n)
+
+let next_slot state ~backfill ?(aggressive = false) sim =
+  fst (next_slot_batched state ~backfill ~aggressive ~max_n:1 sim)
 
 let policy ?(backfill = false) ?(aggressive = false) _inst groups =
   let state = make_state groups in
@@ -248,22 +306,24 @@ let as_policy ?(backfill = false) ?(aggressive = false) ~describe groups =
   Policy.make ~describe (fun _sim ->
       let state = make_state groups in
       Policy.stepper
+        ~next_batch:(fun sim ~max_n ->
+          next_slot_batched state ~backfill ~aggressive ~max_n sim)
         ~matchings:(fun () -> state.matchings_built)
         (fun sim -> next_slot state ~backfill ~aggressive sim))
 
-let run_grouped ?(backfill = false) ?(aggressive = false) inst groups =
+let run_grouped ?(backfill = false) ?(aggressive = false) ?batch inst groups =
   let describe =
     Printf.sprintf "grouped%s%s"
       (if backfill then "+backfill" else "")
       (if aggressive then "+aggressive" else "")
   in
-  Engine.run inst (as_policy ~backfill ~aggressive ~describe groups)
+  Engine.run ?batch inst (as_policy ~backfill ~aggressive ~describe groups)
 
-let run ?(case = Group) inst order =
+let run ?(case = Group) ?batch inst order =
   let groups =
     match case with
     | Base | Backfill -> Grouping.singletons order
     | Group | Group_backfill -> Grouping.deterministic inst order
   in
   let backfill = match case with Backfill | Group_backfill -> true | _ -> false in
-  run_grouped ~backfill inst groups
+  run_grouped ~backfill ?batch inst groups

@@ -27,6 +27,7 @@ type result = Engine.result = {
   completion : int array;  (** completion slot per working index *)
   twct : float;  (** total weighted completion time *)
   slots : int;  (** schedule length (makespan) *)
+  seconds : float;  (** wall-clock time of the simulation loop *)
   utilization : float;
   matchings : int;  (** distinct BvN matchings computed *)
 }
@@ -67,6 +68,22 @@ val next_slot :
     greedily instead of idling until the slot budget trips.  Records a
     {!Obs.Events.slot_event} per call when the event stream is enabled. *)
 
+val next_slot_batched :
+  state ->
+  backfill:bool ->
+  ?aggressive:bool ->
+  max_n:int ->
+  Switchsim.Simulator.t ->
+  Switchsim.Simulator.transfer list * int
+(** Event-driven decision: the slot's transfers plus the number of
+    consecutive slots [n] ([1 <= n <= max_n]) they may be replayed for.
+    [n] is bounded by {!Policy.skip_bound} (demand zeros, release
+    boundaries) and additionally by the active BvN matching's remaining
+    slot budget, so the covered slots are exactly what [n] calls of
+    {!next_slot} would have decided; matching reuse, backfill and event
+    accounting cover all [n] slots.  [next_slot] is the [max_n = 1]
+    specialization. *)
+
 val policy :
   ?backfill:bool ->
   ?aggressive:bool ->
@@ -92,13 +109,16 @@ val as_policy :
     prepared run, matchings-built folded into the engine's result.  This is
     what {!run} / {!run_grouped} hand to {!Engine.run}. *)
 
-val run : ?case:case -> Workload.Instance.t -> Ordering.t -> result
+val run :
+  ?case:case -> ?batch:bool -> Workload.Instance.t -> Ordering.t -> result
 (** Build the grouping for [case] (default [Group], the paper's algorithm),
-    simulate to completion via {!Engine.run}, return measured statistics. *)
+    simulate to completion via {!Engine.run}, return measured statistics.
+    [batch] as in {!Engine.run} (default on: event-driven slot skipping). *)
 
 val run_grouped :
   ?backfill:bool ->
   ?aggressive:bool ->
+  ?batch:bool ->
   Workload.Instance.t ->
   Grouping.t ->
   result

@@ -1,0 +1,67 @@
+(** E18: the paper's evaluation scale — 150 ports, 526 coflows.
+
+    Runs the full 12-algorithm grid ({H_A, H_rho, H_LP} x cases (a)-(d))
+    on an fb-like trace at exactly the paper's scale, which the dense
+    slot-by-slot simulator could not reach, and measures the win of the
+    sparse event-driven fabric directly: every grid row reports wall-clock
+    seconds, and an A/B section re-runs representative policies with
+    batching forced off on the same instance — same TWCT, slots and
+    matchings (asserted), only the wall clock differs.  The measured
+    batched throughput is published on the [scale.batched_slots_per_sec] /
+    [scale.unbatched_slots_per_sec] gauges (informational in obs-diff,
+    like all wall-time metrics).
+
+    The H_LP order runs under a fixed deterministic pivot budget; if the
+    solve exhausts it the HLP rows fall back to H_rho and the report
+    carries a note — the experiment always completes.
+
+    The [stretch] flag adds a 10x-coflow-count run (5260 coflows, batched
+    greedy) — the scale the millions-of-coflows soak roadmap item needs. *)
+
+val ports : int
+
+val coflows : int
+
+val stretch_factor : int
+
+type entry = {
+  order_name : string;
+  case : Core.Scheduler.case;
+  twct : float;
+  slots : int;
+  matchings : int;
+  seconds : float;
+}
+
+type ab = {
+  ab_label : string;
+  ab_slots : int;
+  unbatched_s : float;
+  batched_s : float;
+  speedup : float;  (** unbatched wall time over batched wall time *)
+  batched_slots_per_sec : float;
+  decisions : int;  (** policy decisions the batched run needed *)
+}
+
+type stretch_row = {
+  st_coflows : int;
+  st_twct : float;
+  st_slots : int;
+  st_seconds : float;
+  st_slots_per_sec : float;
+}
+
+type t = {
+  t_ports : int;
+  t_coflows : int;
+  lp_note : string option;
+  grid : entry list;
+  ab : ab list;
+  stretch : stretch_row option;
+}
+
+val run : ?stretch:bool -> ?jobs:int -> Config.t -> t
+(** [jobs] parallelizes the 12 grid simulations; the A/B timing runs are
+    always sequential (wall-clock must not share cores). *)
+
+val render : ?stretch:bool -> ?jobs:int -> Config.t -> string

@@ -107,6 +107,28 @@ let feed c { transfers; _ } =
     (match verdict with Error e -> c.c_error <- Some e | Ok () -> ());
     verdict
 
+(* A batched slot: the same transfers served for [n] consecutive slots.
+   Under an empty plan every per-slot constraint is slot-independent
+   (matching validity, static topology capacity), so one full check
+   certifies all [n] records and the cursor jumps; under a non-empty plan
+   fault windows and duty cycles vary per slot, so each record is fed
+   individually. *)
+let rec feed_many c record ~slots:n =
+  if n < 1 then invalid_arg "Audit.feed_many: slots must be >= 1";
+  if Fault_plan.is_empty c.c_plan then begin
+    match feed c record with
+    | Error _ as e -> e
+    | Ok () ->
+      c.c_next <- c.c_next + (n - 1);
+      Ok ()
+  end
+  else begin
+    match feed c record with
+    | Error _ as e -> e
+    | Ok () when n = 1 -> Ok ()
+    | Ok () -> feed_many c record ~slots:(n - 1)
+  end
+
 let check ?topo ~plan t =
   let c = checker ?topo ~plan ~ports:t.ports () in
   Array.fold_left

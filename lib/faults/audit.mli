@@ -67,6 +67,16 @@ val feed : checker -> slot_record -> (unit, string) result
 (** Certify the next slot.  [Error] carries the first violation (this
     slot's, or an earlier latched one) with its slot number. *)
 
+val feed_many : checker -> slot_record -> slots:int -> (unit, string) result
+(** [feed_many c record ~slots] certifies [slots >= 1] consecutive slots
+    that all committed the same transfers — the shape the event-driven
+    (batched) serving loop produces.  Under an empty plan one check
+    certifies the whole batch (every per-slot constraint is
+    slot-independent) and the cursor jumps by [slots]; under a non-empty
+    plan each covered slot is checked individually, so the verdict is
+    always identical to [slots] calls of {!feed}.
+    @raise Invalid_argument when [slots < 1]. *)
+
 val checked_slots : checker -> int
 (** Records fed so far. *)
 

@@ -1,0 +1,212 @@
+(* Sparse nonnegative integer matrix mirroring the [Mat] API.
+
+   Each row is an ordered (column -> value) map holding only strictly
+   positive entries; row sums, column sums, the nonzero count and the grand
+   total are maintained incrementally, so the per-update cost is
+   O(log row_nnz) and every aggregate query is O(1) (O(m) for [load]).
+
+   Iteration order is the contract that makes this module a drop-in for
+   [Mat] in the scheduling hot paths: [iter_nonzero] visits entries in
+   row-major order (row ascending, then column ascending), exactly the
+   order [Mat.iter_nonzero] visits its dense array, so greedy matchings and
+   BvN decompositions built over either representation are identical. *)
+
+module Imap = Map.Make (Int)
+
+type t = {
+  m : int;
+  words : int; (* Bits.words_for m *)
+  rows : int Imap.t array; (* rows.(i): col -> value, values > 0 *)
+  row_sums : int array;
+  col_sums : int array;
+  live_bits : int array; (* bit i set iff row i has a nonzero *)
+  row_bits : int array array; (* row_bits.(i): column-support bitset *)
+  mutable nnz : int;
+  mutable total : int;
+}
+
+let make m =
+  if m <= 0 then invalid_arg "Smat.make: dimension must be positive";
+  let words = Bits.words_for m in
+  { m;
+    words;
+    rows = Array.make m Imap.empty;
+    row_sums = Array.make m 0;
+    col_sums = Array.make m 0;
+    live_bits = Array.make words 0;
+    row_bits = Array.init m (fun _ -> Array.make words 0);
+    nnz = 0;
+    total = 0;
+  }
+
+let dim d = d.m
+
+let check_index d i j =
+  if i < 0 || i >= d.m || j < 0 || j >= d.m then
+    invalid_arg
+      (Printf.sprintf "Smat: index (%d, %d) out of range for %dx%d matrix" i j
+         d.m d.m)
+
+let get d i j =
+  check_index d i j;
+  match Imap.find_opt j d.rows.(i) with Some v -> v | None -> 0
+
+(* The single mutation bottleneck: put value [v] (>= 0) at (i, j) and keep
+   every aggregate in sync. *)
+let put d i j v =
+  let old = match Imap.find_opt j d.rows.(i) with Some o -> o | None -> 0 in
+  if v <> old then begin
+    d.rows.(i) <-
+      (if v = 0 then Imap.remove j d.rows.(i) else Imap.add j v d.rows.(i));
+    let was_live = d.row_sums.(i) > 0 in
+    d.row_sums.(i) <- d.row_sums.(i) + v - old;
+    d.col_sums.(j) <- d.col_sums.(j) + v - old;
+    d.total <- d.total + v - old;
+    if old = 0 then begin
+      d.nnz <- d.nnz + 1;
+      let w = Bits.word_of j in
+      d.row_bits.(i).(w) <- d.row_bits.(i).(w) lor (1 lsl Bits.bit_of j)
+    end;
+    if v = 0 then begin
+      d.nnz <- d.nnz - 1;
+      let w = Bits.word_of j in
+      d.row_bits.(i).(w) <- d.row_bits.(i).(w) land lnot (1 lsl Bits.bit_of j)
+    end;
+    let is_live = d.row_sums.(i) > 0 in
+    if is_live && not was_live then begin
+      let w = Bits.word_of i in
+      d.live_bits.(w) <- d.live_bits.(w) lor (1 lsl Bits.bit_of i)
+    end
+    else if was_live && not is_live then begin
+      let w = Bits.word_of i in
+      d.live_bits.(w) <- d.live_bits.(w) land lnot (1 lsl Bits.bit_of i)
+    end
+  end
+
+let set d i j v =
+  check_index d i j;
+  if v < 0 then invalid_arg "Smat.set: negative entry";
+  put d i j v
+
+let add_entry d i j dv =
+  check_index d i j;
+  let r = get d i j + dv in
+  if r < 0 then invalid_arg "Smat.add_entry: entry would become negative";
+  put d i j r
+
+let copy d =
+  { m = d.m;
+    words = d.words;
+    rows = Array.copy d.rows;
+    row_sums = Array.copy d.row_sums;
+    col_sums = Array.copy d.col_sums;
+    live_bits = Array.copy d.live_bits;
+    row_bits = Array.map Array.copy d.row_bits;
+    nnz = d.nnz;
+    total = d.total;
+  }
+
+let row_sum d i =
+  if i < 0 || i >= d.m then invalid_arg "Smat.row_sum: index out of range";
+  d.row_sums.(i)
+
+let col_sum d j =
+  if j < 0 || j >= d.m then invalid_arg "Smat.col_sum: index out of range";
+  d.col_sums.(j)
+
+let row_sums d = Array.copy d.row_sums
+
+let col_sums d = Array.copy d.col_sums
+
+let total d = d.total
+
+let nonzero_count d = d.nnz
+
+let is_zero d = d.nnz = 0
+
+let row_nnz d i =
+  if i < 0 || i >= d.m then invalid_arg "Smat.row_nnz: index out of range";
+  Imap.cardinal d.rows.(i)
+
+let load d =
+  let best = ref 0 in
+  for p = 0 to d.m - 1 do
+    if d.row_sums.(p) > !best then best := d.row_sums.(p);
+    if d.col_sums.(p) > !best then best := d.col_sums.(p)
+  done;
+  !best
+
+(* row-major, column-ascending: the same order as [Mat.iter_nonzero] *)
+let iter_nonzero f d =
+  for i = 0 to d.m - 1 do
+    Imap.iter (fun j v -> f i j v) d.rows.(i)
+  done
+
+let iter_row d i f =
+  if i < 0 || i >= d.m then invalid_arg "Smat.iter_row: index out of range";
+  Imap.iter f d.rows.(i)
+
+(* column-ascending sequence of one row's nonzeros; used by consumers that
+   need early exit (e.g. Kuhn augmentation over the support) *)
+let row_seq d i =
+  if i < 0 || i >= d.m then invalid_arg "Smat.row_seq: index out of range";
+  Imap.to_seq d.rows.(i)
+
+(* first nonzero of row [i] in a column >= [min_col]; lets matching loops
+   leapfrog a run of unavailable columns in one O(log nnz) probe instead
+   of walking the row entry by entry *)
+let row_next d i ~min_col =
+  if i < 0 || i >= d.m then invalid_arg "Smat.row_next: index out of range";
+  Imap.find_first_opt (fun j -> j >= min_col) d.rows.(i)
+
+(* bitset views: one word of the live-row set / of one row's column
+   support.  Matching loops intersect these with free-port bitsets, so a
+   single [land] stands in for a scan over up to 62 ports. *)
+let bit_words d = d.words
+
+let live_mask d w = d.live_bits.(w)
+
+let row_mask d i w = d.row_bits.(i).(w)
+
+(* first row with any nonzero at index >= [min_row]; the live-row bitset
+   is maintained incrementally by [put], so sparse consumers can iterate
+   a nearly-drained matrix in O(live rows + words) instead of O(m) *)
+let next_row d ~min_row =
+  if min_row >= d.m then None
+  else begin
+    let rec go w mask =
+      if w >= d.words then None
+      else begin
+        let bits = d.live_bits.(w) land mask in
+        if bits = 0 then go (w + 1) (lnot 0)
+        else Some ((w * Bits.bits_per_word) + Bits.ntz (bits land -bits))
+      end
+    in
+    go (Bits.word_of min_row) (lnot (Bits.low_mask (Bits.bit_of min_row)))
+  end
+
+let live_rows d =
+  Array.fold_left (fun acc w -> acc + Bits.popcount w) 0 d.live_bits
+
+let fold_nonzero f init d =
+  let acc = ref init in
+  iter_nonzero (fun i j v -> acc := f !acc i j v) d;
+  !acc
+
+let equal a b =
+  a.m = b.m && a.nnz = b.nnz && a.total = b.total
+  && Array.for_all2 (Imap.equal Int.equal) a.rows b.rows
+
+let of_dense d =
+  let s = make (Mat.dim d) in
+  Mat.iter_nonzero (fun i j v -> put s i j v) d;
+  s
+
+let to_dense s =
+  let d = Mat.make s.m in
+  iter_nonzero (fun i j v -> Mat.set d i j v) s;
+  d
+
+let pp ppf d = Mat.pp ppf (to_dense d)
+
+let to_string d = Format.asprintf "%a" pp d

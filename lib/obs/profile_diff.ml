@@ -1,7 +1,8 @@
-type kind = Counter | Span_self | Hist_stat
+type kind = Counter | Gauge | Span_self | Hist_stat
 
 let kind_name = function
   | Counter -> "counter"
+  | Gauge -> "gauge"
   | Span_self -> "span.self_ns"
   | Hist_stat -> "histogram"
 
@@ -24,14 +25,15 @@ type report = {
 let regressions r = List.filter (fun row -> row.regression) r.rows
 
 (* Wall-time metrics are machine- and load-dependent; everything else in a
-   seeded run is deterministic.  Spans are always wall time; a histogram is
-   wall time iff its name says so (the [_ns] suffix convention). *)
+   seeded run is deterministic.  Spans are always wall time; a histogram or
+   gauge is wall time iff its name says so (the [_ns] duration suffixes and
+   the [_per_sec] throughput suffix). *)
 let is_time_name name =
   let suffix affix =
     let la = String.length affix and ln = String.length name in
     ln >= la && String.sub name (ln - la) la = affix
   in
-  suffix "_ns" || suffix "_us" || suffix "_s"
+  suffix "_ns" || suffix "_us" || suffix "_s" || suffix "_per_sec"
 
 let num path json =
   let rec walk json = function
@@ -49,6 +51,17 @@ let metrics json =
         (fun (name, v) ->
           Option.map
             (fun f -> ((Counter, name), (false, f)))
+            (Json.to_float v))
+        fields
+    | _ -> []
+  in
+  let gauges =
+    match Json.member "gauges" json with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (name, v) ->
+          Option.map
+            (fun f -> ((Gauge, name), (is_time_name name, f)))
             (Json.to_float v))
         fields
     | _ -> []
@@ -84,7 +97,7 @@ let metrics json =
         fields
     | _ -> []
   in
-  counters @ spans @ hists
+  counters @ gauges @ spans @ hists
 
 let delta_pct old_v new_v =
   if old_v = 0.0 then if new_v = 0.0 then Some 0.0 else None

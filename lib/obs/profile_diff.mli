@@ -1,17 +1,18 @@
 (** Compare two profile artifacts ({!Profile.to_json} documents) — the
     perf-regression gate behind [bench/main.exe obs-diff OLD NEW].
 
-    Three metric families are diffed: counters, span self-times, and
-    histogram stats (count/p50/p90/p99).  Deterministic metrics — counters
-    and non-time histogram stats, which a seeded run reproduces exactly —
-    gate on [threshold] (percent change).  Wall-time metrics (span
-    self-times and [_ns]/[_us]/[_s] histogram percentiles) vary with the
-    machine, so they are informational unless an explicit
-    [time_threshold] opts them into gating.  A gated metric present in
-    OLD but missing in NEW counts as a regression (instrumentation lost);
-    metrics new in NEW are informational. *)
+    Four metric families are diffed: counters, gauges, span self-times,
+    and histogram stats (count/p50/p90/p99).  Deterministic metrics —
+    counters, gauges and non-time histogram stats, which a seeded run
+    reproduces exactly — gate on [threshold] (percent change).  Wall-time
+    metrics (span self-times, [_ns]/[_us]/[_s] histogram percentiles, and
+    [_per_sec] throughput gauges) vary with the machine, so they are
+    informational unless an explicit [time_threshold] opts them into
+    gating.  A gated metric present in OLD but missing in NEW counts as a
+    regression (instrumentation lost); metrics new in NEW are
+    informational. *)
 
-type kind = Counter | Span_self | Hist_stat
+type kind = Counter | Gauge | Span_self | Hist_stat
 
 type row = {
   name : string;

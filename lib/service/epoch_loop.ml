@@ -261,7 +261,9 @@ let plan_epoch cfg ~epoch_start ~entries ~plan ~warm ~st inst =
         (Resilient.Rho, Ordering.by_load_over_weight inst)
     end
 
-let run ?(plan_seed = 0) cfg src ~coflows:total =
+let c_batched = Obs.Counter.make "service.batched_slots"
+
+let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
   validate_config cfg;
   if total < 0 then invalid_arg "Epoch_loop.run: coflows must be >= 0";
   Obs.Span.with_ "service.run" @@ fun () ->
@@ -414,6 +416,12 @@ let run ?(plan_seed = 0) cfg src ~coflows:total =
       Fingerprint.int fp c_abs
     in
     let serving = ref true in
+    (* Event-driven serving is only safe when the epoch's plan is empty:
+       every fault constraint (duty cycles, outage windows, stragglers) is
+       slot-dependent, and in-epoch releases are all 0, so with no plan the
+       greedy decision is a pure function of the residual demand structure
+       and {!Core.Policy.skip_bound} applies verbatim. *)
+    let batchable = batch && Fault_plan.is_empty plan in
     while
       !serving
       && (not (Simulator.all_complete sim))
@@ -421,15 +429,25 @@ let run ?(plan_seed = 0) cfg src ~coflows:total =
     do
       Injector.tick inj;
       let transfers = Injector.greedy_policy inj order sim in
-      Simulator.step sim transfers;
+      let start = Simulator.now sim in
+      let slots =
+        if batchable then
+          Core.Policy.skip_bound sim transfers
+            ~max_n:(cfg.epoch_length - start)
+        else 1
+      in
+      Simulator.step_batch sim transfers ~slots;
+      if slots > 1 then Obs.Counter.incr c_batched ~by:(slots - 1);
       let local_now = Simulator.now sim in
-      let abs_now = epoch_start + local_now in
+      (* first service lands in the batch's first slot, completions in its
+         last — the skip bound guarantees nothing happens in between *)
+      let abs_first = epoch_start + start + 1 in
       List.iter
         (fun { Simulator.coflow = k; _ } ->
           let e = entries.(k) in
           if e.first_service = None then begin
-            e.first_service <- Some abs_now;
-            let w = abs_now - e.admitted_at in
+            e.first_service <- Some abs_first;
+            let w = abs_first - e.admitted_at in
             Buckets.observe waits w;
             Obs.Histogram.observe h_wait w
           end)
@@ -441,12 +459,12 @@ let run ?(plan_seed = 0) cfg src ~coflows:total =
           if (not recorded.(k)) && Simulator.is_complete sim k then
             record_completion k (epoch_start + local_now))
         transfers;
-      (match Audit.feed checker { Audit.tier = tname; transfers } with
+      (match Audit.feed_many checker { Audit.tier = tname; transfers } ~slots with
       | Ok () ->
-        st.s_audited <- st.s_audited + 1;
-        Obs.Counter.incr c_audited
+        st.s_audited <- st.s_audited + slots;
+        Obs.Counter.incr c_audited ~by:slots
       | Error msg ->
-        st.s_violation <- Some (epoch_start + local_now - 1, msg);
+        st.s_violation <- Some (epoch_start + start, msg);
         serving := false)
     done;
     let slots_run = Simulator.now sim in

@@ -100,9 +100,19 @@ type stats = {
   fingerprint : string;  (** rolling digest of every decision in order *)
 }
 
-val run : ?plan_seed:int -> config -> Arrivals.t -> coflows:int -> stats
+val run :
+  ?plan_seed:int -> ?batch:bool -> config -> Arrivals.t -> coflows:int -> stats
 (** [run config source ~coflows] consumes up to [coflows] arrivals from
     [source] (fewer if a replay source is exhausted), serves until every
     admitted coflow completes, and returns the run's statistics.
     [plan_seed] (default 0) seeds the per-epoch fault plans.
+
+    [batch] (default on) enables event-driven serving inside fault-free
+    epochs: when the greedy matching cannot change before the next demand
+    zero (releases are all 0 in-epoch), the clock jumps the whole run of
+    identical slots in one batch step, and the incremental auditor
+    certifies the batch via {!Faults.Audit.feed_many}.  Epochs with a
+    non-empty fault plan always serve slot-by-slot (fault constraints are
+    slot-dependent).  Stats and fingerprint are identical either way —
+    [batch:false] is the A/B lever the equivalence tests use.
     @raise Failure when [max_slots] is exhausted. *)

@@ -8,11 +8,14 @@ type t = {
   ports : int;
   validate : transfer list -> (unit, string) result;
   releases : int array;
-  demand : Mat.t array; (* mutated in place as units move *)
+  demand : Smat.t array; (* mutated in place as units move *)
   left : int array; (* remaining units per coflow *)
   completed : int array; (* completion slot, -1 if unfinished *)
   first_served : int array; (* slot of the first transfer, -1 if never *)
   mutable unfinished : int;
+  mutable release_cache : int array option;
+      (* distinct release dates, sorted ascending; invalidated by
+         [set_release] *)
   mutable clock : int;
   mutable busy : int;
   mutable moved : int;
@@ -25,7 +28,7 @@ let create ?(validate = fun _ -> Ok ()) ~ports demands =
   if ports <= 0 then invalid_arg "Simulator.create: ports must be positive";
   let n = List.length demands in
   let releases = Array.make n 0 in
-  let demand = Array.make n (Mat.make ports) in
+  let demand = Array.make n (Smat.make ports) in
   let left = Array.make n 0 in
   List.iteri
     (fun k (r, d) ->
@@ -33,8 +36,8 @@ let create ?(validate = fun _ -> Ok ()) ~ports demands =
       if Mat.dim d <> ports then
         invalid_arg "Simulator.create: demand dimension mismatch";
       releases.(k) <- r;
-      demand.(k) <- Mat.copy d;
-      left.(k) <- Mat.total d)
+      demand.(k) <- Smat.of_dense d;
+      left.(k) <- Smat.total demand.(k))
     demands;
   let completed = Array.make n (-1) in
   let unfinished = ref 0 in
@@ -49,6 +52,7 @@ let create ?(validate = fun _ -> Ok ()) ~ports demands =
     completed;
     first_served = Array.make n (-1);
     unfinished = !unfinished;
+    release_cache = None;
     clock = 0;
     busy = 0;
     moved = 0;
@@ -76,23 +80,95 @@ let set_release t k r =
     invalid_arg "Simulator.set_release: coflow already released";
   if r < t.clock then
     invalid_arg "Simulator.set_release: cannot release in the past";
-  t.releases.(k) <- r
+  t.releases.(k) <- r;
+  t.release_cache <- None
 
 let released t k =
   check_coflow t k;
   t.releases.(k) <= t.clock
 
+(* Slots until the next still-pending release becomes serviceable; [None]
+   when every coflow is already released.  Batched policies ask once per
+   decision, so the distinct release dates are kept sorted in a cache
+   (invalidated by [set_release]) and the answer is one binary search. *)
+let next_release_gap t =
+  let dates =
+    match t.release_cache with
+    | Some d -> d
+    | None ->
+      let sorted = Array.copy t.releases in
+      Array.sort compare sorted;
+      let out = Array.make (Array.length sorted) 0 in
+      let distinct = ref 0 in
+      Array.iteri
+        (fun idx r ->
+          if idx = 0 || sorted.(idx - 1) <> r then begin
+            out.(!distinct) <- r;
+            incr distinct
+          end)
+        sorted;
+      let d = Array.sub out 0 !distinct in
+      t.release_cache <- Some d;
+      d
+  in
+  (* first date strictly after the clock *)
+  let lo = ref 0 and hi = ref (Array.length dates) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if dates.(mid) > t.clock then hi := mid else lo := mid + 1
+  done;
+  if !lo >= Array.length dates then None else Some (dates.(!lo) - t.clock)
+
 let remaining t k =
   check_coflow t k;
-  Mat.copy t.demand.(k)
+  Smat.to_dense t.demand.(k)
+
+let remaining_sparse t k =
+  check_coflow t k;
+  Smat.copy t.demand.(k)
+
+let remaining_load t k =
+  check_coflow t k;
+  Smat.load t.demand.(k)
+
+let remaining_nonzeros t k =
+  check_coflow t k;
+  Smat.nonzero_count t.demand.(k)
 
 let iter_remaining t k f =
   check_coflow t k;
-  Mat.iter_nonzero (fun i j v -> f i j v) t.demand.(k)
+  Smat.iter_nonzero (fun i j v -> f i j v) t.demand.(k)
+
+let iter_remaining_rows t k f =
+  check_coflow t k;
+  let d = t.demand.(k) in
+  for i = 0 to t.ports - 1 do
+    if Smat.row_sum d i > 0 then f i (Smat.row_seq d i)
+  done
+
+let remaining_in_row t k i =
+  check_coflow t k;
+  Smat.row_sum t.demand.(k) i
+
+let remaining_next_row t k ~min_src =
+  check_coflow t k;
+  Smat.next_row t.demand.(k) ~min_row:min_src
+
+let remaining_live_mask t k w =
+  check_coflow t k;
+  Smat.live_mask t.demand.(k) w
+
+let remaining_row_mask t k i w =
+  check_coflow t k;
+  Smat.row_mask t.demand.(k) i w
+
+let remaining_next_in_row t k ~src ~min_dst =
+  check_coflow t k;
+  Smat.row_next t.demand.(k) src ~min_col:min_dst
 
 let remaining_at t k i j =
   check_coflow t k;
-  Mat.get t.demand.(k) i j
+  Smat.get t.demand.(k) i j
 
 let remaining_total t k =
   check_coflow t k;
@@ -109,7 +185,7 @@ let add_demand t k ~src ~dst units =
   if units <= 0 then invalid_arg "Simulator.add_demand: units must be positive";
   if t.left.(k) = 0 then
     invalid_arg "Simulator.add_demand: coflow already complete";
-  Mat.add_entry t.demand.(k) src dst units;
+  Smat.add_entry t.demand.(k) src dst units;
   t.left.(k) <- t.left.(k) + units
 
 let all_complete t = t.unfinished = 0
@@ -136,7 +212,10 @@ let h_flow = Obs.Histogram.make "coflow.flow_slots"
 (* Coflows whose release date equals the current clock become serviceable
    in the slot about to execute: open their "wait" slice.  Called at the
    top of [step], which every driver (run, Recorder, Resilient, Injector)
-   funnels through, so the trace sees releases regardless of the loop. *)
+   funnels through, so the trace sees releases regardless of the loop.
+   Batched steps never jump over a release (the caller's contract bounds
+   the batch at the next release boundary), so release instants still land
+   exactly once. *)
 let trace_releases t =
   Array.iteri
     (fun k r ->
@@ -144,14 +223,24 @@ let trace_releases t =
         Obs.Trace.async_begin ~name:"wait" ~cat:"coflow" ~id:k ~slot:r)
     t.releases
 
-let trace_first_service t k =
-  Obs.Trace.async_end ~name:"wait" ~cat:"coflow" ~id:k ~slot:t.clock;
-  Obs.Trace.async_begin ~name:"serve" ~cat:"coflow" ~id:k ~slot:t.clock
+let trace_first_service ~slot k =
+  Obs.Trace.async_end ~name:"wait" ~cat:"coflow" ~id:k ~slot;
+  Obs.Trace.async_begin ~name:"serve" ~cat:"coflow" ~id:k ~slot
 
 let trace_completion t k =
   Obs.Trace.async_end ~name:"serve" ~cat:"coflow" ~id:k ~slot:t.clock
 
-let step t transfers =
+(* Commit [n] consecutive slots that all serve the same transfer list.
+
+   Slot-by-slot equivalence rests on one enforced invariant: every served
+   pair must hold at least [n] units, so no entry reaches zero strictly
+   inside the batch.  Then no coflow can complete mid-batch (a completion
+   requires its last served entries to hit zero), first service happens in
+   the first slot of the batch, and completions happen exactly at the
+   batch's final slot — the same slots, totals and histogram observations
+   the slot-by-slot loop would produce. *)
+let step_n t transfers n =
+  if n < 1 then invalid_arg "Simulator.step: batch size must be >= 1";
   (* validate without mutating *)
   (match t.validate transfers with
   | Ok () -> ()
@@ -175,25 +264,34 @@ let step t transfers =
           (Invalid_slot
              (Printf.sprintf "coflow %d served before release %d at time %d"
                 coflow t.releases.(coflow) t.clock));
-      if Mat.get t.demand.(coflow) src dst <= 0 then
+      let have = Smat.get t.demand.(coflow) src dst in
+      if have <= 0 then
         raise
           (Invalid_slot
              (Printf.sprintf "coflow %d has no demand on (%d, %d)" coflow src
-                dst)))
+                dst));
+      if have < n then
+        raise
+          (Invalid_slot
+             (Printf.sprintf
+                "coflow %d holds %d < %d units on (%d, %d): batch would cross \
+                 a zero"
+                coflow have n src dst)))
     transfers;
   (* commit *)
   let tracing = Obs.Trace.enabled () in
   if tracing then trace_releases t;
-  t.clock <- t.clock + 1;
-  if transfers <> [] then t.busy <- t.busy + 1;
+  let start = t.clock in
+  t.clock <- t.clock + n;
+  if transfers <> [] then t.busy <- t.busy + n;
   List.iter
     (fun { src; dst; coflow } ->
-      Mat.add_entry t.demand.(coflow) src dst (-1);
-      t.left.(coflow) <- t.left.(coflow) - 1;
-      t.moved <- t.moved + 1;
+      Smat.add_entry t.demand.(coflow) src dst (-n);
+      t.left.(coflow) <- t.left.(coflow) - n;
+      t.moved <- t.moved + n;
       if t.first_served.(coflow) < 0 then begin
-        t.first_served.(coflow) <- t.clock;
-        if tracing then trace_first_service t coflow
+        t.first_served.(coflow) <- start + 1;
+        if tracing then trace_first_service ~slot:(start + 1) coflow
       end;
       if t.left.(coflow) = 0 then begin
         t.completed.(coflow) <- t.clock;
@@ -210,12 +308,22 @@ let step t transfers =
       end)
     transfers;
   if tracing then
+    (* one counter event per decision; Perfetto holds the value until the
+       next event, which is exactly the batched slots' per-slot truth *)
     Obs.Trace.counter ~name:"slot" ~slot:t.clock
       [ ("transfers", List.length transfers) ]
+
+let step t transfers = step_n t transfers 1
+
+let step_batch t transfers ~slots = step_n t transfers slots
 
 let c_slots = Obs.Counter.make "sim.slots"
 
 let c_units = Obs.Counter.make "sim.units_moved"
+
+let c_batch_steps = Obs.Counter.make "sim.batch_steps"
+
+let c_batched_slots = Obs.Counter.make "sim.batched_slots"
 
 let h_service = Obs.Histogram.make "slot.service_ns"
 
@@ -234,6 +342,32 @@ let run ?(max_slots = 10_000_000) t ~policy =
       Obs.Histogram.observe h_service (Obs.Clock.elapsed_ns ~since:t0);
     Obs.Counter.incr c_slots;
     Obs.Counter.incr c_units ~by:(List.length transfers)
+  done
+
+(* Event-driven run: the policy answers with the slot's transfers AND the
+   number of consecutive slots they may be replayed for (1 <= n <= max_n).
+   The policy owns the safety argument (no matched entry hits zero, no
+   release boundary, no internal schedule boundary inside the batch);
+   [step_n] independently enforces the demand part.  Budget accounting is
+   slot-exact: [max_n] never exceeds the remaining budget, so a run that
+   would exhaust [max_slots] slot-by-slot exhausts it here too. *)
+let run_batched ?(max_slots = 10_000_000) t ~policy =
+  Obs.Span.with_ "sim.run" @@ fun () ->
+  let budget = ref max_slots in
+  while not (all_complete t) do
+    if !budget <= 0 then failwith "Simulator.run: slot budget exhausted";
+    let t0 = if Obs.Histogram.enabled () then Obs.Clock.now_ns () else 0 in
+    let transfers, n = policy t ~max_n:!budget in
+    if n < 1 || n > !budget then
+      invalid_arg "Simulator.run_batched: policy returned a bad batch size";
+    budget := !budget - n;
+    step_n t transfers n;
+    if t0 > 0 then
+      Obs.Histogram.observe h_service (Obs.Clock.elapsed_ns ~since:t0);
+    Obs.Counter.incr c_slots ~by:n;
+    Obs.Counter.incr c_units ~by:(n * List.length transfers);
+    Obs.Counter.incr c_batch_steps;
+    if n > 1 then Obs.Counter.incr c_batched_slots ~by:(n - 1)
   done
 
 let total_weighted_completion t w =

@@ -54,12 +54,67 @@ val released : t -> int -> bool
     (its release time is [<= now sim]). *)
 
 val remaining : t -> int -> Matrix.Mat.t
-(** Copy of coflow [k]'s remaining demand. *)
+(** Dense copy of coflow [k]'s remaining demand.  Costs O(ports^2) to
+    materialize — hot paths should use {!iter_remaining},
+    {!remaining_sparse} or the O(1) aggregate queries below instead. *)
+
+val remaining_sparse : t -> int -> Matrix.Smat.t
+(** Sparse copy of coflow [k]'s remaining demand: O(ports + nonzeros). *)
+
+val remaining_load : t -> int -> int
+(** [rho] of coflow [k]'s remaining demand (max row/col sum), O(ports) from
+    the incrementally maintained port loads — never walks the matrix. *)
+
+val remaining_nonzeros : t -> int -> int
+(** Number of strictly positive remaining entries of coflow [k]; O(1). *)
 
 val iter_remaining : t -> int -> (int -> int -> int -> unit) -> unit
 (** [iter_remaining sim k f] applies [f i j units] to every strictly
     positive remaining entry of coflow [k] without copying — the fast path
     for per-slot policies.  The callback must not call {!step}. *)
+
+val iter_remaining_rows :
+  t -> int -> (int -> (int * int) Seq.t -> unit) -> unit
+(** [iter_remaining_rows sim k f] applies [f i row] to every source port
+    [i] with positive remaining demand for coflow [k]; [row] lazily
+    enumerates that row's [(dst, units)] nonzeros in ascending column
+    order.  Matching loops use this to skip an already-claimed source
+    port without visiting any of its entries, and to stop scanning a row
+    at the first usable destination.  The callback must not call
+    {!step}. *)
+
+val remaining_in_row : t -> int -> int -> int
+(** [remaining_in_row sim k i] — total remaining units coflow [k] still
+    owes on source port [i]; constant time (the sparse row loads are
+    maintained incrementally). *)
+
+val remaining_next_row : t -> int -> min_src:int -> int option
+(** [remaining_next_row sim k ~min_src] — the first source port
+    [>= min_src] on which coflow [k] still owes demand, or [None];
+    O(log m) over the incrementally maintained live-row set.  Lets a
+    matching scan over a nearly-drained coflow jump between its few
+    remaining rows instead of probing every port. *)
+
+val remaining_next_in_row : t -> int -> src:int -> min_dst:int -> (int * int) option
+(** [remaining_next_in_row sim k ~src ~min_dst] — the first remaining
+    [(dst, units)] nonzero of coflow [k] on source [src] with
+    [dst >= min_dst], or [None]; O(log row nonzeros).  Matching loops
+    alternate this with a free-port successor query to find the first
+    usable destination in a row without visiting the entries in
+    between. *)
+
+val remaining_live_mask : t -> int -> int -> int
+(** [remaining_live_mask sim k w] — word [w] of coflow [k]'s live-row
+    bitset ({!Matrix.Bits} layout): bit [i] is set iff source port
+    [w * Bits.bits_per_word + i] still owes demand.  Intersecting with a
+    free-source bitset yields a slot's candidate sources in one [land]
+    per word — the core of the O(ports/word) matching scan. *)
+
+val remaining_row_mask : t -> int -> int -> int -> int
+(** [remaining_row_mask sim k i w] — word [w] of the column-support
+    bitset of coflow [k]'s source row [i].  Intersecting with a free-dst
+    bitset and taking the lowest set bit yields the first usable
+    destination in the row without visiting entries. *)
 
 val remaining_at : t -> int -> int -> int -> int
 (** [remaining_at sim k i j] — remaining units of coflow [k] on pair
@@ -83,6 +138,12 @@ val completion_time : t -> int -> int option
 
 val completion_time_exn : t -> int -> int
 
+val next_release_gap : t -> int option
+(** Slots until the next still-pending release becomes serviceable ([None]
+    when every coflow is released).  The release-boundary half of the batch
+    bound used by event-driven policies; one binary search over a sorted
+    release cache (rebuilt after {!set_release}). *)
+
 val first_service_time : t -> int -> int option
 (** Slot in which coflow [k]'s first unit moved, if any has — together
     with {!release_time} this is the coflow's waiting time, the tail
@@ -101,12 +162,37 @@ val step : t -> transfer list -> unit
     driver funnels through, so traces are complete no matter which loop
     runs the policy. *)
 
+val step_batch : t -> transfer list -> slots:int -> unit
+(** [step_batch sim transfers ~slots] commits [slots >= 1] consecutive
+    slots that all serve the same transfer list, in one O(transfers)
+    update.  Beyond {!step}'s checks, every served pair must hold at least
+    [slots] units — no entry may reach zero strictly inside the batch, so
+    no completion, first service or structural change can fall between the
+    batch's first and last slot and the observable outcome (clock,
+    completion slots, first-service slots, totals, histograms) is identical
+    to calling {!step} [slots] times.  @raise Invalid_slot otherwise. *)
+
 val run :
   ?max_slots:int -> t -> policy:(t -> transfer list) -> unit
 (** Repeatedly query [policy] and {!step} until all coflows complete.
     [max_slots] (default [10_000_000]) guards against non-progressing
     policies.  @raise Invalid_slot on a bad policy decision, [Failure] when
     the budget is exhausted. *)
+
+val run_batched :
+  ?max_slots:int ->
+  t ->
+  policy:(t -> max_n:int -> transfer list * int) ->
+  unit
+(** Event-driven variant of {!run}: the policy answers with the slot's
+    transfers {e and} the number of consecutive slots [n] they may be
+    replayed for, [1 <= n <= max_n] — the clock jumps [n] slots in one
+    {!step_batch}.  The policy owns the full safety argument (no release
+    boundary or internal schedule boundary inside the batch — the skip
+    bound in the core policy layer); the demand half is enforced
+    independently by the batch step.  Budget accounting is slot-exact: a run that would
+    exhaust [max_slots] slot-by-slot exhausts it here too.
+    @raise Invalid_argument when the policy returns [n < 1] or [n > max_n]. *)
 
 val total_weighted_completion : t -> float array -> float
 (** [total_weighted_completion sim w] is [sum_k w.(k) * C_k].
