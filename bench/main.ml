@@ -188,6 +188,13 @@ let all_experiments =
 
 let run_tables cfg = List.iter (fun (_, f) -> f cfg) all_experiments
 
+(* E19 runs its scale leg at 150x526 and is deliberately not part of
+   [run_tables] (nor of the default mode list), like E18: ask for it with
+   `bench/main.exe arena`. *)
+let run_arena cfg =
+  section "E19 - algorithm arena (every policy vs lower bounds)";
+  print_string (Experiments.Exp_arena.render (Experiments.Exp_arena.run ~jobs:!jobs cfg))
+
 (* ---------- Bechamel kernel benchmarks ---------- *)
 
 (* The paper-scale matching pair: the same greedy priority scan over the
@@ -438,7 +445,8 @@ let run_kernels ?json () =
 (* ---------- entry point ---------- *)
 
 let is_mode m =
-  m = "tables" || m = "kernels" || List.mem_assoc m all_experiments
+  m = "tables" || m = "kernels" || m = "arena"
+  || List.mem_assoc m all_experiments
 
 let run_obs_diff (d : Experiments.Bench_cli.diff_opts) =
   let load path =
@@ -497,6 +505,7 @@ let () =
         match mode with
         | "tables" -> run_tables cfg
         | "kernels" -> run_kernels ?json ()
+        | "arena" -> run_arena cfg
         | m -> (
           match List.assoc_opt m all_experiments with
           | Some f -> f cfg

@@ -7,7 +7,8 @@
    E6 randomized, E7 releases, E8 openshop is bench-only, E9 ablation,
    E10 orderings, E11 lpgrid, E12 online, E13 robust, E14 dag, E15 fabric,
    E16 faults, E17 soak, E18 scale (150 ports; --stretch adds the 10x
-   variant). *)
+   variant), E19 arena (every algorithm ranked vs lower bounds; --csv also
+   writes arena.json). *)
 
 open Cmdliner
 
@@ -121,6 +122,12 @@ let run_all scale only csv_dir profile trace jobs stretch =
     print_string (Experiments.Exp_scale.render ~stretch ~jobs cfg);
     print_newline ()
   end;
+  if wants "E19" then begin
+    let arena = Experiments.Exp_arena.run ~jobs cfg in
+    print_string (Experiments.Exp_arena.render arena);
+    save "arena.json" (Experiments.Exp_arena.json arena);
+    print_newline ()
+  end;
   (match profile with
   | None -> ()
   | Some path ->
@@ -155,7 +162,7 @@ let scale_arg =
     & info [ "scale" ] ~docv:"SCALE" ~doc:"quick | default | large")
 
 let experiment_ids =
-  List.init 18 (fun i -> Printf.sprintf "E%d" (i + 1))
+  List.init 19 (fun i -> Printf.sprintf "E%d" (i + 1))
 
 let experiment_id_conv =
   let parse s =
@@ -163,7 +170,7 @@ let experiment_id_conv =
     else
       Error
         (`Msg
-           (Printf.sprintf "unknown experiment id %S (expected E1..E18)" s))
+           (Printf.sprintf "unknown experiment id %S (expected E1..E19)" s))
   in
   Arg.conv (parse, Format.pp_print_string)
 
@@ -172,7 +179,7 @@ let only_arg =
     value
     & opt (list experiment_id_conv) []
     & info [ "only" ] ~docv:"IDS"
-        ~doc:"Comma-separated experiment ids (E1..E18); default all")
+        ~doc:"Comma-separated experiment ids (E1..E19); default all")
 
 let csv_arg =
   Arg.(

@@ -1,0 +1,124 @@
+open Matrix
+open Workload
+
+let port_loads inst =
+  Array.map
+    (fun c ->
+      let rows = Mat.row_sums c.Instance.demand in
+      let cols = Mat.col_sums c.Instance.demand in
+      Array.append rows cols)
+    (Instance.coflows inst)
+
+type charge = Bottleneck_port | Port_pair
+
+let backward_order ?(release_aware = false) ~charge inst =
+  let n = Instance.num_coflows inst in
+  let m = Instance.ports inst in
+  let coflows = Instance.coflows inst in
+  let loads = port_loads inst in
+  let residual = Array.map (fun c -> c.Instance.weight) coflows in
+  let final_residual = Array.make n 0.0 in
+  let remaining = Array.make n true in
+  (* port_load.(p): total load of the remaining coflows on port p *)
+  let port_load = Array.make (2 * m) 0 in
+  Array.iter
+    (fun lk -> Array.iteri (fun p v -> port_load.(p) <- port_load.(p) + v) lk)
+    loads;
+  (* the most loaded port in [lo, hi); the lowest index on ties, which is
+     permutation-invariant since ports are intrinsic to the instance *)
+  let busiest lo hi =
+    let mu = ref lo in
+    for p = lo + 1 to hi - 1 do
+      if port_load.(p) > port_load.(!mu) then mu := p
+    done;
+    !mu
+  in
+  (* "k is a strictly better coflow to place last than b" under the
+     deterministic tie-break: smaller residual, then larger trace id *)
+  let less_urgent k b =
+    residual.(k) < residual.(b)
+    || (residual.(k) = residual.(b)
+       && coflows.(k).Instance.id > coflows.(b).Instance.id)
+  in
+  let order_rev = ref [] in
+  for _ = 1 to n do
+    let charge_ports =
+      match charge with
+      | Bottleneck_port -> [ busiest 0 (2 * m) ]
+      | Port_pair ->
+        let mi = busiest 0 m and mo = busiest m (2 * m) in
+        (* a side with no remaining load contributes nothing to charge *)
+        if port_load.(mi) = 0 then [ mo ]
+        else if port_load.(mo) = 0 then [ mi ]
+        else [ mi; mo ]
+    in
+    let load_on k =
+      List.fold_left (fun acc p -> acc + loads.(k).(p)) 0 charge_ports
+    in
+    let charge_load =
+      List.fold_left (fun acc p -> acc + port_load.(p)) 0 charge_ports
+    in
+    (* Shafiee–Ghaderi release case: if some remaining coflow is released
+       only after the charge load can drain, it is the unavoidable tail —
+       place it last, raising the dual on its release constraint (no
+       residual charging this step). *)
+    let release_pick =
+      if not release_aware then None
+      else begin
+        let best = ref (-1) in
+        for k = 0 to n - 1 do
+          if remaining.(k) then
+            match !best with
+            | -1 -> best := k
+            | b ->
+              let c =
+                compare coflows.(k).Instance.release
+                  coflows.(b).Instance.release
+              in
+              if c > 0 || (c = 0 && less_urgent k b) then best := k
+        done;
+        if !best >= 0 && coflows.(!best).Instance.release > charge_load then
+          Some !best
+        else None
+      end
+    in
+    let k =
+      match release_pick with
+      | Some b -> b
+      | None ->
+        let best = ref (-1) and best_ratio = ref infinity in
+        for k = 0 to n - 1 do
+          if remaining.(k) then begin
+            let l = load_on k in
+            let ratio =
+              if l > 0 then residual.(k) /. float_of_int l else infinity
+            in
+            let replace =
+              match !best with
+              | -1 -> true
+              | b ->
+                ratio < !best_ratio
+                || (ratio = !best_ratio && less_urgent k b)
+            in
+            if replace then begin
+              best := k;
+              best_ratio := ratio
+            end
+          end
+        done;
+        if Float.is_finite !best_ratio then begin
+          let theta = !best_ratio in
+          for k' = 0 to n - 1 do
+            if remaining.(k') then
+              residual.(k') <-
+                residual.(k') -. (theta *. float_of_int (load_on k'))
+          done
+        end;
+        !best
+    in
+    final_residual.(k) <- residual.(k);
+    remaining.(k) <- false;
+    Array.iteri (fun p v -> port_load.(p) <- port_load.(p) - v) loads.(k);
+    order_rev := k :: !order_rev
+  done;
+  (Array.of_list !order_rev, final_residual)

@@ -26,8 +26,17 @@ let g_coflows_per_sec = Obs.Counter.Gauge.make "engine.coflows_per_sec"
 
 let measure inst sim ~matchings ~seconds =
   let n = Instance.num_coflows inst in
+  let releases = Instance.releases inst in
   let completion =
-    Array.init n (fun k -> Simulator.completion_time_exn sim k)
+    (* A coflow completes no earlier than it arrives.  The simulator only
+       knows the slot it stopped tracking a coflow, which for an
+       empty-demand coflow is 0 regardless of its release date — reporting
+       that raw value understates C_k and breaks comparability with every
+       release-aware lower bound (LP-EXP charges such a coflow w * r).
+       Non-empty coflows always finish strictly after their release, so
+       the clamp only corrects the degenerate case. *)
+    Array.init n (fun k ->
+        max (Simulator.completion_time_exn sim k) releases.(k))
   in
   { completion;
     twct =

@@ -15,7 +15,11 @@
     job count. *)
 
 type result = {
-  completion : int array;  (** completion slot per working index *)
+  completion : int array;
+      (** completion slot per working index, never below the coflow's
+          release date (an empty-demand coflow completes on arrival, not
+          at slot 0 — keeping TWCT comparable with release-aware lower
+          bounds) *)
   twct : float;  (** total weighted completion time *)
   slots : int;  (** schedule length (makespan) *)
   seconds : float;  (** wall-clock time of the simulation loop *)

@@ -23,13 +23,23 @@ let total_weighted_flow ~weights ~releases completion =
     completion;
   !acc
 
-let mean cs =
-  if Array.length cs = 0 then invalid_arg "Metrics.mean: empty";
+(* [what] lets report call sites name the algorithm and instance whose
+   completion set turned out empty — a bare "Metrics.mean: empty" from an
+   arena over a dozen algorithms is undebuggable (e.g. an empty harness
+   filter makes every completion vector empty). *)
+let empty_arg name what =
+  invalid_arg
+    (match what with
+    | None -> name ^ ": empty"
+    | Some w -> Printf.sprintf "%s: empty (%s)" name w)
+
+let mean ?what cs =
+  if Array.length cs = 0 then empty_arg "Metrics.mean" what;
   float_of_int (Array.fold_left ( + ) 0 cs) /. float_of_int (Array.length cs)
 
-let percentile p cs =
+let percentile ?what p cs =
   let n = Array.length cs in
-  if n = 0 then invalid_arg "Metrics.percentile: empty";
+  if n = 0 then empty_arg "Metrics.percentile" what;
   if p < 0.0 || p > 1.0 then invalid_arg "Metrics.percentile: p out of range";
   let sorted = Array.copy cs in
   Array.sort Int.compare sorted;
@@ -42,8 +52,8 @@ let percentile p cs =
   in
   sorted.(rank - 1)
 
-let max_completion cs =
-  if Array.length cs = 0 then invalid_arg "Metrics.max_completion: empty";
+let max_completion ?what cs =
+  if Array.length cs = 0 then empty_arg "Metrics.max_completion" what;
   Array.fold_left max cs.(0) cs
 
 let slowdowns inst completion =

@@ -1,62 +1,5 @@
-open Matrix
-open Workload
-
 let order_with_duals inst =
-  let n = Instance.num_coflows inst in
-  let m = Instance.ports inst in
-  let coflows = Instance.coflows inst in
-  (* loads.(k).(p): coflow k's load on port p, ingress ports first *)
-  let loads =
-    Array.map
-      (fun c ->
-        let rows = Mat.row_sums c.Instance.demand in
-        let cols = Mat.col_sums c.Instance.demand in
-        Array.append rows cols)
-      coflows
-  in
-  let residual = Array.map (fun c -> c.Instance.weight) coflows in
-  let final_residual = Array.make n 0.0 in
-  let remaining = Array.make n true in
-  let port_load = Array.make (2 * m) 0 in
-  Array.iter
-    (fun lk ->
-      Array.iteri (fun p v -> port_load.(p) <- port_load.(p) + v) lk)
-    loads;
-  let order_rev = ref [] in
-  for _ = 1 to n do
-    (* most loaded port over the remaining coflows *)
-    let mu = ref 0 in
-    for p = 1 to (2 * m) - 1 do
-      if port_load.(p) > port_load.(!mu) then mu := p
-    done;
-    let mu = !mu in
-    let best = ref (-1) and best_ratio = ref infinity in
-    for k = 0 to n - 1 do
-      if remaining.(k) then begin
-        let l = loads.(k).(mu) in
-        let ratio =
-          if l > 0 then residual.(k) /. float_of_int l else infinity
-        in
-        if ratio < !best_ratio || !best = -1 then begin
-          best_ratio := ratio;
-          best := k
-        end
-      end
-    done;
-    let k = !best in
-    if Float.is_finite !best_ratio then begin
-      let theta = !best_ratio in
-      for k' = 0 to n - 1 do
-        if remaining.(k') then
-          residual.(k') <-
-            residual.(k') -. (theta *. float_of_int loads.(k').(mu))
-      done
-    end;
-    final_residual.(k) <- residual.(k);
-    remaining.(k) <- false;
-    Array.iteri (fun p v -> port_load.(p) <- port_load.(p) - v) loads.(k);
-    order_rev := k :: !order_rev
-  done;
-  (Array.of_list !order_rev, final_residual)
+  Approx_order.backward_order ~release_aware:false
+    ~charge:Approx_order.Bottleneck_port inst
 
 let order inst = fst (order_with_duals inst)

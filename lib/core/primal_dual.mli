@@ -11,10 +11,21 @@
     later proved this exact scheme is a constant-factor approximation for
     coflows; here it serves as the LP-free comparator to [H_LP].
 
-    Runs in [O (n * (n + m^2))] and needs no simplex at all. *)
+    Runs in [O (n * (n + m^2))] and needs no simplex at all.  The loop
+    itself lives in {!Approx_order} ([backward_order ~release_aware:false
+    ~charge:Bottleneck_port]), shared with the release-aware {!Shafiee}
+    and joint-bottleneck {!Chen} variants it is raced against in the
+    arena (E19). *)
 
 val order : Workload.Instance.t -> Ordering.t
-(** The primal-dual permutation (most-urgent coflow first). *)
+(** The primal-dual permutation (most-urgent coflow first).
+
+    Deterministic and permutation-invariant: ties — equal charge ratios,
+    and in particular the zero-load fallback where every remaining
+    coflow has an empty demand — are broken by smaller residual weight,
+    then larger trace id, placed later (see {!Approx_order.backward_order}).
+    Two calls on the same instance with its coflows listed in different
+    orders yield the same sequence of coflow ids. *)
 
 val order_with_duals : Workload.Instance.t -> Ordering.t * float array
 (** Also returns the final residual weights (zero for every coflow chosen

@@ -13,7 +13,11 @@
 
     The H_LP order runs under a fixed deterministic pivot budget; if the
     solve exhausts it the HLP rows fall back to H_rho and the report
-    carries a note — the experiment always completes.
+    carries a note — the experiment always completes.  Fallback rows are
+    also tagged structurally: their [order_name] becomes
+    ["HLP(fallback:Hrho)"] and [entry.fallback] names the substitute, so
+    downstream consumers (the E19 arena's ratio tables in particular)
+    can never mistake H_rho numbers for H_LP.
 
     The [stretch] flag adds a 10x-coflow-count run (5260 coflows, batched
     greedy) — the scale the millions-of-coflows soak roadmap item needs. *)
@@ -26,6 +30,9 @@ val stretch_factor : int
 
 type entry = {
   order_name : string;
+      (** ["HA"] | ["Hrho"] | ["HLP"] | ["HLP(fallback:Hrho)"] *)
+  fallback : string option;
+      (** the order actually used when the nominal one was unavailable *)
   case : Core.Scheduler.case;
   twct : float;
   slots : int;
@@ -60,8 +67,31 @@ type t = {
   stretch : stretch_row option;
 }
 
-val run : ?stretch:bool -> ?jobs:int -> Config.t -> t
-(** [jobs] parallelizes the 12 grid simulations; the A/B timing runs are
-    always sequential (wall-clock must not share cores). *)
+val instance : ?ports:int -> Config.t -> coflows:int -> Workload.Instance.t
+(** The paper-scale fb-like instance (deterministic in the seed;
+    paper-style random-permutation weights).  [ports] defaults to
+    {!ports}; the E19 arena reuses this generator so its scale leg races
+    on exactly the E18 population. *)
 
-val render : ?stretch:bool -> ?jobs:int -> Config.t -> string
+val run :
+  ?stretch:bool ->
+  ?jobs:int ->
+  ?ports:int ->
+  ?coflows:int ->
+  ?lp_budget:int ->
+  Config.t ->
+  t
+(** [jobs] parallelizes the 12 grid simulations; the A/B timing runs are
+    always sequential (wall-clock must not share cores).  [ports],
+    [coflows] and [lp_budget] default to the paper scale ({!ports},
+    {!coflows}, 2000 pivots); tests shrink them to exercise both the
+    full-solve and the budget-exhausted fallback paths cheaply. *)
+
+val render :
+  ?stretch:bool ->
+  ?jobs:int ->
+  ?ports:int ->
+  ?coflows:int ->
+  ?lp_budget:int ->
+  Config.t ->
+  string

@@ -106,3 +106,16 @@ let normalized b entry =
 let lp_ratio b ~order case =
   let bound = b.lp.Lp_relax.lower_bound in
   if bound <= 0.0 then infinity else twct b ~order case /. bound
+
+(* The LP-free ordering-based contenders of the algorithm arena (E19),
+   all under the greedy backfilled list schedule so decision-time gauges
+   compare like with like.  SG and Chen carry proven (resp. claimed)
+   approximation factors; the rest are heuristics. *)
+let lp_free_arena inst =
+  [ ("SG", Some (Shafiee.guarantee_for inst), Shafiee.policy inst);
+    ("Chen", Some (Chen.guarantee_for inst), Chen.policy inst);
+    ("H_pd", None, Baselines.greedy_policy (Primal_dual.order inst));
+    ("H_rho", None, Baselines.greedy_policy (Ordering.by_load_over_weight inst));
+    ("H_size", None, Baselines.greedy_policy (Ordering.by_total_size inst));
+    ("H_A", None, Baselines.greedy_policy (Ordering.arrival inst));
+  ]

@@ -625,6 +625,120 @@ let prop_primal_dual_schedules_sound =
       let r = Scheduler.run ~case:Scheduler.Group_backfill inst order in
       Verify.lemma2_prefix_bound inst order r.Scheduler.completion = Ok ())
 
+(* The backward charging orders promise a listing-order-independent result:
+   the tie-break uses residual weights and trace ids only (see
+   Primal_dual.mli), so two calls on the same instance with the coflow list
+   permuted must schedule the same trace ids in the same sequence. *)
+
+let ids_in_order inst order =
+  Array.map (fun k -> (Instance.coflow inst k).Instance.id) order
+
+let reversed_instance inst =
+  Instance.make ~ports:(Instance.ports inst)
+    (List.rev (Array.to_list (Instance.coflows inst)))
+
+let test_primal_dual_zero_load_fallback () =
+  (* all-empty demands: every charge ratio is infinite, so the documented
+     fallback decides alone — ascending residual (= original) weight from
+     the back of the permutation, the larger trace id placed later on
+     ties *)
+  let empty = Mat.make 2 in
+  let inst =
+    Instance.make ~ports:2
+      [ mk_coflow ~id:0 ~weight:1.0 empty;
+        mk_coflow ~id:1 ~weight:3.0 empty;
+        mk_coflow ~id:2 ~weight:2.0 empty;
+        mk_coflow ~id:3 ~weight:3.0 empty;
+      ]
+  in
+  Alcotest.(check (array int)) "fallback order" [| 1; 3; 2; 0 |]
+    (Primal_dual.order inst)
+
+let test_primal_dual_ties_permutation_invariant () =
+  (* exact ratio ties plus zero-load coflows — the regression shape: the
+     old working-index tie-break let the listing order leak through *)
+  let d = Mat.of_arrays [| [| 2; 0 |]; [| 0; 0 |] |] in
+  let empty = Mat.make 2 in
+  let inst =
+    Instance.make ~ports:2
+      [ mk_coflow ~id:0 ~weight:1.0 d;
+        mk_coflow ~id:1 ~weight:1.0 d;
+        mk_coflow ~id:2 ~weight:1.0 empty;
+        mk_coflow ~id:3 ~weight:1.0 empty;
+      ]
+  in
+  let rev = reversed_instance inst in
+  Alcotest.(check (array int)) "same id sequence"
+    (ids_in_order inst (Primal_dual.order inst))
+    (ids_in_order rev (Primal_dual.order rev))
+
+let prop_backward_orders_permutation_invariant =
+  (* uniform weights make residual ties common, exercising the id rule *)
+  QCheck.Test.make
+    ~name:"backward orders invariant under coflow-list permutation"
+    ~count:60 sched_arb (fun inst ->
+      let rev = reversed_instance inst in
+      List.for_all
+        (fun order_of ->
+          ids_in_order inst (order_of inst) = ids_in_order rev (order_of rev))
+        [ Primal_dual.order; Shafiee.order; Chen.order ])
+
+let prop_shafiee_reduces_without_releases =
+  (* with all releases zero the release case never fires, so the
+     Shafiee–Ghaderi order coincides with the primal-dual one and the
+     factor drops to the release-free 4 *)
+  QCheck.Test.make
+    ~name:"Shafiee-Ghaderi = primal-dual at zero releases" ~count:60
+    sched_arb (fun inst ->
+      Shafiee.order inst = Primal_dual.order inst
+      && Shafiee.guarantee_for inst = Shafiee.guarantee ~with_releases:false)
+
+(* Satellite: every new ordering-based policy must be audit-clean and stay
+   within its proven factor of the LP-EXP lower bound — checked on random
+   instances with non-trivial releases and weights, so the release-aware
+   branch and the 5 / 4.36 constants are both exercised. *)
+
+let arena_arb =
+  let gen =
+    QCheck.Gen.(
+      let* ports = int_range 2 4 in
+      let* coflows = int_range 1 5 in
+      let* seed = int_range 0 1_000_000 in
+      let* salt = int_range 0 1_000_000 in
+      let base = random_instance ~ports ~coflows seed in
+      let st = Random.State.make [| salt; 0xE19 |] in
+      let cs =
+        List.map
+          (fun c ->
+            { c with
+              Instance.release = Random.State.int st 7;
+              weight = float_of_int (1 + Random.State.int st 4);
+            })
+          (Array.to_list (Instance.coflows base))
+      in
+      return (Instance.make ~ports cs))
+  in
+  QCheck.make
+    ~print:(fun i -> Format.asprintf "%a" Instance.pp_summary i)
+    gen
+
+let prop_arena_policies_within_guarantee =
+  QCheck.Test.make
+    ~name:"SG and Chen: audit-clean, between LP-EXP and factor x LP-EXP"
+    ~count:30 arena_arb (fun inst ->
+      let lp = Lp_relax.solve_time_indexed ~max_vars:200_000 inst in
+      let bound = lp.Lp_relax.lower_bound in
+      List.for_all
+        (fun (order, r, factor) ->
+          Ordering.is_permutation (Instance.num_coflows inst) order
+          && Verify.lemma2_prefix_bound inst order r.Engine.completion
+             = Ok ()
+          && r.Engine.twct +. 1e-6 >= bound
+          && (bound <= 0.0 || r.Engine.twct <= (factor *. bound) +. 1e-6))
+        [ (Shafiee.order inst, Shafiee.run inst, Shafiee.guarantee_for inst);
+          (Chen.order inst, Chen.run inst, Chen.guarantee_for inst);
+        ])
+
 (* ---------- SEBF + MADD baseline ---------- *)
 
 let prop_sebf_madd_sound =
@@ -832,6 +946,24 @@ let test_metrics_validation () =
      Alcotest.fail "expected Invalid_argument"
    with Invalid_argument _ -> ())
 
+let test_metrics_empty_errors_name_context () =
+  (* the [?what] channel: an empty completion set raised from a report
+     over a dozen algorithms must say whose it was *)
+  let expect label want f =
+    try
+      ignore (f ());
+      Alcotest.fail (label ^ ": expected Invalid_argument")
+    with Invalid_argument msg -> Alcotest.(check string) label want msg
+  in
+  expect "mean" "Metrics.mean: empty (SG on E19 small leg)" (fun () ->
+      Metrics.mean ~what:"SG on E19 small leg" [||]);
+  expect "percentile" "Metrics.percentile: empty (Chen on E19 scale leg)"
+    (fun () -> Metrics.percentile ~what:"Chen on E19 scale leg" 0.95 [||]);
+  expect "max_completion" "Metrics.max_completion: empty (H_rho)" (fun () ->
+      Metrics.max_completion ~what:"H_rho" [||]);
+  (* without [what] the historical message is unchanged *)
+  expect "bare mean" "Metrics.mean: empty" (fun () -> Metrics.mean [||])
+
 let test_twct_routes_through_metrics () =
   (* Scheduler.twct_of_completions is Metrics.total_weighted_completion
      under the instance's weights — the former private copy is gone *)
@@ -1038,6 +1170,22 @@ let test_scheduler_zero_demand_coflow () =
     r.Scheduler.completion.(0);
   Alcotest.(check int) "real coflow meets rho" 3 r.Scheduler.completion.(1)
 
+let test_zero_demand_coflow_completes_on_arrival () =
+  (* regression: an empty-demand coflow released at slot 6 used to report
+     completion 0 — below its own arrival — which made engine TWCT
+     incomparable with release-aware lower bounds (LP-EXP charges it
+     w * 6).  The engine clamps completion to the release. *)
+  let inst =
+    Instance.make ~ports:2
+      [ mk_coflow ~id:0 ~release:6 (Mat.make 2);
+        mk_coflow ~id:1 (fig1 ());
+      ]
+  in
+  let r = Scheduler.run ~case:Scheduler.Backfill inst [| 1; 0 |] in
+  Alcotest.(check int) "completes on arrival" 6 r.Scheduler.completion.(0);
+  Alcotest.(check (float 1e-9)) "twct counts the arrival" (6.0 +. 3.0)
+    r.Scheduler.twct
+
 let test_grouping_empty_order () =
   let inst = Instance.make ~ports:2 [] in
   Alcotest.(check int) "no groups" 0
@@ -1139,6 +1287,9 @@ let qprops =
       prop_primal_dual_permutation;
       prop_primal_dual_duals_nonneg;
       prop_primal_dual_schedules_sound;
+      prop_backward_orders_permutation_invariant;
+      prop_shafiee_reduces_without_releases;
+      prop_arena_policies_within_guarantee;
       prop_sebf_madd_sound;
       prop_online_rules_sound;
       prop_decentralized_sound;
@@ -1233,6 +1384,8 @@ let () =
             test_scheduler_empty_instance;
           Alcotest.test_case "zero-demand coflow" `Quick
             test_scheduler_zero_demand_coflow;
+          Alcotest.test_case "zero-demand coflow with release" `Quick
+            test_zero_demand_coflow_completes_on_arrival;
           Alcotest.test_case "empty grouping" `Quick test_grouping_empty_order;
           Alcotest.test_case "non-covering grouping completes" `Quick
             test_scheduler_non_covering_grouping_completes;
@@ -1248,6 +1401,10 @@ let () =
       ( "primal-dual",
         [ Alcotest.test_case "Smith's rule on 1 port" `Quick
             test_primal_dual_single_port_is_wspt;
+          Alcotest.test_case "zero-load fallback order" `Quick
+            test_primal_dual_zero_load_fallback;
+          Alcotest.test_case "tie-break ignores listing order" `Quick
+            test_primal_dual_ties_permutation_invariant;
         ] );
       ( "online",
         [ Alcotest.test_case "respects releases" `Quick
@@ -1272,6 +1429,8 @@ let () =
           Alcotest.test_case "percentile matches histogram" `Quick
             test_percentile_matches_histogram;
           Alcotest.test_case "validation" `Quick test_metrics_validation;
+          Alcotest.test_case "empty errors name context" `Quick
+            test_metrics_empty_errors_name_context;
           Alcotest.test_case "twct routes through metrics" `Quick
             test_twct_routes_through_metrics;
           Alcotest.test_case "slowdowns" `Quick test_slowdowns;

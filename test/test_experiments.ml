@@ -378,6 +378,133 @@ let test_fabric_rows () =
         (r.Exp_fabric.utilization > 0.0 && r.Exp_fabric.utilization <= 1.0))
     rows
 
+(* ---------- E18 scale: structural fallback labels ---------- *)
+
+let test_scale_fallback_is_labeled () =
+  (* a 1-pivot budget cannot prove optimality, so HLP must fall back —
+     and the fallback must be structural, not prose *)
+  let t = Exp_scale.run ~ports:6 ~coflows:8 ~lp_budget:1 tiny_cfg in
+  Alcotest.(check bool) "note present" true (t.Exp_scale.lp_note <> None);
+  let hlp_rows =
+    List.filter (fun e -> e.Exp_scale.fallback <> None) t.Exp_scale.grid
+  in
+  check_int "4 fallback rows" 4 (List.length hlp_rows);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "label carries the substitute"
+        "HLP(fallback:Hrho)" e.Exp_scale.order_name;
+      Alcotest.(check (option string)) "fallback field" (Some "Hrho")
+        e.Exp_scale.fallback)
+    hlp_rows;
+  let rendered = Exp_scale.render ~ports:6 ~coflows:8 ~lp_budget:1 tiny_cfg in
+  Alcotest.(check bool) "report rows use the tagged name" true
+    (Astring.String.is_infix ~affix:"HLP(fallback:Hrho)" rendered)
+
+let test_scale_no_fallback_keeps_plain_label () =
+  (* same tiny instance under a generous budget: the LP solves and the
+     rows stay plain HLP *)
+  let t = Exp_scale.run ~ports:6 ~coflows:8 ~lp_budget:100_000 tiny_cfg in
+  Alcotest.(check bool) "no note" true (t.Exp_scale.lp_note = None);
+  Alcotest.(check bool) "no fallback rows" true
+    (List.for_all (fun e -> e.Exp_scale.fallback = None) t.Exp_scale.grid);
+  check_int "4 plain HLP rows" 4
+    (List.length
+       (List.filter (fun e -> e.Exp_scale.order_name = "HLP") t.Exp_scale.grid))
+
+(* ---------- E19 arena ---------- *)
+
+let arena = lazy (Exp_arena.run ~jobs:2 ~scale:(6, 10) tiny_cfg)
+
+let test_arena_shape () =
+  let t = Lazy.force arena in
+  (* 6 LP-free contenders + H_LP (d) + SEBF+MADD + MaxWeight + RR *)
+  check_int "small rows" 10 (List.length t.Exp_arena.small.Exp_arena.l_rows);
+  (* 6 LP-free contenders + budgeted H_LP *)
+  check_int "scale rows" 7 (List.length t.Exp_arena.scale.Exp_arena.l_rows);
+  List.iter
+    (fun (leg : Exp_arena.leg) ->
+      Alcotest.(check bool) "bound positive" true (leg.Exp_arena.l_bound > 0.0);
+      let twcts = List.map (fun r -> r.Exp_arena.twct) leg.Exp_arena.l_rows in
+      Alcotest.(check bool) "ranked ascending" true
+        (List.sort compare twcts = twcts);
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "dominates the lower bound" true
+            (r.Exp_arena.twct +. 1e-6 >= leg.Exp_arena.l_bound))
+        leg.Exp_arena.l_rows)
+    [ t.Exp_arena.small; t.Exp_arena.scale ]
+
+let test_arena_guaranteed_entries () =
+  let t = Lazy.force arena in
+  let find leg name =
+    List.find (fun r -> r.Exp_arena.algo = name) leg.Exp_arena.l_rows
+  in
+  List.iter
+    (fun leg ->
+      let sg = find leg "SG" and chen = find leg "Chen" in
+      Alcotest.(check bool) "SG has a factor" true (sg.Exp_arena.guarantee <> None);
+      Alcotest.(check bool) "Chen's factor is tighter" true
+        (Option.get chen.Exp_arena.guarantee < Option.get sg.Exp_arena.guarantee))
+    [ t.Exp_arena.small; t.Exp_arena.scale ];
+  (* the small leg's ratio assertions already ran inside [run]; check the
+     published ratios once more from the outside *)
+  List.iter
+    (fun (r : Exp_arena.row) ->
+      match r.Exp_arena.guarantee with
+      | Some g ->
+        Alcotest.(check bool)
+          (r.Exp_arena.algo ^ " within factor of LP-EXP")
+          true
+          (r.Exp_arena.ratio <= g +. 1e-9)
+      | None -> ())
+    t.Exp_arena.small.Exp_arena.l_rows
+
+let test_arena_decision_gauges () =
+  let t = Lazy.force arena in
+  List.iter
+    (fun (r : Exp_arena.row) ->
+      Alcotest.(check bool) "decisions counted" true (r.Exp_arena.decisions > 0))
+    (t.Exp_arena.small.Exp_arena.l_rows @ t.Exp_arena.scale.Exp_arena.l_rows);
+  let g = Obs.Counter.Gauge.make "arena.small.sg.decision_us" in
+  Alcotest.(check bool) "SG gauge published" true
+    (Obs.Counter.Gauge.value g >= 0.0)
+
+let test_arena_json () =
+  let t = Lazy.force arena in
+  let s = Exp_arena.json t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring.String.is_infix ~affix:needle s))
+    [ "\"experiment\":\"E19\"";
+      "\"algo\":\"SG\"";
+      "\"fallback\":null";
+      "\"guarantee\":null";
+      "\"bound\":{\"name\":\"LP-EXP\"";
+    ];
+  (* the SG rows carry their factor as a JSON number *)
+  let sg = List.find (fun r -> r.Exp_arena.algo = "SG") t.Exp_arena.small.Exp_arena.l_rows in
+  Alcotest.(check bool) "SG guarantee serialized" true
+    (Astring.String.is_infix
+       ~affix:
+         (Printf.sprintf "\"guarantee\":%g" (Option.get sg.Exp_arena.guarantee))
+       s)
+
+let test_arena_empty_filter_names_algorithm () =
+  (* an absurd M0 filter empties the small instance; the first statistics
+     call must die naming the algorithm and the leg, not with a bare
+     "Metrics.mean: empty" *)
+  match Exp_arena.run ~filter:10_000 ~scale:(4, 6) tiny_cfg with
+  | _ -> Alcotest.fail "expected Invalid_argument on the empty filter"
+  | exception Invalid_argument msg ->
+    let contains needle = Astring.String.is_infix ~affix:needle msg in
+    Alcotest.(check bool)
+      ("names an algorithm: " ^ msg)
+      true
+      (contains " on E19 small leg");
+    Alcotest.(check bool) ("names the filter: " ^ msg) true
+      (contains "filter M0>=10000")
+
 (* ---------- bench argv parsing ---------- *)
 
 (* The mode predicate bench/main.exe passes in, reduced to what the tests
@@ -549,6 +676,22 @@ let () =
       ("robust", [ Alcotest.test_case "rows" `Quick test_robust_rows ]);
       ("dag-exp", [ Alcotest.test_case "rows" `Quick test_dag_rows ]);
       ("fabric-exp", [ Alcotest.test_case "rows" `Quick test_fabric_rows ]);
+      ( "scale-exp",
+        [ Alcotest.test_case "fallback rows are labeled" `Quick
+            test_scale_fallback_is_labeled;
+          Alcotest.test_case "no fallback keeps plain HLP" `Quick
+            test_scale_no_fallback_keeps_plain_label;
+        ] );
+      ( "arena",
+        [ Alcotest.test_case "leg shapes and ranking" `Quick test_arena_shape;
+          Alcotest.test_case "guaranteed entries" `Quick
+            test_arena_guaranteed_entries;
+          Alcotest.test_case "decision gauges" `Quick
+            test_arena_decision_gauges;
+          Alcotest.test_case "json artifact" `Quick test_arena_json;
+          Alcotest.test_case "empty filter names algorithm" `Quick
+            test_arena_empty_filter_names_algorithm;
+        ] );
       ( "bench-cli",
         [ Alcotest.test_case "--profile never eats flags/modes" `Quick
             test_cli_profile_must_not_eat_flags;
