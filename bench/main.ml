@@ -463,6 +463,13 @@ let run_obs_diff (d : Experiments.Bench_cli.diff_opts) =
       ~new_profile ()
   in
   print_string (Obs.Profile_diff.render report);
+  (match d.Experiments.Bench_cli.diff_json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Obs.Profile_diff.to_json report);
+    close_out oc;
+    Printf.printf "(wrote %s)\n" path);
   match Obs.Profile_diff.regressions report with
   | [] ->
     Printf.printf "obs-diff: OK (no regression past %.1f%%)\n"

@@ -6,7 +6,7 @@
            [--seed S] [--plan-seed S] [--epoch N] [--max-live N]
            [--deadline-factor F] [--intensity I] [--lp-deadline SECS]
            [--degrade-above N] [--p99-slo N] [--verify-replay]
-           [--profile PATH] [--trace PATH]
+           [--profile PATH] [--trace PATH] [--telemetry [PATH]]
 
    Exit status: 0 when every gate passes, 1 when any gate fails (audit
    violation, undrained live set, live-ceiling breach, SLO miss, replay
@@ -37,7 +37,7 @@ let process_conv =
 
 let run process mean_gap dwell replay coflows ports seed plan_seed epoch
     max_live deadline_factor intensity lp_deadline degrade_above p99_slo
-    verify_replay profile trace =
+    verify_replay profile trace telemetry =
   if profile <> None || trace <> None then begin
     Obs.Events.set_enabled true;
     Obs.Histogram.set_enabled true
@@ -85,7 +85,32 @@ let run process mean_gap dwell replay coflows ports seed plan_seed epoch
     coflows
     (Service.Soak.ports cfg)
     intensity;
-  let report = Service.Soak.run ~verify_replay cfg in
+  let telem =
+    Option.map
+      (fun base ->
+        Service.Telemetry.create
+          ~config:
+            { Service.Telemetry.default_config with
+              Service.Telemetry.path = Some base
+            }
+          ())
+      telemetry
+  in
+  let report =
+    Service.Soak.run ~verify_replay
+      ?observer:(Option.map Service.Telemetry.observer telem)
+      cfg
+  in
+  (match (telem, telemetry) with
+  | Some t, Some base ->
+    Service.Telemetry.finish t;
+    Format.printf
+      "(telemetry: %d epochs -> %s.jsonl, %s.prom, %s.alerts.json; %d alert \
+       transitions)@."
+      (Service.Telemetry.epochs t)
+      base base base
+      (List.length (Service.Slo.transitions (Service.Telemetry.slo t)))
+  | _ -> ());
   Format.printf "%a@." Service.Soak.pp_report report;
   (match profile with
   | None -> ()
@@ -208,6 +233,18 @@ let trace_arg =
     & info [ "trace" ] ~docv:"PATH"
         ~doc:"Write a Chrome-trace flight-recorder trace to PATH")
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "TELEMETRY") (some string) None
+    & info [ "telemetry" ] ~docv:"PATH"
+        ~doc:
+          "Stream live telemetry while the soak runs: per-epoch JSONL \
+           snapshots to PATH.jsonl (tail it to watch the run), a \
+           Prometheus text exposition atomically refreshed at PATH.prom, \
+           and the SLO alert timeline at PATH.alerts.json; defaults to \
+           TELEMETRY when PATH is omitted")
+
 let cmd =
   let doc = "Soak the long-lived coflow scheduler service under faults" in
   Cmd.v
@@ -217,6 +254,6 @@ let cmd =
       $ coflows_arg $ ports_arg $ seed_arg $ plan_seed_arg $ epoch_arg
       $ max_live_arg $ deadline_factor_arg $ intensity_arg $ lp_deadline_arg
       $ degrade_above_arg $ p99_slo_arg $ verify_replay_arg $ profile_arg
-      $ trace_arg)
+      $ trace_arg $ telemetry_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,11 +8,13 @@
    E10 orderings, E11 lpgrid, E12 online, E13 robust, E14 dag, E15 fabric,
    E16 faults, E17 soak, E18 scale (150 ports; --stretch adds the 10x
    variant), E19 arena (every algorithm ranked vs lower bounds; --csv also
-   writes arena.json). *)
+   writes arena.json), E20 telemetry (fault windows vs raised alerts;
+   --csv also writes telemetry.json; --telemetry BASE writes the live
+   artifacts). *)
 
 open Cmdliner
 
-let run_all scale only csv_dir profile trace jobs stretch =
+let run_all scale only csv_dir profile trace jobs stretch telemetry =
   if profile <> None || trace <> None then begin
     Obs.Events.set_enabled true;
     Obs.Histogram.set_enabled true
@@ -115,7 +117,7 @@ let run_all scale only csv_dir profile trace jobs stretch =
     print_newline ()
   end;
   if wants "E17" then begin
-    print_string (Experiments.Exp_soak.render cfg);
+    print_string (Experiments.Exp_soak.render ?telemetry cfg);
     print_newline ()
   end;
   if wants "E18" then begin
@@ -128,6 +130,14 @@ let run_all scale only csv_dir profile trace jobs stretch =
     save "arena.json" (Experiments.Exp_arena.json arena);
     print_newline ()
   end;
+  let telemetry_ok = ref true in
+  if wants "E20" then begin
+    let r = Experiments.Exp_telemetry.run ?telemetry cfg in
+    telemetry_ok := Experiments.Exp_telemetry.all_pass r;
+    print_string (Experiments.Exp_telemetry.render r);
+    save "telemetry.json" (Experiments.Exp_telemetry.json r);
+    print_newline ()
+  end;
   (match profile with
   | None -> ()
   | Some path ->
@@ -138,7 +148,7 @@ let run_all scale only csv_dir profile trace jobs stretch =
   | Some path ->
     Obs.Trace.write path;
     Format.printf "(wrote %s: %d trace events)@." path (Obs.Trace.length ()));
-  0
+  if !telemetry_ok then 0 else 1
 
 let scale_conv =
   let parse s =
@@ -162,7 +172,7 @@ let scale_arg =
     & info [ "scale" ] ~docv:"SCALE" ~doc:"quick | default | large")
 
 let experiment_ids =
-  List.init 19 (fun i -> Printf.sprintf "E%d" (i + 1))
+  List.init 20 (fun i -> Printf.sprintf "E%d" (i + 1))
 
 let experiment_id_conv =
   let parse s =
@@ -170,7 +180,7 @@ let experiment_id_conv =
     else
       Error
         (`Msg
-           (Printf.sprintf "unknown experiment id %S (expected E1..E19)" s))
+           (Printf.sprintf "unknown experiment id %S (expected E1..E20)" s))
   in
   Arg.conv (parse, Format.pp_print_string)
 
@@ -179,7 +189,7 @@ let only_arg =
     value
     & opt (list experiment_id_conv) []
     & info [ "only" ] ~docv:"IDS"
-        ~doc:"Comma-separated experiment ids (E1..E19); default all")
+        ~doc:"Comma-separated experiment ids (E1..E20); default all")
 
 let csv_arg =
   Arg.(
@@ -230,12 +240,24 @@ let stretch_arg =
           "E18 only: also run the 10x-coflow-count stretch variant (5260 \
            coflows at 150 ports)")
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "TELEMETRY") (some string) None
+    & info [ "telemetry" ] ~docv:"PATH"
+        ~doc:
+          "Stream live telemetry while the service experiments (E17, E20) \
+           run: per-epoch JSONL snapshots to PATH-*.jsonl, a Prometheus \
+           text exposition refreshed at PATH-*.prom, and the alert \
+           timeline at PATH-*.alerts.json; defaults to TELEMETRY when \
+           PATH is omitted")
+
 let cmd =
   let doc = "Regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "coflow-experiments" ~doc)
     Term.(
       const run_all $ scale_arg $ only_arg $ csv_arg $ profile_arg $ trace_arg
-      $ jobs_arg $ stretch_arg)
+      $ jobs_arg $ stretch_arg $ telemetry_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -3,6 +3,7 @@ type diff_opts = {
   new_path : string;
   threshold : float;
   time_threshold : float option;
+  diff_json : string option;
 }
 
 type t = {
@@ -18,7 +19,8 @@ type t = {
 let usage =
   "usage: main.exe [MODE ...] [--scale quick|default|large] [--jobs N]\n\
   \       [--json PATH] [--profile [PATH]] [--trace [PATH]]\n\
-  \       main.exe obs-diff OLD NEW [--threshold PCT] [--time-threshold PCT]"
+  \       main.exe obs-diff OLD NEW [--threshold PCT] [--time-threshold PCT]\n\
+  \       [--json PATH]"
 
 let default_profile_path = "PROFILE.json"
 
@@ -48,11 +50,11 @@ let parse_float flag v =
   | _ -> Error (Printf.sprintf "%s: %S is not a non-negative number" flag v)
 
 let parse_diff args =
-  let rec go acc_paths threshold time_threshold = function
+  let rec go acc_paths threshold time_threshold diff_json = function
     | [] -> (
       match List.rev acc_paths with
       | [ old_path; new_path ] ->
-        Ok { old_path; new_path; threshold; time_threshold }
+        Ok { old_path; new_path; threshold; time_threshold; diff_json }
       | paths ->
         Error
           (Printf.sprintf "obs-diff takes exactly OLD and NEW paths, got %d"
@@ -63,19 +65,23 @@ let parse_diff args =
       | Ok (v, tl) -> (
         match parse_float "--threshold" v with
         | Error e -> Error e
-        | Ok f -> go acc_paths f time_threshold tl))
+        | Ok f -> go acc_paths f time_threshold diff_json tl))
     | "--time-threshold" :: rest -> (
       match required_arg "--time-threshold" rest with
       | Error e -> Error e
       | Ok (v, tl) -> (
         match parse_float "--time-threshold" v with
         | Error e -> Error e
-        | Ok f -> go acc_paths threshold (Some f) tl))
+        | Ok f -> go acc_paths threshold (Some f) diff_json tl))
+    | "--json" :: rest -> (
+      match required_arg "--json" rest with
+      | Error e -> Error e
+      | Ok (p, tl) -> go acc_paths threshold time_threshold (Some p) tl)
     | f :: _ when is_flag f ->
       Error (Printf.sprintf "obs-diff: unknown flag %S" f)
-    | p :: rest -> go (p :: acc_paths) threshold time_threshold rest
+    | p :: rest -> go (p :: acc_paths) threshold time_threshold diff_json rest
   in
-  go [] 10.0 None args
+  go [] 10.0 None None args
 
 let parse ~is_mode args =
   let rec go acc = function

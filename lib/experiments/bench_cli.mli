@@ -8,6 +8,7 @@
     main.exe [MODE ...] [--scale S] [--jobs N] [--json PATH]
              [--profile [PATH]] [--trace [PATH]]
     main.exe obs-diff OLD NEW [--threshold PCT] [--time-threshold PCT]
+             [--json PATH]
     v} *)
 
 type diff_opts = {
@@ -16,6 +17,9 @@ type diff_opts = {
   threshold : float;  (** percent, default 10 *)
   time_threshold : float option;
       (** absent: wall-time metrics are informational *)
+  diff_json : string option;
+      (** also write the machine-readable verdict (per-metric deltas plus
+          pass/fail, {!Obs.Profile_diff.to_json}) to this path *)
 }
 
 type t = {

@@ -39,17 +39,39 @@ let regimes cfg =
       } );
   ]
 
-let run cfg =
+let run ?telemetry cfg =
   List.map
     (fun (label, config) ->
-      { label; config; report = Service.Soak.run ~verify_replay:true config })
+      let report =
+        match telemetry with
+        | None -> Service.Soak.run ~verify_replay:true config
+        | Some base ->
+          let slug =
+            String.map (fun c -> if c = ' ' then '-' else c) label
+          in
+          let t =
+            Service.Telemetry.create
+              ~config:
+                { Service.Telemetry.default_config with
+                  Service.Telemetry.path = Some (base ^ "-" ^ slug)
+                }
+              ()
+          in
+          let report =
+            Service.Soak.run ~verify_replay:true
+              ~observer:(Service.Telemetry.observer t) config
+          in
+          Service.Telemetry.finish t;
+          report
+      in
+      { label; config; report })
     (regimes cfg)
 
 let all_pass rows =
   List.for_all (fun r -> Service.Soak.failed r.report = []) rows
 
-let render cfg =
-  let rows = run cfg in
+let render ?telemetry cfg =
+  let rows = run ?telemetry cfg in
   let b = Buffer.create 2048 in
   Buffer.add_string b
     "E17. Service soak: streaming arrivals, admission, degradation, audit\n";

@@ -17,11 +17,14 @@ type row = {
   report : Service.Soak.report;
 }
 
-val run : Config.t -> row list
+val run : ?telemetry:string -> Config.t -> row list
 (** One row per arrival regime; coflow counts scale with
-    [cfg.Config.coflows]. *)
+    [cfg.Config.coflows].  [telemetry] is a base path: each regime's
+    primary run is watched by a {!Service.Telemetry} observer writing
+    [BASE-<regime>.{jsonl,prom,alerts.json}] (the replay run stays
+    unobserved). *)
 
-val render : Config.t -> string
+val render : ?telemetry:string -> Config.t -> string
 
 val all_pass : row list -> bool
 (** No gate failed in any row. *)

@@ -1,0 +1,71 @@
+(** E20 — fault-injected soak with live telemetry, asserted in-process.
+
+    Four legs of the {e same} seeded arrival stream through the service
+    loop:
+
+    + {b fault + telemetry}: a scripted fault plan places known fault
+      windows at pinned epochs (an LP-tier solver outage, a straggler
+      inflating a live coflow's demand, a core degradation serializing
+      the fabric, and a full solver outage) while a {!Service.Telemetry}
+      observer watches the run;
+    + {b fault, bare}: the identical run with no observer;
+    + {b control + telemetry}: the same stream with no faults, observed;
+    + {b control, bare}: the same, unobserved.
+
+    The experiment then asserts, in-process:
+
+    - every injected fault window is matched by a transition to [Firing]
+      of the expected SLO rule within {b 2 epochs} of the window opening
+      (the measured per-window alert latency is part of the report);
+    - the fault-free control run fires {e zero} alerts — no SLO
+      transitions (not even warnings) and no watchdog alerts;
+    - telemetry-on and telemetry-off legs produce {e byte-identical}
+      decision fingerprints, for faults and control alike — the observer
+      provably never perturbs scheduling.
+
+    The stream is pinned (fixed seed, fixed length) rather than scaled by
+    {!Config}: the fault windows live at fixed epoch indices, so the load
+    around them is part of the experiment's definition. *)
+
+type window = {
+  w_from : int;  (** first epoch of the fault window *)
+  w_until : int;  (** last epoch, inclusive *)
+  w_fault : string;  (** what is injected *)
+  w_rule : string;  (** the SLO rule expected to fire *)
+}
+
+val windows : window list
+(** The scripted fault windows, in epoch order. *)
+
+type outcome = {
+  window : window;
+  alert_epoch : int option;  (** first matching [Firing], if any *)
+  latency : int option;  (** [alert_epoch - w_from] *)
+  ok : bool;  (** matched with latency <= 2 *)
+}
+
+type result = {
+  outcomes : outcome list;
+  fault_transitions : int;  (** SLO transitions in the fault leg *)
+  control_transitions : int;  (** must be 0 *)
+  control_watchdog : int;  (** must be 0 *)
+  fault_fp_match : bool;  (** fault legs: fingerprints identical *)
+  control_fp_match : bool;  (** control legs: fingerprints identical *)
+  fault_stats : Service.Epoch_loop.stats;
+  control_stats : Service.Epoch_loop.stats;
+}
+
+val run : ?telemetry:string -> Config.t -> result
+(** [telemetry] is a base path: the fault leg writes
+    [BASE-fault.{jsonl,prom,alerts.json}], the control leg
+    [BASE-control.*].  Without it the streams stay in memory. *)
+
+val all_pass : result -> bool
+
+val render : result -> string
+(** The report, including the measured alert-latency table. *)
+
+val json : result -> string
+(** Machine-readable verdict for CI: per-window matches and latencies,
+    the control counts, the fingerprint equalities and the overall
+    verdict. *)

@@ -221,6 +221,35 @@ let render ?(all = false) report =
     table;
   Buffer.contents buf
 
+let to_json report =
+  let buf = Buffer.create 4096 in
+  let fopt = function
+    | None -> "null"
+    | Some v -> Printf.sprintf "%.6f" v
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"threshold\": %.2f,\n  \"time_threshold\": %s,\n\
+       \  \"regressions\": %d,\n  \"ok\": %b,\n  \"rows\": [\n"
+       report.threshold
+       (fopt report.time_threshold)
+       (List.length (regressions report))
+       (regressions report = []));
+  List.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"kind\": \"%s\", \"time_based\": %b, \
+            \"old\": %s, \"new\": %s, \"delta_pct\": %s, \"regression\": \
+            %b}%s\n"
+           (Json.escape row.name) (kind_name row.kind) row.time_based
+           (fopt row.old_v) (fopt row.new_v) (fopt row.delta_pct)
+           row.regression
+           (if i = List.length report.rows - 1 then "" else ",")))
+    report.rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
 let load_file path =
   let ic = open_in path in
   Fun.protect

@@ -42,9 +42,20 @@ val diff :
 
 val regressions : report -> row list
 
+val is_time_name : string -> bool
+(** The wall-time heuristic shared by every consumer of the registries:
+    a metric is machine-dependent iff its name carries a duration
+    ([_ns]/[_us]/[_s]) or throughput ([_per_sec]) suffix.  Everything
+    else in a seeded run is deterministic. *)
+
 val render : ?all:bool -> report -> string
 (** Human-readable table: changed metrics and regressions by default,
     every compared metric with [~all:true]. *)
+
+val to_json : report -> string
+(** Machine-readable verdict: the thresholds, every compared row with its
+    old/new values, delta and per-row regression flag, and a top-level
+    ["ok"] — what a CI gate should read instead of the rendered table. *)
 
 val load_file : string -> Json.t
 (** Read and parse a profile artifact.  @raise Failure on malformed

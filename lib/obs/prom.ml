@@ -1,0 +1,47 @@
+let metric_name name =
+  let b = Bytes.of_string name in
+  for i = 0 to Bytes.length b - 1 do
+    match Bytes.get b i with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+    | _ -> Bytes.set b i '_'
+  done;
+  "coflow_" ^ Bytes.to_string b
+
+let render () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let base = metric_name name ^ "_total" in
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s counter\n%s %d\n" base base v))
+    (Counter.dump ());
+  List.iter
+    (fun (name, v) ->
+      let base = metric_name name in
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s gauge\n%s %.6f\n" base base v))
+    (Counter.Gauge.dump ());
+  List.iter
+    (fun (name, (s : Histogram.summary)) ->
+      let base = metric_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" base);
+      List.iter
+        (fun (q, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{quantile=\"%s\"} %d\n" base q v))
+        [ ("0.5", s.Histogram.s_p50);
+          ("0.9", s.Histogram.s_p90);
+          ("0.99", s.Histogram.s_p99);
+        ];
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %d\n%s_count %d\n" base s.Histogram.s_sum
+           base s.Histogram.s_count))
+    (Histogram.dump ());
+  Buffer.contents buf
+
+let write path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (render ());
+  close_out oc;
+  Sys.rename tmp path

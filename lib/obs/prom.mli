@@ -1,0 +1,28 @@
+(** Dependency-free Prometheus text-exposition writer.
+
+    Renders the counter / gauge / histogram registries in the
+    {{:https://prometheus.io/docs/instrumenting/exposition_formats/}text
+    exposition format} so an external scraper (or the node-exporter
+    textfile collector) can watch a run live.  Naming follows the
+    Prometheus conventions: every metric is prefixed [coflow_], dots and
+    other separators become underscores, counters gain the [_total]
+    suffix, and histograms are exported as summaries (nearest-rank
+    quantiles 0.5 / 0.9 / 0.99 plus [_sum] and [_count]).
+
+    {!write} is atomic — the file is written next to its target and
+    renamed into place — so a scraper never observes a half-written
+    exposition even though the telemetry layer refreshes it on every
+    snapshot. *)
+
+val metric_name : string -> string
+(** [metric_name "service.wait_slots"] is ["coflow_service_wait_slots"]:
+    the [coflow_] prefix plus the registry name with every character
+    outside [[A-Za-z0-9_:]] replaced by [_].  The [_total] counter suffix
+    is applied by {!render}, not here. *)
+
+val render : unit -> string
+(** The full exposition document for the current registry contents. *)
+
+val write : string -> unit
+(** [write path] renders to [path ^ ".tmp"] and renames it over [path]
+    (atomic on POSIX). *)

@@ -1,0 +1,109 @@
+type frame = {
+  f_epoch : int;
+  f_counters : (string * int) list;
+  f_deltas : (string * int) list;
+  f_window : (string * int) list;
+  f_gauges : (string * float) list;
+  f_histograms : (string * Histogram.summary) list;
+}
+
+type t = {
+  window : int;
+  include_time : bool;
+  sink : (string -> unit) option;
+  mutable n_frames : int;
+  mutable last_epoch : int;
+  mutable prev : (string * int) list;  (* previous frame's cumulative counters *)
+  past : (string * int) list Queue.t;  (* cumulative counters, oldest first *)
+}
+
+let create ?(window = 8) ?(include_time = false) ?sink () =
+  if window < 1 then invalid_arg "Snapshot.create: window must be >= 1";
+  { window;
+    include_time;
+    sink;
+    n_frames = 0;
+    last_epoch = min_int;
+    prev = [];
+    past = Queue.create ();
+  }
+
+let frames t = t.n_frames
+
+(* Counters can be interned mid-run, so a name may be missing from an
+   older frame: treat absence as 0 and diff against the newer name set. *)
+let diff ~base current =
+  List.map
+    (fun (name, v) ->
+      (name, v - Option.value ~default:0 (List.assoc_opt name base)))
+    current
+
+let to_json frame =
+  let buf = Buffer.create 1024 in
+  let obj_int fields =
+    String.concat ","
+      (List.map
+         (fun (name, v) ->
+           Printf.sprintf "\"%s\":%d" (Json.escape name) v)
+         fields)
+  in
+  Buffer.add_string buf (Printf.sprintf "{\"epoch\":%d" frame.f_epoch);
+  Buffer.add_string buf
+    (Printf.sprintf ",\"counters\":{%s}" (obj_int frame.f_counters));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"deltas\":{%s}" (obj_int frame.f_deltas));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"window\":{%s}" (obj_int frame.f_window));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"gauges\":{%s}"
+       (String.concat ","
+          (List.map
+             (fun (name, v) ->
+               Printf.sprintf "\"%s\":%.6f" (Json.escape name) v)
+             frame.f_gauges)));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"histograms\":{%s}}\n"
+       (String.concat ","
+          (List.map
+             (fun (name, (s : Histogram.summary)) ->
+               Printf.sprintf
+                 "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\
+                  \"p50\":%d,\"p90\":%d,\"p99\":%d}"
+                 (Json.escape name) s.Histogram.s_count s.Histogram.s_sum
+                 s.Histogram.s_min s.Histogram.s_max s.Histogram.s_p50
+                 s.Histogram.s_p90 s.Histogram.s_p99)
+             frame.f_histograms)));
+  Buffer.contents buf
+
+let record t ~epoch =
+  if t.n_frames > 0 && epoch <= t.last_epoch then
+    invalid_arg
+      (Printf.sprintf
+         "Snapshot.record: epoch %d is not past the previous frame's %d"
+         epoch t.last_epoch);
+  let keep name = t.include_time || not (Profile_diff.is_time_name name) in
+  let counters = List.filter (fun (n, _) -> keep n) (Counter.dump ()) in
+  let deltas = diff ~base:t.prev counters in
+  (* the window baseline is the cumulative frame [window] frames back (or
+     the origin while the stream is younger than the window) *)
+  let base =
+    if Queue.length t.past >= t.window then Queue.pop t.past else []
+  in
+  let window = diff ~base counters in
+  Queue.push counters t.past;
+  let frame =
+    { f_epoch = epoch;
+      f_counters = counters;
+      f_deltas = deltas;
+      f_window = window;
+      f_gauges =
+        List.filter (fun (n, _) -> keep n) (Counter.Gauge.dump ());
+      f_histograms =
+        List.filter (fun (n, _) -> keep n) (Histogram.dump ());
+    }
+  in
+  t.prev <- counters;
+  t.last_epoch <- epoch;
+  t.n_frames <- t.n_frames + 1;
+  (match t.sink with None -> () | Some sink -> sink (to_json frame));
+  frame

@@ -1,0 +1,54 @@
+(** Periodic, deterministic snapshots of the registries, streamed as JSONL
+    while a run is still in flight.
+
+    A {!Profile} artifact is post-hoc: it exists only after the run ends,
+    so a stalled loop or a burning SLO is invisible until the process
+    exits.  A snapshot stream is the live counterpart: at each simulated
+    checkpoint (the service's epoch index — {e not} wall clock, so the
+    stream is replay-deterministic) {!record} reads the counter / gauge /
+    histogram registries and emits one self-contained JSON line carrying
+
+    - the cumulative counter values,
+    - the {e delta} of every counter since the previous frame, and
+    - the delta over a rolling window of the last [window] frames
+      (the multi-window burn-rate input of [Service.Slo]);
+    - gauges and histogram summaries as of the frame.
+
+    Wall-time metrics (the [_ns]/[_us]/[_s]/[_per_sec] suffixes of
+    {!Profile_diff.is_time_name}) are excluded by default so the stream is
+    a pure function of the seeded run: two replays produce byte-identical
+    streams, which the telemetry tests assert.  Frames are rendered at
+    record time; the sink decides whether they land in a file (tail it to
+    watch a soak live) or a buffer (tests). *)
+
+type frame = {
+  f_epoch : int;  (** the simulated-time key the caller supplies *)
+  f_counters : (string * int) list;  (** cumulative, sorted by name *)
+  f_deltas : (string * int) list;  (** since the previous frame *)
+  f_window : (string * int) list;
+      (** delta over the last [window] frames (fewer early in the stream) *)
+  f_gauges : (string * float) list;
+  f_histograms : (string * Histogram.summary) list;
+}
+
+type t
+
+val create :
+  ?window:int -> ?include_time:bool -> ?sink:(string -> unit) -> unit -> t
+(** [window] (default 8, >= 1) is the rolling-window length in frames;
+    [include_time] (default false) keeps wall-time metrics in the stream;
+    [sink] receives each rendered line (newline included) as it is
+    recorded.  @raise Invalid_argument on [window < 1]. *)
+
+val record : t -> epoch:int -> frame
+(** Read the registries, update the deltas and the rolling window, emit
+    the rendered line to the sink, and return the frame.
+    @raise Invalid_argument when [epoch] is not strictly greater than the
+    previous frame's (the stream must be monotone in its key). *)
+
+val frames : t -> int
+(** Frames recorded so far. *)
+
+val to_json : frame -> string
+(** One JSON object on one line, ["\n"]-terminated — the JSONL encoding
+    [record] hands the sink. *)

@@ -12,6 +12,7 @@ type config = {
   lp_warm_start : bool;
   degrade_live_above : int;
   fault_intensity : float;
+  fault_script : (epoch:int -> coflows:int -> Faults.Fault_plan.t) option;
   max_slots : int;
 }
 
@@ -24,6 +25,7 @@ let default_config =
     lp_warm_start = true;
     degrade_live_above = 48;
     fault_intensity = 0.0;
+    fault_script = None;
     max_slots = 10_000_000;
   }
 
@@ -62,11 +64,43 @@ type stats = {
   lp_iterations : int;
   deadline_misses : int;
   max_live : int;
+  max_live_epoch : int;
+  bound_sum : float;
   audited_slots : int;
   audit_violation : (int * string) option;
   wait_p50 : int;
   wait_p99 : int;
   fingerprint : string;
+}
+
+type epoch_view = {
+  ev_epoch : int;
+  ev_start : int;
+  ev_now : int;
+  ev_slots : int;
+  ev_tier : Core.Resilient.tier;
+  ev_live_before : int;
+  ev_live_after : int;
+  ev_backlog : int;
+  ev_units_served : int;
+  ev_demand_surplus : int;
+  ev_port_spread : int;
+  ev_fault_events : int;
+  ev_arrived : int;
+  ev_admitted : int;
+  ev_rejected_queue : int;
+  ev_rejected_deadline : int;
+  ev_completed : int;
+  ev_deadline_misses : int;
+  ev_degradations : int;
+  ev_lp_failures : int;
+  ev_twct : float;
+  ev_bound_sum : float;
+  ev_wait_p50 : int;
+  ev_wait_p99 : int;
+  ev_max_live : int;
+  ev_violation : bool;
+  ev_decision_fingerprint : string;
 }
 
 (* ---- interned observability handles (process-wide registries) ---- *)
@@ -160,6 +194,7 @@ type entry = {
   admitted_at : int;
   weight : float;
   deadline : int option;
+  iso_bound : int;  (* isolation bound of the FULL demand, at admission *)
   mutable demand : Matrix.Mat.t;  (* residual demand between epochs *)
   mutable first_service : int option;
   mutable straggled : bool;  (* already hit by a straggler event *)
@@ -188,6 +223,8 @@ type st = {
   mutable s_lp_iterations : int;
   mutable s_deadline_misses : int;
   mutable s_max_live : int;
+  mutable s_max_live_epoch : int;
+  mutable s_bound_sum : float;
   mutable s_audited : int;
   mutable s_violation : (int * string) option;
 }
@@ -263,7 +300,7 @@ let plan_epoch cfg ~epoch_start ~entries ~plan ~warm ~st inst =
 
 let c_batched = Obs.Counter.make "service.batched_slots"
 
-let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
+let run ?(plan_seed = 0) ?(batch = true) ?observer cfg src ~coflows:total =
   validate_config cfg;
   if total < 0 then invalid_arg "Epoch_loop.run: coflows must be >= 0";
   Obs.Span.with_ "service.run" @@ fun () ->
@@ -285,11 +322,17 @@ let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
       s_lp_iterations = 0;
       s_deadline_misses = 0;
       s_max_live = 0;
+      s_max_live_epoch = 0;
+      s_bound_sum = 0.0;
       s_audited = 0;
       s_violation = None;
     }
   in
   let fp = Fingerprint.create () in
+  (* decisions only (admit / reject / complete): the watchdog compares
+     successive values to detect a frozen decision stream, which tier
+     switches and slot counts would mask *)
+  let dfp = Fingerprint.create () in
   let waits = Buckets.create () in
   let now = ref 0 in
   let to_arrive = ref total in
@@ -320,6 +363,7 @@ let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
               admitted_at = !now;
               weight = c.Arrivals.weight;
               deadline;
+              iso_bound = Admission.isolation_bound c.Arrivals.demand;
               demand = c.Arrivals.demand;
               first_service = None;
               straggled = false;
@@ -329,7 +373,9 @@ let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
           incr n_live;
           backlog := !backlog + Matrix.Mat.total c.Arrivals.demand;
           Fingerprint.str fp "A";
-          Fingerprint.int fp c.Arrivals.id
+          Fingerprint.int fp c.Arrivals.id;
+          Fingerprint.str dfp "A";
+          Fingerprint.int dfp c.Arrivals.id
         | Admission.Reject r ->
           (match r with
           | Admission.Queue_full ->
@@ -339,14 +385,19 @@ let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
             st.s_rej_deadline <- st.s_rej_deadline + 1;
             Obs.Counter.incr c_rej_deadline);
           Fingerprint.str fp "R";
-          Fingerprint.int fp c.Arrivals.id)
+          Fingerprint.int fp c.Arrivals.id;
+          Fingerprint.str dfp "R";
+          Fingerprint.int dfp c.Arrivals.id)
     done
   in
   let run_epoch () =
     Obs.Span.with_ "service.epoch" @@ fun () ->
     let epoch_start = !now in
+    let epoch_index = st.s_epochs in
     let entries = Array.of_list (List.rev !live_rev) in
     let n = Array.length entries in
+    let backlog_start = !backlog in
+    if n > st.s_max_live then st.s_max_live_epoch <- epoch_index;
     st.s_max_live <- max st.s_max_live n;
     Obs.Counter.Gauge.set g_live (float_of_int n);
     Obs.Counter.Gauge.set g_max_live (float_of_int st.s_max_live);
@@ -364,12 +415,20 @@ let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
               entries))
     in
     let plan =
-      if cfg.fault_intensity > 0.0 then begin
-        let raw =
-          Fault_plan.random ~intensity:cfg.fault_intensity ~ports ~coflows:n
-            ~horizon:cfg.epoch_length
-            (Random.State.make [| plan_seed; 0xFA; st.s_epochs |])
-        in
+      let raw =
+        match cfg.fault_script with
+        | Some script -> Some (script ~epoch:epoch_index ~coflows:n)
+        | None ->
+          if cfg.fault_intensity > 0.0 then
+            Some
+              (Fault_plan.random ~intensity:cfg.fault_intensity ~ports
+                 ~coflows:n ~horizon:cfg.epoch_length
+                 (Random.State.make [| plan_seed; 0xFA; st.s_epochs |]))
+          else None
+      in
+      match raw with
+      | None -> Fault_plan.empty
+      | Some raw ->
         (* A straggler doubles a coflow's residual demand.  A batch run
            draws its plan once, so each coflow straggles O(1) times; an
            open-ended service redraws every epoch, and re-doubling
@@ -388,8 +447,6 @@ let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
                  end
                | _ -> true)
              (Fault_plan.events raw))
-      end
-      else Fault_plan.empty
     in
     let inj = Injector.create ~plan ~ports (Instance.demands inst) in
     let sim = Injector.sim inj in
@@ -405,6 +462,11 @@ let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
       st.s_completed <- st.s_completed + 1;
       Obs.Counter.incr c_completed;
       st.s_twct <- st.s_twct +. (e.weight *. float_of_int c_abs);
+      (* C_k >= a_k + rho_k: the coflow's isolation load cannot drain
+         faster than one unit per slot per port, so this term certifies a
+         per-coflow lower bound and the sum lower-bounds the TWCT *)
+      st.s_bound_sum <-
+        st.s_bound_sum +. (e.weight *. float_of_int (e.admitted_at + e.iso_bound));
       Obs.Histogram.observe h_flow (c_abs - e.admitted_at);
       (match e.deadline with
       | Some d when c_abs > d ->
@@ -413,7 +475,10 @@ let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
       | _ -> ());
       Fingerprint.str fp "C";
       Fingerprint.int fp e.id;
-      Fingerprint.int fp c_abs
+      Fingerprint.int fp c_abs;
+      Fingerprint.str dfp "C";
+      Fingerprint.int dfp e.id;
+      Fingerprint.int dfp c_abs
     in
     let serving = ref true in
     (* Event-driven serving is only safe when the epoch's plan is empty:
@@ -422,6 +487,7 @@ let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
        greedy decision is a pure function of the residual demand structure
        and {!Core.Policy.skip_bound} applies verbatim. *)
     let batchable = batch && Fault_plan.is_empty plan in
+    let units_served = ref 0 in
     while
       !serving
       && (not (Simulator.all_complete sim))
@@ -437,6 +503,7 @@ let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
         else 1
       in
       Simulator.step_batch sim transfers ~slots;
+      units_served := !units_served + (slots * List.length transfers);
       if slots > 1 then Obs.Counter.incr c_batched ~by:(slots - 1);
       let local_now = Simulator.now sim in
       (* first service lands in the batch's first slot, completions in its
@@ -464,7 +531,8 @@ let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
         st.s_audited <- st.s_audited + slots;
         Obs.Counter.incr c_audited ~by:slots
       | Error msg ->
-        st.s_violation <- Some (epoch_start + start, msg);
+        st.s_violation <-
+          Some (epoch_start + start, Printf.sprintf "epoch %d: %s" epoch_index msg);
         serving := false)
     done;
     let slots_run = Simulator.now sim in
@@ -498,6 +566,54 @@ let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
     live_rev := !survivors;
     n_live := List.length !survivors;
     backlog := !bl;
+    (match observer with
+    | None -> ()
+    | Some f ->
+      let src_active = Array.make ports false
+      and dst_active = Array.make ports false in
+      List.iter
+        (fun e ->
+          Matrix.Mat.iter_nonzero
+            (fun i j _ ->
+              src_active.(i) <- true;
+              dst_active.(j) <- true)
+            e.demand)
+        !survivors;
+      let active a =
+        Array.fold_left (fun n b -> if b then n + 1 else n) 0 a
+      in
+      f
+        { ev_epoch = epoch_index;
+          ev_start = epoch_start;
+          ev_now = !now;
+          ev_slots = slots_run;
+          ev_tier = tier;
+          ev_live_before = n;
+          ev_live_after = !n_live;
+          ev_backlog = !bl;
+          ev_units_served = !units_served;
+          (* conservation check: with demand fixed, what entered must be
+             what is left plus what was served; a straggler growing demand
+             in place mid-epoch is the only way this goes positive *)
+          ev_demand_surplus = !bl + !units_served - backlog_start;
+          ev_port_spread = min (active src_active) (active dst_active);
+          ev_fault_events = List.length (Fault_plan.events plan);
+          ev_arrived = st.s_arrived;
+          ev_admitted = st.s_admitted;
+          ev_rejected_queue = st.s_rej_queue;
+          ev_rejected_deadline = st.s_rej_deadline;
+          ev_completed = st.s_completed;
+          ev_deadline_misses = st.s_deadline_misses;
+          ev_degradations = st.s_degradations;
+          ev_lp_failures = st.s_lp_failures;
+          ev_twct = st.s_twct;
+          ev_bound_sum = st.s_bound_sum;
+          ev_wait_p50 = Buckets.percentile waits 0.50;
+          ev_wait_p99 = Buckets.percentile waits 0.99;
+          ev_max_live = st.s_max_live;
+          ev_violation = st.s_violation <> None;
+          ev_decision_fingerprint = Fingerprint.hex dfp;
+        });
     if st.s_slots > cfg.max_slots then
       failwith "Epoch_loop.run: max_slots exhausted"
   in
@@ -538,6 +654,8 @@ let run ?(plan_seed = 0) ?(batch = true) cfg src ~coflows:total =
     lp_iterations = st.s_lp_iterations;
     deadline_misses = st.s_deadline_misses;
     max_live = st.s_max_live;
+    max_live_epoch = st.s_max_live_epoch;
+    bound_sum = st.s_bound_sum;
     audited_slots = st.s_audited;
     audit_violation = st.s_violation;
     wait_p50 = Buckets.percentile waits 0.50;

@@ -58,6 +58,14 @@ type config = {
       (** SLO-aware degradation: skip the LP tier while the live set is
           larger than this (the solve would outlast the epoch) *)
   fault_intensity : float;  (** {!Faults.Fault_plan.random} intensity *)
+  fault_script : (epoch:int -> coflows:int -> Faults.Fault_plan.t) option;
+      (** When set, each epoch's fault plan comes from this function
+          instead of the seeded random draw ([fault_intensity] is then
+          ignored): [epoch] is the 0-based index of executed epochs,
+          [coflows] the live-set size, and the returned plan uses
+          epoch-local slots and live-set coflow indices ([< coflows]).
+          This is how E20 injects {e known} fault windows and then asserts
+          that telemetry raises a matching alert for each one. *)
   max_slots : int;  (** safety valve on total simulated slots *)
 }
 
@@ -87,6 +95,13 @@ type stats = {
   lp_iterations : int;  (** pivots across successful epoch solves *)
   deadline_misses : int;  (** admitted coflows that finished past deadline *)
   max_live : int;  (** live-set high-water mark (<= admission.max_live) *)
+  max_live_epoch : int;  (** 0-based epoch index where [max_live] was hit *)
+  bound_sum : float;
+      (** sum over completed coflows of weight x (arrival + rho): each
+          term lower-bounds that coflow's weighted completion (it cannot
+          finish before its own isolation load drains), so the sum is a
+          certified per-run lower bound on [twct] — the denominator of the
+          telemetry layer's TWCT-vs-bound burn rate *)
   audited_slots : int;  (** slots certified by the incremental auditor *)
   audit_violation : (int * string) option;
       (** first violation as (absolute slot, message); [None] on a clean
@@ -100,12 +115,70 @@ type stats = {
   fingerprint : string;  (** rolling digest of every decision in order *)
 }
 
+type epoch_view = {
+  ev_epoch : int;  (** 0-based index of this executed epoch *)
+  ev_start : int;  (** absolute slot at which the epoch began *)
+  ev_now : int;  (** absolute slot after the epoch's serving *)
+  ev_slots : int;  (** slots served this epoch ([ev_now - ev_start]) *)
+  ev_tier : Core.Resilient.tier;  (** the tier that planned this epoch *)
+  ev_live_before : int;  (** live set entering the epoch (post-admission) *)
+  ev_live_after : int;  (** live set surviving into the next epoch *)
+  ev_backlog : int;  (** residual demand units carried forward *)
+  ev_units_served : int;  (** demand units drained this epoch *)
+  ev_demand_surplus : int;
+      (** units by which the epoch's books do not balance:
+          [backlog_end + units_served - backlog_start].  Zero on a clean
+          epoch; strictly positive exactly when a fault {e grew} demand in
+          place mid-epoch (a straggler inflating a transfer), so this is
+          the fault signal the demand-surplus alert rule watches. *)
+  ev_port_spread : int;
+      (** min(active ingress ports, active egress ports) over the carried
+          residual demand — an upper bound on the parallelism the live
+          set could use next epoch.  Distinguishes a serialized fabric
+          (high spread, low units/slot: a fault) from concentrated demand
+          (spread 1 drains at 1 unit/slot {e optimally}). *)
+  ev_fault_events : int;  (** events in this epoch's fault plan *)
+  ev_arrived : int;  (** cumulative counters, as of the epoch's end *)
+  ev_admitted : int;
+  ev_rejected_queue : int;
+  ev_rejected_deadline : int;
+  ev_completed : int;
+  ev_deadline_misses : int;
+  ev_degradations : int;
+  ev_lp_failures : int;
+  ev_twct : float;  (** over completions so far *)
+  ev_bound_sum : float;  (** matching lower-bound sum, completions so far *)
+  ev_wait_p50 : int;  (** percentiles of waits recorded so far *)
+  ev_wait_p99 : int;
+  ev_max_live : int;
+  ev_violation : bool;  (** an audit violation ended this epoch *)
+  ev_decision_fingerprint : string;
+      (** rolling digest of admission / rejection / completion decisions
+          only — no tiers or slot counts — so the watchdog can tell
+          "decisions frozen" apart from "time passing" *)
+}
+(** What an observer sees at the end of each executed epoch: the epoch's
+    own flow accounting plus the run's cumulative counters.  Idle jumps
+    between arrivals do not produce views. *)
+
 val run :
-  ?plan_seed:int -> ?batch:bool -> config -> Arrivals.t -> coflows:int -> stats
+  ?plan_seed:int ->
+  ?batch:bool ->
+  ?observer:(epoch_view -> unit) ->
+  config ->
+  Arrivals.t ->
+  coflows:int ->
+  stats
 (** [run config source ~coflows] consumes up to [coflows] arrivals from
     [source] (fewer if a replay source is exhausted), serves until every
     admitted coflow completes, and returns the run's statistics.
     [plan_seed] (default 0) seeds the per-epoch fault plans.
+
+    [observer] is called once per executed epoch with that epoch's
+    {!epoch_view}, after serving and completion-retirement but before the
+    next admission round.  It is read-only telemetry: the loop's
+    decisions, stats and fingerprint are identical with or without it
+    (E20 asserts this byte-for-byte).
 
     [batch] (default on) enables event-driven serving inside fault-free
     epochs: when the greedy matching cannot change before the next demand

@@ -1,0 +1,233 @@
+type state = Ok | Warning | Firing | Resolved
+
+let state_name = function
+  | Ok -> "ok"
+  | Warning -> "warning"
+  | Firing -> "firing"
+  | Resolved -> "resolved"
+
+type rule = {
+  name : string;
+  short_window : int;
+  long_window : int;
+  warn_burn : float;
+  fire_burn : float;
+  clear_after : int;
+}
+
+let rule ?(short_window = 2) ?(long_window = 8) ?(warn_burn = 1.0)
+    ?(fire_burn = 2.0) ?(clear_after = 3) name =
+  { name; short_window; long_window; warn_burn; fire_burn; clear_after }
+
+type transition = {
+  t_epoch : int;
+  t_rule : string;
+  t_from : state;
+  t_to : state;
+  t_value : float;
+  t_short : float;
+  t_long : float;
+}
+
+(* per-rule runtime: a ring of the last [long_window] burn samples plus
+   the state machine's position and its cool-streak counter *)
+type cell = {
+  rule : rule;
+  ring : float array;  (* length long_window *)
+  mutable filled : int;  (* samples seen, saturates at long_window *)
+  mutable head : int;  (* next write position *)
+  mutable st : state;
+  mutable cool : int;  (* consecutive cool epochs while Warning/Firing *)
+}
+
+type t = { cells : cell array; mutable timeline_rev : transition list }
+
+let c_transitions = Obs.Counter.make "slo.transitions"
+
+let c_fired = Obs.Counter.make "slo.fired"
+
+let c_resolved = Obs.Counter.make "slo.resolved"
+
+let validate_rule r =
+  if r.short_window < 1 then
+    invalid_arg (Printf.sprintf "Slo: rule %s: short_window must be >= 1" r.name);
+  if r.long_window < r.short_window then
+    invalid_arg
+      (Printf.sprintf "Slo: rule %s: long_window must be >= short_window" r.name);
+  if r.warn_burn < 0.0 then
+    invalid_arg (Printf.sprintf "Slo: rule %s: warn_burn must be >= 0" r.name);
+  if r.fire_burn < r.warn_burn then
+    invalid_arg
+      (Printf.sprintf "Slo: rule %s: fire_burn must be >= warn_burn" r.name);
+  if r.clear_after < 1 then
+    invalid_arg (Printf.sprintf "Slo: rule %s: clear_after must be >= 1" r.name)
+
+let create rules =
+  List.iter validate_rule rules;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      if Hashtbl.mem seen r.name then
+        invalid_arg (Printf.sprintf "Slo: duplicate rule %s" r.name);
+      Hashtbl.replace seen r.name ())
+    rules;
+  { cells =
+      Array.of_list
+        (List.map
+           (fun r ->
+             { rule = r;
+               ring = Array.make r.long_window 0.0;
+               filled = 0;
+               head = 0;
+               st = Ok;
+               cool = 0;
+             })
+           rules);
+    timeline_rev = [];
+  }
+
+(* average of the last [n] samples (fewer while the ring is filling — a
+   young stream is judged on what it has, so a hot first epoch can warn
+   immediately rather than hiding behind zero-padding) *)
+let window_avg cell n =
+  let have = min n cell.filled in
+  if have = 0 then 0.0
+  else begin
+    let len = Array.length cell.ring in
+    let sum = ref 0.0 in
+    for i = 1 to have do
+      sum := !sum +. cell.ring.((cell.head - i + (2 * len)) mod len)
+    done;
+    !sum /. float_of_int have
+  end
+
+(* what the thresholds say about the current windows *)
+type level = Fire | Warn | Cool
+
+let level cell =
+  let r = cell.rule in
+  let s = window_avg cell r.short_window
+  and l = window_avg cell r.long_window in
+  let lv =
+    if s >= r.fire_burn && l >= r.fire_burn then Fire
+    else if s >= r.warn_burn && l >= r.warn_burn then Warn
+    else Cool
+  in
+  (lv, s, l)
+
+let step t ~epoch burns =
+  let out = ref [] in
+  Array.iter
+    (fun cell ->
+      let v =
+        Option.value ~default:0.0 (List.assoc_opt cell.rule.name burns)
+      in
+      cell.ring.(cell.head) <- v;
+      cell.head <- (cell.head + 1) mod Array.length cell.ring;
+      if cell.filled < Array.length cell.ring then
+        cell.filled <- cell.filled + 1;
+      let lv, s, l = level cell in
+      let goto to_ =
+        let tr =
+          { t_epoch = epoch;
+            t_rule = cell.rule.name;
+            t_from = cell.st;
+            t_to = to_;
+            t_value = v;
+            t_short = s;
+            t_long = l;
+          }
+        in
+        (match to_ with
+        | Firing -> Obs.Counter.incr c_fired
+        | Resolved -> Obs.Counter.incr c_resolved
+        | Ok | Warning -> ());
+        Obs.Counter.incr c_transitions;
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant
+            ~args:
+              [ ("rule", "\"" ^ cell.rule.name ^ "\"");
+                ("from", "\"" ^ state_name cell.st ^ "\"");
+                ("to", "\"" ^ state_name to_ ^ "\"");
+                ("burn", Printf.sprintf "%.3f" v);
+              ]
+            ~name:"slo" ~cat:"service" ~slot:epoch ();
+        cell.st <- to_;
+        out := tr :: !out
+      in
+      (match cell.st with
+      | Ok -> (
+        cell.cool <- 0;
+        match lv with
+        | Fire -> goto Firing
+        | Warn -> goto Warning
+        | Cool -> ())
+      | Warning -> (
+        match lv with
+        | Fire ->
+          cell.cool <- 0;
+          goto Firing
+        | Warn -> cell.cool <- 0
+        | Cool ->
+          cell.cool <- cell.cool + 1;
+          if cell.cool >= cell.rule.clear_after then begin
+            cell.cool <- 0;
+            goto Ok
+          end)
+      | Firing -> (
+        match lv with
+        (* staying hot — even merely warn-hot — holds the alert open:
+           dropping to Warning on every dip is exactly the flapping the
+           hysteresis exists to suppress *)
+        | Fire | Warn -> cell.cool <- 0
+        | Cool ->
+          cell.cool <- cell.cool + 1;
+          if cell.cool >= cell.rule.clear_after then begin
+            cell.cool <- 0;
+            goto Resolved
+          end)
+      | Resolved -> (
+        (* transient: acknowledge, then either settle or re-enter *)
+        cell.cool <- 0;
+        match lv with
+        | Fire -> goto Firing
+        | Warn -> goto Warning
+        | Cool -> goto Ok)))
+    t.cells;
+  let ts = List.rev !out in
+  t.timeline_rev <- List.rev_append ts t.timeline_rev;
+  ts
+
+let find t name =
+  match
+    Array.find_opt (fun c -> String.equal c.rule.name name) t.cells
+  with
+  | Some c -> c
+  | None -> raise Not_found
+
+let state t name = (find t name).st
+
+let transitions t = List.rev t.timeline_rev
+
+let firing t =
+  Array.to_list t.cells
+  |> List.filter_map (fun c ->
+         if c.st = Firing then Some c.rule.name else None)
+
+let to_json ts =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i tr ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  {\"epoch\":%d,\"rule\":\"%s\",\"from\":\"%s\",\"to\":\"%s\",\
+            \"value\":%.6f,\"short\":%.6f,\"long\":%.6f}"
+           tr.t_epoch
+           (Obs.Json.escape tr.t_rule)
+           (state_name tr.t_from) (state_name tr.t_to) tr.t_value tr.t_short
+           tr.t_long))
+    ts;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

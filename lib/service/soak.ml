@@ -42,16 +42,19 @@ let ports cfg =
   | _ -> (
     match cfg.params with Some p -> p.Fb_like.ports | None -> 8)
 
-let run_once cfg =
+let run_once ?observer cfg =
   let src =
     Arrivals.create ?params:cfg.params ~random_weights:cfg.random_weights
       ~ports:(ports cfg) ~seed:cfg.seed cfg.process
   in
-  Epoch_loop.run ~plan_seed:cfg.plan_seed cfg.loop src ~coflows:cfg.coflows
+  Epoch_loop.run ~plan_seed:cfg.plan_seed ?observer cfg.loop src
+    ~coflows:cfg.coflows
 
-let run ?(verify_replay = false) cfg =
+let run ?(verify_replay = false) ?observer cfg =
   let t0 = Obs.Clock.now_ns () in
-  let stats = run_once cfg in
+  (* the observer watches the primary run only: feeding the replay too
+     would fold both runs into one snapshot stream / alert timeline *)
+  let stats = run_once ?observer cfg in
   let elapsed_s = Obs.Clock.elapsed_s ~since:t0 in
   let replay_fingerprint =
     if verify_replay then Some (run_once cfg).Epoch_loop.fingerprint else None
@@ -69,8 +72,12 @@ let run ?(verify_replay = false) cfg =
           (if stats.Epoch_loop.completed = stats.Epoch_loop.admitted then None
            else
              Some
-               (Printf.sprintf "admitted %d but completed %d"
-                  stats.Epoch_loop.admitted stats.Epoch_loop.completed));
+               (Printf.sprintf
+                  "completed %d of %d admitted (%d stranded after %d epochs, \
+                   %d slots)"
+                  stats.Epoch_loop.completed stats.Epoch_loop.admitted
+                  (stats.Epoch_loop.admitted - stats.Epoch_loop.completed)
+                  stats.Epoch_loop.epochs stats.Epoch_loop.slots));
       };
       { gate = "live-ceiling";
         failure =
@@ -78,8 +85,10 @@ let run ?(verify_replay = false) cfg =
            if stats.Epoch_loop.max_live <= ceiling then None
            else
              Some
-               (Printf.sprintf "live high-water %d exceeds max_live %d"
-                  stats.Epoch_loop.max_live ceiling));
+               (Printf.sprintf
+                  "observed live high-water %d at epoch %d vs ceiling %d"
+                  stats.Epoch_loop.max_live stats.Epoch_loop.max_live_epoch
+                  ceiling));
       };
     ]
     @ (match cfg.wait_p99_slo with
@@ -90,8 +99,11 @@ let run ?(verify_replay = false) cfg =
               (if stats.Epoch_loop.wait_p99 <= slo then None
                else
                  Some
-                   (Printf.sprintf "wait p99 = %d slots exceeds SLO %d"
-                      stats.Epoch_loop.wait_p99 slo));
+                   (Printf.sprintf
+                      "observed wait p99 = %d slots vs threshold %d (p50 %d, \
+                       %d epochs)"
+                      stats.Epoch_loop.wait_p99 slo stats.Epoch_loop.wait_p50
+                      stats.Epoch_loop.epochs));
           };
         ])
     @
@@ -103,8 +115,11 @@ let run ?(verify_replay = false) cfg =
             (if String.equal fp2 stats.Epoch_loop.fingerprint then None
              else
                Some
-                 (Printf.sprintf "fingerprint %s != replay %s"
-                    stats.Epoch_loop.fingerprint fp2));
+                 (Printf.sprintf
+                    "observed fingerprint %s vs replay %s after %d epochs \
+                     (seed %d, plan seed %d)"
+                    stats.Epoch_loop.fingerprint fp2 stats.Epoch_loop.epochs
+                    cfg.seed cfg.plan_seed));
         };
       ]
   in

@@ -15,7 +15,10 @@
       [lp_deadline = None], since wall-clock budgets are not replayable).
 
     The report carries the loop's stats plus each gate's outcome, so a CLI
-    can render it and exit nonzero iff {!failed} is non-empty. *)
+    can render it and exit nonzero iff {!failed} is non-empty.  Gate
+    failure messages are actionable on their own: each names the failing
+    gate, the epoch (or slot) involved, and the observed value next to
+    the threshold it broke — no rerun needed to know what went wrong. *)
 
 type config = {
   process : Arrivals.process;
@@ -50,11 +53,17 @@ val ports : config -> int
 (** Ports of the arrival stream ([loop]-independent): the replay
     instance's ports, else the generator params', else 8. *)
 
-val run : ?verify_replay:bool -> config -> report
+val run :
+  ?verify_replay:bool ->
+  ?observer:(Epoch_loop.epoch_view -> unit) ->
+  config ->
+  report
 (** Execute the soak.  [verify_replay] (default false) immediately re-runs
-    with the same seeds and compares fingerprints.  @raise Invalid_argument
-    on a bad config (via {!Epoch_loop.validate_config} /
-    {!Arrivals.create}). *)
+    with the same seeds and compares fingerprints.  [observer] (typically
+    {!Telemetry.observer}) watches the {e primary} run only — the replay
+    run stays unobserved so the telemetry stream covers exactly one run.
+    @raise Invalid_argument on a bad config (via
+    {!Epoch_loop.validate_config} / {!Arrivals.create}). *)
 
 val failed : report -> gate list
 (** The gates that failed; [[]] is a passing soak. *)

@@ -1,0 +1,123 @@
+type config = { stall_epochs : int; flap_window : int; flap_limit : int }
+
+let default_config = { stall_epochs = 16; flap_window = 16; flap_limit = 4 }
+
+let validate_config cfg =
+  if cfg.stall_epochs < 1 then
+    invalid_arg "Watchdog: stall_epochs must be >= 1";
+  if cfg.flap_window < 1 then invalid_arg "Watchdog: flap_window must be >= 1";
+  if cfg.flap_limit < 1 then invalid_arg "Watchdog: flap_limit must be >= 1"
+
+type beat = {
+  b_epoch : int;
+  b_live : int;
+  b_backlog : int;
+  b_completed : int;
+  b_tier : Core.Resilient.tier;
+  b_decision_fingerprint : string;
+}
+
+type alert = { a_epoch : int; a_kind : string; a_detail : string }
+
+type t = {
+  cfg : config;
+  mutable n_beats : int;
+  mutable prev : beat option;
+  mutable stalled_for : int;  (* consecutive joint no-progress beats *)
+  mutable stall_open : bool;  (* alert already raised this episode *)
+  changes : bool Queue.t;  (* tier-changed flags, last flap_window beats *)
+  mutable n_changes : int;  (* true entries in [changes] *)
+  mutable flap_open : bool;
+  mutable alerts_rev : alert list;
+}
+
+let c_heartbeats = Obs.Counter.make "watchdog.heartbeats"
+
+let c_stalls = Obs.Counter.make "watchdog.stalls"
+
+let c_flaps = Obs.Counter.make "watchdog.flaps"
+
+let create ?(config = default_config) () =
+  validate_config config;
+  { cfg = config;
+    n_beats = 0;
+    prev = None;
+    stalled_for = 0;
+    stall_open = false;
+    changes = Queue.create ();
+    n_changes = 0;
+    flap_open = false;
+    alerts_rev = [];
+  }
+
+let beats t = t.n_beats
+
+let alerts t = List.rev t.alerts_rev
+
+let raise_alert t b kind detail =
+  let a = { a_epoch = b.b_epoch; a_kind = kind; a_detail = detail } in
+  t.alerts_rev <- a :: t.alerts_rev;
+  Obs.Counter.incr (if kind = "stall" then c_stalls else c_flaps);
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant
+      ~args:
+        [ ("kind", "\"" ^ kind ^ "\"");
+          ("detail", "\"" ^ Obs.Json.escape detail ^ "\"");
+        ]
+      ~name:"watchdog" ~cat:"service" ~slot:b.b_epoch ();
+  a
+
+let beat t b =
+  t.n_beats <- t.n_beats + 1;
+  Obs.Counter.incr c_heartbeats;
+  let out = ref [] in
+  (match t.prev with
+  | None -> ()
+  | Some p ->
+    (* ---- stall: all four no-progress conditions, jointly ---- *)
+    let no_progress =
+      b.b_live > 0
+      && b.b_completed = p.b_completed
+      && b.b_backlog >= p.b_backlog
+      && String.equal b.b_decision_fingerprint p.b_decision_fingerprint
+    in
+    if no_progress then begin
+      t.stalled_for <- t.stalled_for + 1;
+      if t.stalled_for >= t.cfg.stall_epochs && not t.stall_open then begin
+        t.stall_open <- true;
+        out :=
+          raise_alert t b "stall"
+            (Printf.sprintf
+               "no progress for %d epochs: live=%d backlog=%d completed=%d \
+                decisions frozen"
+               t.stalled_for b.b_live b.b_backlog b.b_completed)
+          :: !out
+      end
+    end
+    else begin
+      t.stalled_for <- 0;
+      t.stall_open <- false
+    end;
+    (* ---- tier flapping within the rolling window ---- *)
+    let changed = b.b_tier <> p.b_tier in
+    Queue.push changed t.changes;
+    if changed then t.n_changes <- t.n_changes + 1;
+    if Queue.length t.changes > t.cfg.flap_window then
+      if Queue.pop t.changes then t.n_changes <- t.n_changes - 1;
+    if t.n_changes > t.cfg.flap_limit then begin
+      if not t.flap_open then begin
+        t.flap_open <- true;
+        out :=
+          raise_alert t b "flap"
+            (Printf.sprintf
+               "degradation tier changed %d times in the last %d epochs \
+                (limit %d)"
+               t.n_changes
+               (Queue.length t.changes)
+               t.cfg.flap_limit)
+          :: !out
+      end
+    end
+    else t.flap_open <- false);
+  t.prev <- Some b;
+  List.rev !out

@@ -1,0 +1,61 @@
+(** Liveness watchdog for the epoch loop: heartbeats plus no-progress
+    detection.
+
+    The SLO rules catch a service that is {e slow}; the watchdog catches
+    one that is {e stuck} — conditions where the loop still executes
+    epochs (so no counter stops moving) but no useful work happens:
+
+    - {b stall}: over [stall_epochs] consecutive beats the live set stays
+      non-empty, nothing completes, the backlog does not shrink and the
+      decision fingerprint is frozen (no admission, rejection or
+      completion was folded).  Each condition alone is benign — a big
+      coflow takes many epochs, a quiet stream admits nothing — but all
+      four together mean the scheduler is spinning without draining.
+    - {b tier flapping}: more than [flap_limit] degradation-tier changes
+      within the last [flap_window] beats.  The chain is built to degrade
+      and recover; oscillating between tiers every few epochs means the
+      LP budget is sized exactly at the cliff and most epochs pay for a
+      failed solve before falling back.
+
+    Every beat bumps the [watchdog.heartbeats] counter (the external
+    liveness signal: a frozen counter means the loop itself is dead, not
+    just stuck).  Alerts bump [watchdog.stalls] / [watchdog.flaps], emit
+    trace instants, and are reported at most once per episode — the
+    condition must clear before the same alert can fire again. *)
+
+type config = {
+  stall_epochs : int;  (** beats of joint no-progress before alerting *)
+  flap_window : int;  (** beats; tier changes are counted within it *)
+  flap_limit : int;  (** changes within the window tolerated *)
+}
+
+val default_config : config
+(** stall 16, flap window 16, flap limit 4. *)
+
+val validate_config : config -> unit
+(** @raise Invalid_argument on non-positive fields. *)
+
+type beat = {
+  b_epoch : int;
+  b_live : int;  (** live set after the epoch *)
+  b_backlog : int;  (** residual units after the epoch *)
+  b_completed : int;  (** cumulative completions *)
+  b_tier : Core.Resilient.tier;
+  b_decision_fingerprint : string;
+}
+
+type alert = { a_epoch : int; a_kind : string; a_detail : string }
+(** [a_kind] is ["stall"] or ["flap"]. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val beat : t -> beat -> alert list
+(** Feed one epoch's beat; returns the alerts it raised (usually none). *)
+
+val alerts : t -> alert list
+(** All alerts so far, oldest first. *)
+
+val beats : t -> int
+(** Beats fed so far. *)

@@ -47,7 +47,7 @@ let test_experiments_misuse () =
   let t = check_exit experiments_exe [ "--jobs"; "0" ] 124 in
   Alcotest.(check bool) "names the offender" true (contains "jobs" t);
   let t = check_exit experiments_exe [ "--only"; "E99" ] 124 in
-  Alcotest.(check bool) "explains the id range" true (contains "E1..E19" t);
+  Alcotest.(check bool) "explains the id range" true (contains "E1..E20" t);
   ignore (check_exit experiments_exe [ "--scale"; "sideways" ] 124);
   (* the term takes no positional arguments: trailing garbage is misuse *)
   ignore (check_exit experiments_exe [ "--scale"; "quick"; "leftover" ] 124)

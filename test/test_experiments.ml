@@ -590,7 +590,7 @@ let test_cli_obs_diff () =
   let cli =
     ok
       [ "obs-diff"; "old.json"; "new.json"; "--threshold"; "5";
-        "--time-threshold"; "50";
+        "--time-threshold"; "50"; "--json"; "verdict.json";
       ]
   in
   (match cli.Bench_cli.diff with
@@ -598,8 +598,15 @@ let test_cli_obs_diff () =
   | Some d ->
     Alcotest.(check (float 0.0)) "threshold" 5.0 d.Bench_cli.threshold;
     Alcotest.(check (option (float 0.0))) "time threshold" (Some 50.0)
-      d.Bench_cli.time_threshold);
+      d.Bench_cli.time_threshold;
+    Alcotest.(check (option string)) "diff json" (Some "verdict.json")
+      d.Bench_cli.diff_json);
+  (match (ok [ "obs-diff"; "a.json"; "b.json" ]).Bench_cli.diff with
+  | Some d ->
+    Alcotest.(check (option string)) "diff json absent" None d.Bench_cli.diff_json
+  | None -> Alcotest.fail "expected a diff");
   err "one path" [ "obs-diff"; "a.json" ];
+  err "diff json eats no flag" [ "obs-diff"; "a"; "b"; "--json"; "--threshold" ];
   err "three paths" [ "obs-diff"; "a"; "b"; "c" ];
   err "negative threshold" [ "obs-diff"; "a"; "b"; "--threshold"; "-1" ];
   err "non-numeric threshold" [ "obs-diff"; "a"; "b"; "--threshold"; "x" ];
