@@ -241,13 +241,24 @@ let paper_scale_matching () =
     !transfers
   in
   let sparse_matching () = Core.Policy.greedy_matching sim ~priority in
-  (sparse_matching, dense_matching)
+  (* the same scan fanned out over a k=4 heterogeneous net: one sweep per
+     fabric, fastest first, with the cross-fabric served-pair filter on.
+     The delta against matching_sparse is the price of multi-fabric
+     routing at the paper's scale. *)
+  let net = Switchsim.Net.uniform ~ports ~rates:[ 4; 2; 1; 1 ] in
+  let sim_h =
+    Switchsim.Simulator.create ~net ~ports (Workload.Instance.demands inst)
+  in
+  let hetero_matching () = Core.Policy.greedy_matching sim_h ~priority in
+  (sparse_matching, dense_matching, hetero_matching)
 
 (* Pre-generated inputs so the staged closures only measure the kernel. *)
 let kernel_tests () =
   let st = Random.State.make [| 7 |] in
   let bvn_input = Matrix.Mat.random ~density:0.4 ~max_entry:20 st 32 in
-  let sparse_matching, dense_matching = paper_scale_matching () in
+  let sparse_matching, dense_matching, hetero_matching =
+    paper_scale_matching ()
+  in
   let matching_graph =
     Matching.Bipartite.of_support (fun _ _ -> Random.State.bool st) 96
   in
@@ -292,6 +303,8 @@ let kernel_tests () =
         (Staged.stage (fun () -> ignore (sparse_matching ())));
       Test.make ~name:"matching_dense_150x526"
         (Staged.stage (fun () -> ignore (dense_matching ())));
+      Test.make ~name:"matching_hetero_150x526_k4"
+        (Staged.stage (fun () -> ignore (hetero_matching ())));
     ]
 
 (* Counter probe for the JSON baseline: one cold interval-LP solve and one

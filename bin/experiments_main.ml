@@ -10,7 +10,8 @@
    variant), E19 arena (every algorithm ranked vs lower bounds; --csv also
    writes arena.json), E20 telemetry (fault windows vs raised alerts;
    --csv also writes telemetry.json; --telemetry BASE writes the live
-   artifacts). *)
+   artifacts), E21 hetero (k parallel fabrics with rate skews vs the
+   rate-aware isolation bound; --csv also writes hetero.json). *)
 
 open Cmdliner
 
@@ -130,6 +131,12 @@ let run_all scale only csv_dir profile trace jobs stretch telemetry =
     save "arena.json" (Experiments.Exp_arena.json arena);
     print_newline ()
   end;
+  if wants "E21" then begin
+    let hetero = Experiments.Exp_hetero.run ~jobs cfg in
+    print_string (Experiments.Exp_hetero.render hetero);
+    save "hetero.json" (Experiments.Exp_hetero.json hetero);
+    print_newline ()
+  end;
   let telemetry_ok = ref true in
   if wants "E20" then begin
     let r = Experiments.Exp_telemetry.run ?telemetry cfg in
@@ -172,7 +179,7 @@ let scale_arg =
     & info [ "scale" ] ~docv:"SCALE" ~doc:"quick | default | large")
 
 let experiment_ids =
-  List.init 20 (fun i -> Printf.sprintf "E%d" (i + 1))
+  List.init 21 (fun i -> Printf.sprintf "E%d" (i + 1))
 
 let experiment_id_conv =
   let parse s =
@@ -180,7 +187,7 @@ let experiment_id_conv =
     else
       Error
         (`Msg
-           (Printf.sprintf "unknown experiment id %S (expected E1..E20)" s))
+           (Printf.sprintf "unknown experiment id %S (expected E1..E21)" s))
   in
   Arg.conv (parse, Format.pp_print_string)
 
@@ -189,7 +196,7 @@ let only_arg =
     value
     & opt (list experiment_id_conv) []
     & info [ "only" ] ~docv:"IDS"
-        ~doc:"Comma-separated experiment ids (E1..E20); default all")
+        ~doc:"Comma-separated experiment ids (E1..E21); default all")
 
 let csv_arg =
   Arg.(

@@ -11,7 +11,7 @@ let port_loads inst =
 
 type charge = Bottleneck_port | Port_pair
 
-let backward_order ?(release_aware = false) ~charge inst =
+let backward_order ?(release_aware = false) ?(speed = 1.0) ~charge inst =
   let n = Instance.num_coflows inst in
   let m = Instance.ports inst in
   let coflows = Instance.coflows inst in
@@ -77,8 +77,11 @@ let backward_order ?(release_aware = false) ~charge inst =
               in
               if c > 0 || (c = 0 && less_urgent k b) then best := k
         done;
-        if !best >= 0 && coflows.(!best).Instance.release > charge_load then
-          Some !best
+        if
+          !best >= 0
+          && float_of_int coflows.(!best).Instance.release
+             > float_of_int charge_load /. speed
+        then Some !best
         else None
       end
     in

@@ -28,11 +28,20 @@ type charge =
 
 val backward_order :
   ?release_aware:bool ->
+  ?speed:float ->
   charge:charge ->
   Workload.Instance.t ->
   Ordering.t * float array
 (** [backward_order ?release_aware ~charge inst] returns the permutation
     (most-urgent coflow first) and the final residual weights.
+
+    [speed] (default [1.0]) is the aggregate per-port link speed — on a
+    heterogeneous net, the sum of the fabric rates ({!Switchsim.Net.total_rate}).
+    Load [l] drains in [l / speed] time, so the release-date pre-emption
+    compares release dates against [charge_load / speed]; the charging
+    step itself is invariant under the uniform scaling (the argmin of
+    [residual / (load / speed)] does not depend on [speed]), so at
+    [speed = 1.0] the result is bit-identical to the classic rule.
 
     Selection at each backward step, over the not-yet-placed coflows:
 

@@ -36,7 +36,8 @@ let max_weight_policy ~weights =
       done;
       let pairs, _ = Matching.Hungarian.max_weight_matching w in
       List.map
-        (fun (i, j) -> { Simulator.src = i; dst = j; coflow = best.(i).(j) })
+        (fun (i, j) ->
+          { Simulator.src = i; dst = j; coflow = best.(i).(j); fabric = 0 })
         pairs)
 
 (* Varys-style SEBF + MADD, discretised via per-pair credits. *)
@@ -96,7 +97,8 @@ let sebf_madd_policy ~coflows:n =
                 let idx = (k * m * m) + (i * m) + j in
                 credit.(idx) <- credit.(idx) -. 1.0;
                 transfers :=
-                  { Simulator.src = i; dst = j; coflow = k } :: !transfers
+                  { Simulator.src = i; dst = j; coflow = k; fabric = 0 }
+                  :: !transfers
               end)
             sorted;
           (* work conservation: top up with order-respecting greedy on pairs

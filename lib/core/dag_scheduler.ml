@@ -82,7 +82,9 @@ let run ?(max_slots = 10_000_000) priority dag =
             if not (src_used.(i) || dst_used.(j)) then begin
               src_used.(i) <- true;
               dst_used.(j) <- true;
-              transfers := { Simulator.src = i; dst = j; coflow = k } :: !transfers
+              transfers :=
+                { Simulator.src = i; dst = j; coflow = k; fabric = 0 }
+                :: !transfers
             end))
       prio;
     !transfers

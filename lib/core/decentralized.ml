@@ -71,7 +71,9 @@ let decide rule weights rounds sim =
           let _, i, k = List.fold_left min (List.hd reqs) (List.tl reqs) in
           src_matched.(i) <- true;
           dst_matched.(j) <- true;
-          transfers := { Simulator.src = i; dst = j; coflow = k } :: !transfers
+          transfers :=
+            { Simulator.src = i; dst = j; coflow = k; fabric = 0 }
+            :: !transfers
         end)
       requests
   done;

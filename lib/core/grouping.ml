@@ -27,11 +27,14 @@ let cumulative_in_order inst order =
   in
   Coflow.cumulative_loads demands
 
-let deterministic inst order =
+let deterministic ?(speed = 1) inst order =
+  if speed < 1 then invalid_arg "Grouping.deterministic: speed must be >= 1";
   let v = cumulative_in_order inst order in
   let classes =
     Array.map
       (fun vk ->
+        (* drain time on an aggregate-speed-[speed] net, rounded up *)
+        let vk = (vk + speed - 1) / speed in
         if vk = 0 then 0
         else begin
           (* smallest s >= 1 with 2^(s-1) >= vk *)

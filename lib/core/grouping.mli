@@ -14,8 +14,12 @@ type t = int array array
 val singletons : Ordering.t -> t
 (** No grouping: one coflow per group (cases (a) and (b)). *)
 
-val deterministic : Workload.Instance.t -> Ordering.t -> t
-(** Classes [(2^(s-1), 2^s]] over [V_k] (cases (c) and (d)). *)
+val deterministic : ?speed:int -> Workload.Instance.t -> Ordering.t -> t
+(** Classes [(2^(s-1), 2^s]] over [V_k] (cases (c) and (d)).  [speed]
+    (default [1]) is the aggregate fabric rate of a heterogeneous net:
+    classes are taken over the drain time [ceil (V_k / speed)] rather than
+    the raw load, so a faster network consolidates more coflows per group.
+    @raise Invalid_argument when [speed < 1]. *)
 
 val randomized :
   a:float -> t0:float -> Workload.Instance.t -> Ordering.t -> t

@@ -30,86 +30,171 @@ let stateless ~describe next_slot =
    remaining demand.  [init] seeds the claimed ports (work-conserving
    top-ups extend a partial slot); new transfers are consed onto it.
    Iteration is over the simulator's sparse per-coflow views, so a slot
-   costs O(sum of live nonzeros), not O(coflows * ports^2). *)
+   costs O(sum of live nonzeros), not O(coflows * ports^2).
+
+   The sweep runs once per fabric, fastest first ([Net.by_rate]), so the
+   head of the priority order lands on the fastest links; each fabric has
+   its own free-port bitsets and (when oversubscribed) its own core
+   budget, and the same (coflow, src, dst) entry is never claimed on two
+   fabrics in one slot.  On [Net.single] this is exactly the classic
+   single-switch sweep. *)
 exception Saturated
 
 let greedy_matching ?(init = []) sim ~priority =
   let m = Simulator.ports sim in
+  let net = Simulator.net sim in
+  let kf = Simulator.num_fabrics sim in
   let words = Matrix.Bits.words_for m in
   let bpw = Matrix.Bits.bits_per_word in
-  (* free ports as bitsets: word w starts with every valid bit set *)
+  (* free ports as bitsets: word w starts with every valid bit set;
+     fabric f's word w lives at [f * words + w] *)
   let free_word w = Matrix.Bits.low_mask (min bpw (m - (w * bpw))) in
-  let free_src = Array.init words free_word in
-  let free_dst = Array.init words free_word in
-  let n_src = ref 0 and n_dst = ref 0 in
-  let claim_src i =
-    let w = Matrix.Bits.word_of i in
+  let free_src = Array.init (kf * words) (fun i -> free_word (i mod words)) in
+  let free_dst = Array.init (kf * words) (fun i -> free_word (i mod words)) in
+  let n_src = Array.make kf 0 and n_dst = Array.make kf 0 in
+  (* per-fabric inter-rack budget; [max_int] marks a non-blocking fabric *)
+  let core_left =
+    Array.init kf (fun f ->
+        match Net.core_capacity net f with None -> max_int | Some c -> c)
+  in
+  (* cross-fabric dedupe of (coflow, src, dst); only needed when k > 1 *)
+  let taken = if kf > 1 then Some (Hashtbl.create 64) else None in
+  let claim_src f i =
+    let w = (f * words) + Matrix.Bits.word_of i in
     free_src.(w) <- free_src.(w) land lnot (1 lsl Matrix.Bits.bit_of i);
-    incr n_src
-  and claim_dst j =
-    let w = Matrix.Bits.word_of j in
+    n_src.(f) <- n_src.(f) + 1
+  and claim_dst f j =
+    let w = (f * words) + Matrix.Bits.word_of j in
     free_dst.(w) <- free_dst.(w) land lnot (1 lsl Matrix.Bits.bit_of j);
-    incr n_dst
+    n_dst.(f) <- n_dst.(f) + 1
   in
   List.iter
-    (fun { Simulator.src; dst; _ } ->
-      if free_src.(Matrix.Bits.word_of src) land (1 lsl Matrix.Bits.bit_of src)
-         <> 0
-      then claim_src src;
-      if free_dst.(Matrix.Bits.word_of dst) land (1 lsl Matrix.Bits.bit_of dst)
-         <> 0
-      then claim_dst dst)
+    (fun { Simulator.src; dst; coflow; fabric = f } ->
+      if
+        free_src.((f * words) + Matrix.Bits.word_of src)
+        land (1 lsl Matrix.Bits.bit_of src)
+        <> 0
+      then claim_src f src;
+      if
+        free_dst.((f * words) + Matrix.Bits.word_of dst)
+        land (1 lsl Matrix.Bits.bit_of dst)
+        <> 0
+      then claim_dst f dst;
+      if
+        core_left.(f) <> max_int
+        && Net.crosses_core net ~fabric:f ~src ~dst
+      then core_left.(f) <- core_left.(f) - 1;
+      match taken with
+      | Some tbl -> Hashtbl.replace tbl (coflow, src, dst) ()
+      | None -> ())
     init;
   let transfers = ref init in
-  (* The scan claims at most one pair per (coflow, src) row — a claimed
-     source blocks the rest of its row — and works wholesale on bitset
-     words: a coflow's candidate sources are [live_rows land free_src]
-     (one [land] per word covers 62 ports), and a row's first usable
-     destination is the lowest set bit of [row_support land free_dst].
+  (* The scan claims at most one pair per (coflow, src) row per fabric —
+     a claimed source blocks the rest of its row — and works wholesale on
+     bitset words: a coflow's candidate sources are
+     [live_rows land free_src] (one [land] per word covers 62 ports), and
+     a row's first usable destination is the lowest set bit of
+     [row_support land free_dst], restricted to the source's rack when
+     the fabric's core budget is spent (rack-local pairs stay admissible
+     after the core fills — the budget can never starve them).
      Lowest-bit iteration is exactly ascending row / ascending column
      order, so the result is the very matching the naive entry-by-entry
-     greedy scan produces.  Once every src (or every dst) is claimed no
-     later coflow can add a transfer and the whole scan stops — at scale
-     the head of the priority order saturates the fabric and the long
-     tail is never touched. *)
-  (try
-     Array.iter
-       (fun k ->
-         if !n_src = m || !n_dst = m then raise Saturated;
-         if Simulator.released sim k && not (Simulator.is_complete sim k)
-         then
-           for w = 0 to words - 1 do
-             (* candidate srcs: rows with demand whose port is free.
-                Claims inside this word only ever clear the bit being
-                iterated, so the snapshot stays valid. *)
-             let cand =
-               ref (Simulator.remaining_live_mask sim k w land free_src.(w))
-             in
-             while !cand <> 0 do
-               let b = !cand land - !cand in
-               cand := !cand land lnot b;
-               let i = (w * bpw) + Matrix.Bits.ntz b in
-               let rec row_scan w2 =
-                 if w2 < words then begin
-                   let rb =
-                     Simulator.remaining_row_mask sim k i w2 land free_dst.(w2)
-                   in
-                   if rb = 0 then row_scan (w2 + 1)
-                   else begin
-                     let j = (w2 * bpw) + Matrix.Bits.ntz (rb land -rb) in
-                     claim_src i;
-                     claim_dst j;
-                     transfers :=
-                       { Simulator.src = i; dst = j; coflow = k } :: !transfers;
-                     if !n_src = m || !n_dst = m then raise Saturated
-                   end
-                 end
-               in
-               row_scan 0
-             done
-           done)
-       priority
-   with Saturated -> ());
+     greedy scan produces.  Once every src (or every dst) of a fabric is
+     claimed no later coflow can add a transfer there and the scan moves
+     to the next fabric — at scale the head of the priority order
+     saturates each fabric and the long tail is never touched. *)
+  Array.iter
+    (fun f ->
+      let fw = f * words in
+      try
+        Array.iter
+          (fun k ->
+            if n_src.(f) = m || n_dst.(f) = m then raise Saturated;
+            if Simulator.released sim k && not (Simulator.is_complete sim k)
+            then
+              for w = 0 to words - 1 do
+                (* candidate srcs: rows with demand whose port is free.
+                   Claims inside this word only ever clear the bit being
+                   iterated, so the snapshot stays valid. *)
+                let cand =
+                  ref
+                    (Simulator.remaining_live_mask sim k w
+                    land free_src.(fw + w))
+                in
+                while !cand <> 0 do
+                  let b = !cand land - !cand in
+                  cand := !cand land lnot b;
+                  let i = (w * bpw) + Matrix.Bits.ntz b in
+                  (* admissible dst range: the whole row, or the source's
+                     rack once this fabric's core budget is exhausted *)
+                  let lo, hi =
+                    if core_left.(f) > 0 then (0, m)
+                    else
+                      match (Net.fabric_of net f).Net.rack_size with
+                      | None -> (0, m)
+                      | Some rs ->
+                        let r = i / rs in
+                        (r * rs, min m ((r + 1) * rs))
+                  in
+                  let range_mask w2 =
+                    let base = w2 * bpw in
+                    if hi <= base || lo >= base + bpw then 0
+                    else
+                      (if hi - base >= bpw then -1
+                       else Matrix.Bits.low_mask (hi - base))
+                      land lnot
+                            (if lo <= base then 0
+                             else Matrix.Bits.low_mask (lo - base))
+                  in
+                  let claimed = ref false in
+                  let rec row_scan w2 =
+                    if (not !claimed) && w2 < words then begin
+                      let rb =
+                        ref
+                          (Simulator.remaining_row_mask sim k i w2
+                          land free_dst.(fw + w2)
+                          land range_mask w2)
+                      in
+                      while (not !claimed) && !rb <> 0 do
+                        let db = !rb land - !rb in
+                        rb := !rb land lnot db;
+                        let j = (w2 * bpw) + Matrix.Bits.ntz db in
+                        let dup =
+                          match taken with
+                          | Some tbl -> Hashtbl.mem tbl (k, i, j)
+                          | None -> false
+                        in
+                        if not dup then begin
+                          claim_src f i;
+                          claim_dst f j;
+                          if
+                            core_left.(f) <> max_int
+                            && Net.crosses_core net ~fabric:f ~src:i ~dst:j
+                          then core_left.(f) <- core_left.(f) - 1;
+                          (match taken with
+                          | Some tbl -> Hashtbl.replace tbl (k, i, j) ()
+                          | None -> ());
+                          transfers :=
+                            { Simulator.src = i;
+                              dst = j;
+                              coflow = k;
+                              fabric = f;
+                            }
+                            :: !transfers;
+                          claimed := true;
+                          if n_src.(f) = m || n_dst.(f) = m then
+                            raise Saturated
+                        end
+                      done;
+                      row_scan (w2 + 1)
+                    end
+                  in
+                  row_scan 0
+                done
+              done)
+          priority
+      with Saturated -> ())
+    (Net.by_rate net);
   !transfers
 
 (* How many consecutive slots [transfers] may be replayed for without any
@@ -135,9 +220,14 @@ let skip_bound sim transfers ~max_n =
   | Some g -> if g < !bound then bound := g
   | None -> ());
   List.iter
-    (fun { Simulator.src; dst; coflow } ->
+    (fun { Simulator.src; dst; coflow; fabric } ->
       let r = Simulator.remaining_at sim coflow src dst in
-      if r < !bound then bound := r)
+      (* on a rate-[v] fabric the pair survives [n] slots iff
+         [r > (n-1) * v]: the last batch slot may zero it, no earlier
+         slot may *)
+      let rate = Simulator.fabric_rate sim fabric in
+      let b = if rate = 1 then r else ((r - 1) / rate) + 1 in
+      if b < !bound then bound := b)
     transfers;
   max 1 !bound
 

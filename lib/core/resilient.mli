@@ -79,10 +79,14 @@ type result = {
 val run :
   ?config:config ->
   ?topo:Switchsim.Fabric.topology ->
+  ?net:Switchsim.Net.t ->
   ?plan:Faults.Fault_plan.t ->
   Workload.Instance.t ->
   result
 (** Run to completion under the plan (default: no faults).  With [topo],
     core degradation tightens the fabric budget and the greedy service
-    respects rack locality.  @raise Failure when [max_slots] is exhausted
-    (a plan that never lifts an outage). *)
+    respects rack locality.  With [net] (exclusive with [topo]) service
+    runs on a multi-fabric topology: {!Faults.Fault_plan.Fabric_down}
+    boundaries trigger re-plans and the greedy service drains the residual
+    demand over the surviving fabrics.  @raise Failure when [max_slots] is
+    exhausted (a plan that never lifts an outage). *)

@@ -76,8 +76,11 @@ let aggregate_remaining sim group =
    per-pair first-owner scan picks, at O(candidates * words) instead of
    O(pairs * candidates * log): a coflow's claimable pairs are one
    [land] of its live-row mask with the still-unclaimed sources.
+   With [exclude], a (coflow, src, dst) entry already served on another
+   fabric this slot is never assigned again — a concurrent matching's pair
+   falls through to the next owning coflow instead.
    Returns (owner per src, dst per src, picks served from the suffix). *)
-let assign_pairs sim matching ~group ~suffix ~backfill =
+let assign_pairs ?exclude sim matching ~group ~suffix ~backfill =
   let m = Simulator.ports sim in
   let words = Bits.words_for m in
   let bpw = Bits.bits_per_word in
@@ -112,6 +115,9 @@ let assign_pairs sim matching ~group ~suffix ~backfill =
               Simulator.remaining_row_mask sim k i (Bits.word_of j)
               land (1 lsl Bits.bit_of j)
               <> 0
+              && (match exclude with
+                 | Some tbl -> not (Hashtbl.mem tbl (k, i, j))
+                 | None -> true)
             then begin
               owner.(i) <- k;
               unclaimed.(w) <- unclaimed.(w) land lnot b;
@@ -216,49 +222,84 @@ let rec slot_impl state ~backfill ~aggressive ~meta ~max_n sim =
       end
     end
     else begin
-      match state.queue with
-      | [] -> assert false
-      | (matching, q, q0) :: rest ->
-        let owner, pair_dst, suffix_picks =
-          assign_pairs sim matching ~group
-            ~suffix:state.suffix.(state.current) ~backfill
-        in
-        let transfers = ref [] in
-        let backfill_picks = ref suffix_picks in
-        Array.iter
-          (fun (i, _) ->
-            if owner.(i) >= 0 then
-              transfers :=
-                { Simulator.src = i; dst = pair_dst.(i); coflow = owner.(i) }
-                :: !transfers)
-          matching;
-        let transfers, aggressive_picks =
-          if aggressive then begin
-            let filled =
-              aggressive_fill sim
-                (Array.append group state.suffix.(state.current))
-                !transfers
-            in
-            (filled, List.length filled - List.length !transfers)
-          end
-          else (!transfers, 0)
-        in
-        (* the batch may not outlive this matching's slot budget *)
-        let n = Policy.skip_bound sim transfers ~max_n:(min max_n !q) in
-        (* of the [n] covered slots, every one except a first use of a
-           fresh matching is a reuse — exactly what the slot-by-slot loop
-           counts one call at a time *)
-        let reuses = n - (if !q = q0 then 1 else 0) in
-        if reuses > 0 then begin
-          state.matchings_reused <- state.matchings_reused + reuses;
-          meta.m_reused <- meta.m_reused + reuses;
-          Obs.Counter.incr c_reused ~by:reuses
-        end;
-        meta.m_backfilled <-
-          meta.m_backfilled + (n * (!backfill_picks + aggressive_picks));
-        q := !q - n;
-        if !q = 0 then state.queue <- rest;
-        (transfers, n)
+      (* Serve up to one queued matching per fabric, the head of the queue
+         on the fastest fabric.  On [Net.single] exactly the head matching
+         is served, as in the single-switch schedule. *)
+      let forder = Net.by_rate (Simulator.net sim) in
+      let kf = Array.length forder in
+      let rec take n = function
+        | x :: tl when n > 0 -> x :: take (n - 1) tl
+        | _ -> []
+      in
+      let active = take kf state.queue in
+      let exclude = if kf > 1 then Some (Hashtbl.create 64) else None in
+      let transfers = ref [] in
+      let backfill_picks = ref 0 in
+      List.iteri
+        (fun fi (matching, _, _) ->
+          let fabric = forder.(fi) in
+          let owner, pair_dst, suffix_picks =
+            assign_pairs ?exclude sim matching ~group
+              ~suffix:state.suffix.(state.current) ~backfill
+          in
+          backfill_picks := !backfill_picks + suffix_picks;
+          Array.iter
+            (fun (i, _) ->
+              if owner.(i) >= 0 then begin
+                (match exclude with
+                | Some tbl ->
+                  Hashtbl.replace tbl (owner.(i), i, pair_dst.(i)) ()
+                | None -> ());
+                transfers :=
+                  { Simulator.src = i;
+                    dst = pair_dst.(i);
+                    coflow = owner.(i);
+                    fabric;
+                  }
+                  :: !transfers
+              end)
+            matching)
+        active;
+      let transfers, aggressive_picks =
+        if aggressive then begin
+          let filled =
+            aggressive_fill sim
+              (Array.append group state.suffix.(state.current))
+              !transfers
+          in
+          (filled, List.length filled - List.length !transfers)
+        end
+        else (!transfers, 0)
+      in
+      (* the batch may not outlive any active matching's slot budget — a
+         rate-[v] fabric drains [v] budget units per slot *)
+      let budget_cap =
+        List.fold_left
+          (fun (fi, acc) (_, q, _) ->
+            let rate = Simulator.fabric_rate sim forder.(fi) in
+            (fi + 1, min acc ((!q + rate - 1) / rate)))
+          (0, max_n) active
+        |> snd
+      in
+      let n = Policy.skip_bound sim transfers ~max_n:budget_cap in
+      (* of the [n] covered slots, every one except a first use of a
+         fresh matching is a reuse — exactly what the slot-by-slot loop
+         counts one call at a time *)
+      List.iteri
+        (fun fi (_, q, q0) ->
+          let rate = Simulator.fabric_rate sim forder.(fi) in
+          let reuses = n - (if !q = q0 then 1 else 0) in
+          if reuses > 0 then begin
+            state.matchings_reused <- state.matchings_reused + reuses;
+            meta.m_reused <- meta.m_reused + reuses;
+            Obs.Counter.incr c_reused ~by:reuses
+          end;
+          q := max 0 (!q - (n * rate)))
+        active;
+      meta.m_backfilled <-
+        meta.m_backfilled + (n * (!backfill_picks + aggressive_picks));
+      state.queue <- List.filter (fun (_, q, _) -> !q > 0) state.queue;
+      (transfers, n)
     end
   end
 

@@ -32,23 +32,26 @@ let tier_slot_counts t =
    the auditor's memory stays O(ports) no matter how long the run is. *)
 type checker = {
   c_ports : int;
+  c_fabrics : int;
   c_topo : Fabric.topology option;
   c_plan : Fault_plan.t;
-  c_src : bool array;  (* scratch: ingress ports claimed this slot *)
+  c_src : bool array;  (* scratch, fabric-major: ingress claims this slot *)
   c_dst : bool array;
   c_base_slot : int;  (* plan-time of the checker's first record *)
   mutable c_next : int;  (* records fed so far *)
   mutable c_error : string option;  (* first violation, sticky *)
 }
 
-let checker ?topo ?(start_slot = 0) ~plan ~ports () =
+let checker ?topo ?(fabrics = 1) ?(start_slot = 0) ~plan ~ports () =
   if ports <= 0 then invalid_arg "Audit.checker: ports must be positive";
+  if fabrics < 1 then invalid_arg "Audit.checker: fabrics must be positive";
   if start_slot < 0 then invalid_arg "Audit.checker: negative start slot";
   { c_ports = ports;
+    c_fabrics = fabrics;
     c_topo = topo;
     c_plan = plan;
-    c_src = Array.make ports false;
-    c_dst = Array.make ports false;
+    c_src = Array.make (fabrics * ports) false;
+    c_dst = Array.make (fabrics * ports) false;
     c_base_slot = start_slot;
     c_next = 0;
     c_error = None;
@@ -62,27 +65,49 @@ let feed c { transfers; _ } =
   match c.c_error with
   | Some e -> Error e
   | None ->
-    let ports = c.c_ports in
+    let ports = c.c_ports and kf = c.c_fabrics in
     let s = c.c_base_slot + c.c_next in
     c.c_next <- c.c_next + 1;
-    Array.fill c.c_src 0 ports false;
-    Array.fill c.c_dst 0 ports false;
+    Array.fill c.c_src 0 (kf * ports) false;
+    Array.fill c.c_dst 0 (kf * ports) false;
+    let seen_pair = if kf > 1 then Some (Hashtbl.create 64) else None in
+    (* port exclusivity holds per fabric; "fabric f:" prefixes appear only
+       on multi-fabric logs so single-fabric verdicts are byte-identical *)
+    let pfx fabric = if kf = 1 then "" else Printf.sprintf "fabric %d: " fabric in
     let matching_ok =
       List.fold_left
-        (fun acc { Simulator.src; dst; _ } ->
+        (fun acc { Simulator.src; dst; coflow; fabric } ->
           match acc with
           | Error _ -> acc
           | Ok () ->
             if src < 0 || src >= ports || dst < 0 || dst >= ports then
               Error
                 (Printf.sprintf "slot %d: port out of range %d->%d" s src dst)
-            else if c.c_src.(src) then
-              Error (Printf.sprintf "slot %d: ingress %d used twice" s src)
-            else if c.c_dst.(dst) then
-              Error (Printf.sprintf "slot %d: egress %d used twice" s dst)
+            else if fabric < 0 || fabric >= kf then
+              Error (Printf.sprintf "slot %d: fabric %d out of range" s fabric)
+            else if c.c_src.((fabric * ports) + src) then
+              Error
+                (Printf.sprintf "slot %d: %singress %d used twice" s
+                   (pfx fabric) src)
+            else if c.c_dst.((fabric * ports) + dst) then
+              Error
+                (Printf.sprintf "slot %d: %segress %d used twice" s
+                   (pfx fabric) dst)
+            else if
+              match seen_pair with
+              | Some tbl -> Hashtbl.mem tbl (coflow, src, dst)
+              | None -> false
+            then
+              Error
+                (Printf.sprintf
+                   "slot %d: coflow %d pair (%d, %d) served on two fabrics" s
+                   coflow src dst)
             else begin
-              c.c_src.(src) <- true;
-              c.c_dst.(dst) <- true;
+              c.c_src.((fabric * ports) + src) <- true;
+              c.c_dst.((fabric * ports) + dst) <- true;
+              (match seen_pair with
+              | Some tbl -> Hashtbl.replace tbl (coflow, src, dst) ()
+              | None -> ());
               Ok ()
             end)
         (Ok ()) transfers
@@ -95,7 +120,7 @@ let feed c { transfers; _ } =
           let base =
             match c.c_topo with
             | Some tp -> tp.Fabric.core_capacity
-            | None -> ports
+            | None -> kf * ports
           in
           match Fault_plan.core_capacity c.c_plan ~slot:s with
           | Some cap -> min base cap
@@ -129,8 +154,8 @@ let rec feed_many c record ~slots:n =
     | Ok () -> feed_many c record ~slots:(n - 1)
   end
 
-let check ?topo ~plan t =
-  let c = checker ?topo ~plan ~ports:t.ports () in
+let check ?topo ?fabrics ~plan t =
+  let c = checker ?topo ?fabrics ~plan ~ports:t.ports () in
   Array.fold_left
     (fun acc record -> match acc with Error _ -> acc | Ok () -> feed c record)
     (Ok ()) t.slots
@@ -155,8 +180,13 @@ let to_string t =
       Buffer.add_string b
         (Printf.sprintf "slot %d %s %d\n" s tier (List.length transfers));
       List.iter
-        (fun { Simulator.src; dst; coflow } ->
-          Buffer.add_string b (Printf.sprintf "%d %d %d\n" src dst coflow))
+        (fun { Simulator.src; dst; coflow; fabric } ->
+          (* single-fabric transfers keep the 3-token legacy shape *)
+          if fabric = 0 then
+            Buffer.add_string b (Printf.sprintf "%d %d %d\n" src dst coflow)
+          else
+            Buffer.add_string b
+              (Printf.sprintf "%d %d %d %d\n" src dst coflow fabric))
         transfers)
     t.slots;
   Buffer.contents b
@@ -214,8 +244,17 @@ let of_string s =
                     { Simulator.src = parse_int !lineno i;
                       dst = parse_int !lineno j;
                       coflow = parse_int !lineno k;
+                      fabric = 0;
                     }
-                  | _ -> fail !lineno "expected '<src> <dst> <coflow>'")
+                  | [ i; j; k; f ] ->
+                    let fabric = parse_int !lineno f in
+                    if fabric < 0 then fail !lineno "negative fabric index";
+                    { Simulator.src = parse_int !lineno i;
+                      dst = parse_int !lineno j;
+                      coflow = parse_int !lineno k;
+                      fabric;
+                    }
+                  | _ -> fail !lineno "expected '<src> <dst> <coflow> [fabric]'")
             in
             { tier; transfers }
           | _ -> fail !lineno "expected 'slot <idx> <tier> <ntransfers>'")

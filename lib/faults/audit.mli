@@ -32,12 +32,16 @@ val tier_slot_counts : t -> (string * int) list
 
 val check :
   ?topo:Switchsim.Fabric.topology ->
+  ?fabrics:int ->
   plan:Fault_plan.t ->
   t ->
   (unit, string) result
 (** Certify the log against the plan: per-slot matching constraints plus
-    every fault constraint.  [Error] carries the first violation with its
-    slot number. *)
+    every fault constraint.  On a multi-fabric log pass [fabrics] (default
+    [1]) so port exclusivity is checked per fabric, fabric indices are
+    bounded, and no (coflow, src, dst) entry is served on two fabrics in
+    one slot.  [Error] carries the first violation with its slot
+    number. *)
 
 (** {2 Incremental certification}
 
@@ -53,6 +57,7 @@ type checker
 
 val checker :
   ?topo:Switchsim.Fabric.topology ->
+  ?fabrics:int ->
   ?start_slot:int ->
   plan:Fault_plan.t ->
   ports:int ->
@@ -60,8 +65,10 @@ val checker :
   checker
 (** [start_slot] (default 0) is the plan-time of the first record fed —
     an epoch-based service audits each epoch against the epoch's plan
-    starting at the epoch's first slot.
-    @raise Invalid_argument on non-positive ports or negative start slot. *)
+    starting at the epoch's first slot.  [fabrics] (default [1]) as in
+    {!check}.
+    @raise Invalid_argument on non-positive ports, fabrics or negative
+    start slot. *)
 
 val feed : checker -> slot_record -> (unit, string) result
 (** Certify the next slot.  [Error] carries the first violation (this
@@ -89,8 +96,11 @@ val checker_error : checker -> string option
     coflow-fault-audit v1
     ports <m> slots <n>
     slot <idx> <tier> <ntransfers>
-    <src> <dst> <coflow>        (ntransfers lines)
-    v} *)
+    <src> <dst> <coflow> [fabric]   (ntransfers lines)
+    v}
+
+    The fabric token is omitted when it is [0], so single-fabric logs keep
+    the legacy 3-token shape byte for byte. *)
 
 val to_string : t -> string
 (** @raise Invalid_argument if a tier name contains whitespace. *)

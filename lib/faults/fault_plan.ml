@@ -11,6 +11,7 @@ type event =
   | Straggler of { coflow : int; at : int; factor : int }
   | Release_delay of { coflow : int; delay : int }
   | Solver_outage of { from_ : int; until : int; full : bool }
+  | Fabric_down of { fabric : int; from_ : int; until : int }
 
 type t = { events : event list }
 
@@ -33,7 +34,7 @@ let check_interval i ~from_ ~until =
   else if until <= from_ then event_error i "empty or inverted interval"
   else Ok ()
 
-let check_event ~ports ~coflows i = function
+let check_event ~ports ~coflows ~fabrics i = function
   | Port_down { port; from_; until } ->
     if port < 0 || port >= ports then event_error i "port out of range"
     else check_interval i ~from_ ~until
@@ -57,22 +58,28 @@ let check_event ~ports ~coflows i = function
     else Ok ()
   | Solver_outage { from_; until; full = _ } ->
     check_interval i ~from_ ~until
+  | Fabric_down { fabric; from_; until } ->
+    if fabric < 0 || fabric >= fabrics then
+      event_error i "fabric out of range"
+    else if fabric = 0 && fabrics = 1 then
+      event_error i "cannot take down the only fabric"
+    else check_interval i ~from_ ~until
 
-let validate ~ports ~coflows t =
+let validate ?(fabrics = 1) ~ports ~coflows t =
   if ports <= 0 then Error "ports must be positive"
   else begin
     let rec scan i = function
       | [] -> Ok ()
       | e :: rest -> (
-        match check_event ~ports ~coflows i e with
+        match check_event ~ports ~coflows ~fabrics i e with
         | Ok () -> scan (i + 1) rest
         | err -> err)
     in
     scan 0 t.events
   end
 
-let validate_exn ~ports ~coflows t =
-  match validate ~ports ~coflows t with
+let validate_exn ?(fabrics = 1) ~ports ~coflows t =
+  match validate ~fabrics ~ports ~coflows t with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Fault_plan.validate: " ^ msg)
 
@@ -115,6 +122,14 @@ let core_capacity t ~slot =
       | _ -> acc)
     None t.events
 
+let fabric_down t ~slot f =
+  List.exists
+    (function
+      | Fabric_down { fabric; from_; until } ->
+        fabric = f && active ~from_ ~until slot
+      | _ -> false)
+    t.events
+
 let solver_outage t ~slot =
   List.fold_left
     (fun acc e ->
@@ -151,7 +166,8 @@ let boundaries t =
         | Port_down { from_; until; _ }
         | Link_degraded { from_; until; _ }
         | Core_degraded { from_; until; _ }
-        | Solver_outage { from_; until; _ } ->
+        | Solver_outage { from_; until; _ }
+        | Fabric_down { from_; until; _ } ->
           add (add acc from_) until
         | Straggler { at; _ } -> add acc at
         | Release_delay _ -> acc)
@@ -176,6 +192,8 @@ let event_to_string = function
     Printf.sprintf "release_delay %d %d" coflow delay
   | Solver_outage { from_; until; full } ->
     Printf.sprintf "solver_outage %d %d %d" from_ until (if full then 1 else 0)
+  | Fabric_down { fabric; from_; until } ->
+    Printf.sprintf "fabric_down %d %d %d" fabric from_ until
 
 let to_string t =
   let b = Buffer.create 256 in
@@ -262,6 +280,13 @@ let of_string s =
             fail lineno "solver_outage full flag must be 0 or 1"
           else Solver_outage { from_; until; full = full = 1 }
         | _ -> fail lineno "solver_outage expects <from> <until> <0|1>")
+      | "fabric_down" :: args -> (
+        match ints args with
+        | [ fabric; from_; until ] ->
+          interval from_ until;
+          if fabric < 0 then fail lineno "negative fabric index";
+          Fabric_down { fabric; from_; until }
+        | _ -> fail lineno "fabric_down expects <fabric> <from> <until>")
       | kind :: _ -> fail lineno (Printf.sprintf "unknown event kind %S" kind)
       | [] -> assert false
     in
@@ -283,7 +308,7 @@ let load path =
 
 (* ---------- seeded random plans ---------- *)
 
-let random ?(intensity = 1.0) ~ports ~coflows ~horizon st =
+let random ?(intensity = 1.0) ?(fabrics = 1) ~ports ~coflows ~horizon st =
   if intensity < 0.0 then invalid_arg "Fault_plan.random: negative intensity";
   if ports <= 0 then invalid_arg "Fault_plan.random: ports must be positive";
   if intensity = 0.0 then empty
@@ -331,6 +356,13 @@ let random ?(intensity = 1.0) ~ports ~coflows ~horizon st =
       let delay = 1 + Random.State.int st (max 1 (horizon / 10)) in
       push (Release_delay { coflow; delay })
     done;
+    (* whole-fabric outages, only on multi-fabric nets (drawn after the
+       single-fabric kinds so single-fabric plans are unchanged per seed) *)
+    if fabrics > 1 && intensity >= 0.5 then begin
+      let fabric = 1 + Random.State.int st (fabrics - 1) in
+      let from_, until = interval (horizon / 4) in
+      push (Fabric_down { fabric; from_; until })
+    end;
     (* solver outages: the LP tier goes first, the stats plane second *)
     if intensity >= 0.75 then begin
       let from_, until = interval (horizon / 4) in

@@ -37,6 +37,11 @@ type event =
       (** The LP tier of the scheduler is unavailable; with [full] the
           demand-statistics plane is also gone, so only arrival order
           remains computable. *)
+  | Fabric_down of { fabric : int; from_ : int; until : int }
+      (** An entire parallel fabric of a {!Switchsim.Net} is unusable —
+          no transfer may be routed over it during the interval.  Only
+          meaningful on multi-fabric nets; fabric 0 of a single-fabric
+          net cannot be taken down (the plan would be unservable). *)
 
 type t
 
@@ -48,10 +53,12 @@ val events : t -> event list
 
 val is_empty : t -> bool
 
-val validate : ports:int -> coflows:int -> t -> (unit, string) result
-(** Structural check of every event against the instance geometry. *)
+val validate :
+  ?fabrics:int -> ports:int -> coflows:int -> t -> (unit, string) result
+(** Structural check of every event against the instance geometry.
+    [fabrics] (default [1]) bounds [Fabric_down] indices. *)
 
-val validate_exn : ports:int -> coflows:int -> t -> unit
+val validate_exn : ?fabrics:int -> ports:int -> coflows:int -> t -> unit
 (** @raise Invalid_argument with the first offending event. *)
 
 (** {2 Per-slot queries} *)
@@ -65,6 +72,10 @@ val link_usable : t -> slot:int -> src:int -> dst:int -> bool
 
 val core_capacity : t -> slot:int -> int option
 (** Tightest active core cap, [None] when undegraded. *)
+
+val fabric_down : t -> slot:int -> int -> bool
+(** [fabric_down t ~slot f] iff some event takes fabric [f] down at
+    [slot]. *)
 
 val solver_outage : t -> slot:int -> [ `None | `Lp_only | `Full ]
 
@@ -89,6 +100,7 @@ val boundaries : t -> int list
     straggler <coflow> <at> <factor>
     release_delay <coflow> <delay>
     solver_outage <from> <until> <0|1>
+    fabric_down <fabric> <from> <until>
     v}
     Blank lines and [#] comments are ignored on input. *)
 
@@ -106,13 +118,16 @@ val load : string -> t
 
 val random :
   ?intensity:float ->
+  ?fabrics:int ->
   ports:int ->
   coflows:int ->
   horizon:int ->
   Random.State.t ->
   t
 (** Seeded random plan whose event count scales with [intensity] (default
-    [1.0]; [0.0] is the empty plan).  Every generated interval is finite and
+    [1.0]; [0.0] is the empty plan).  With [fabrics > 1] (default [1]) a
+    whole-fabric outage may additionally appear from intensity [0.5];
+    plans for single-fabric nets are byte-identical per seed regardless.  Every generated interval is finite and
     no fault outlives roughly [2 * horizon], so any work-conserving policy
     still completes.  Outages of the solver stack appear from intensity
     [0.75] (LP only) and [1.5] (full).  @raise Invalid_argument on negative

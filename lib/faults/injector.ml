@@ -24,7 +24,7 @@ let effective_capacity t ~slot =
   let base =
     match t.topo with
     | Some topo -> topo.Fabric.core_capacity
-    | None -> Simulator.ports t.sim
+    | None -> Simulator.num_fabrics t.sim * Simulator.ports t.sim
   in
   match Fault_plan.core_capacity t.plan ~slot with
   | Some c -> min base c
@@ -40,9 +40,11 @@ let check_slot ?topo ~plan ~ports ~capacity ~slot transfers =
              "slot %d: %d transfers exceed degraded capacity %d" slot used
              capacity)
       else Ok ()
-    | ({ Simulator.src; dst; _ } as tr) :: rest ->
+    | ({ Simulator.src; dst; fabric; _ } as tr) :: rest ->
       if src < 0 || src >= ports || dst < 0 || dst >= ports then
         Error (Printf.sprintf "slot %d: port out of range %d->%d" slot src dst)
+      else if Fault_plan.fabric_down plan ~slot fabric then
+        Error (Printf.sprintf "slot %d: fabric %d is down" slot fabric)
       else if Fault_plan.port_down plan ~slot src then
         Error (Printf.sprintf "slot %d: ingress %d is down" slot src)
       else if Fault_plan.port_down plan ~slot dst then
@@ -63,12 +65,21 @@ let check_slot ?topo ~plan ~ports ~capacity ~slot transfers =
   in
   scan 0 transfers
 
-let create ?topo ~plan ~ports demands =
-  Fault_plan.validate_exn ~ports ~coflows:(List.length demands) plan;
+let create ?topo ?net ~plan ~ports demands =
   (match topo with
   | Some t when t.Fabric.ports <> ports ->
     invalid_arg "Injector.create: topology port count mismatch"
   | _ -> ());
+  let net =
+    match (net, topo) with
+    | Some _, Some _ ->
+      invalid_arg "Injector.create: pass a topology or a net, not both"
+    | Some n, None -> n
+    | None, Some t -> Fabric.to_net t
+    | None, None -> Net.single ~ports
+  in
+  Fault_plan.validate_exn ~fabrics:(Net.k net) ~ports
+    ~coflows:(List.length demands) plan;
   (* delayed releases are known at admission time: fold them into the
      release dates before the simulator is built *)
   let demands =
@@ -86,7 +97,7 @@ let create ?topo ~plan ~ports demands =
         let base =
           match topo with
           | Some t -> t.Fabric.core_capacity
-          | None -> ports
+          | None -> Net.k net * ports
         in
         match Fault_plan.core_capacity plan ~slot with
         | Some c -> min base c
@@ -94,7 +105,7 @@ let create ?topo ~plan ~ports demands =
       in
       check_slot ?topo ~plan ~ports ~capacity ~slot transfers
   in
-  let sim = Simulator.create ~validate ~ports demands in
+  let sim = Simulator.create ~validate ~net ~ports demands in
   sim_cell := Some sim;
   { plan;
     topo;
@@ -131,27 +142,46 @@ let tick t =
 let greedy_policy t priority sim =
   let slot = Simulator.now sim in
   let m = Simulator.ports sim in
-  let src_used = Array.make m false and dst_used = Array.make m false in
+  let kf = Simulator.num_fabrics sim in
+  (* fabric [f]'s port claims live at [f * m + port]; surviving fabrics
+     are swept fastest first, skipping any fabric the plan has down *)
+  let src_used = Array.make (kf * m) false
+  and dst_used = Array.make (kf * m) false in
   let core_left = ref (effective_capacity t ~slot) in
+  let taken = if kf > 1 then Some (Hashtbl.create 64) else None in
   let transfers = ref [] in
   Array.iter
-    (fun k ->
-      if Simulator.released sim k && not (Simulator.is_complete sim k) then
-        Simulator.iter_remaining sim k (fun i j _ ->
-            if
-              (not (src_used.(i) || dst_used.(j)))
-              && pair_ok t ~slot ~src:i ~dst:j
-            then begin
-              let tr = { Simulator.src = i; dst = j; coflow = k } in
-              let core = counts_toward_core t tr in
-              if (not core) || !core_left > 0 then begin
-                src_used.(i) <- true;
-                dst_used.(j) <- true;
-                if core then decr core_left;
-                transfers := tr :: !transfers
-              end
-            end))
-    priority;
+    (fun f ->
+      if not (Fault_plan.fabric_down t.plan ~slot f) then
+        let off = f * m in
+        Array.iter
+          (fun k ->
+            if Simulator.released sim k && not (Simulator.is_complete sim k)
+            then
+              Simulator.iter_remaining sim k (fun i j _ ->
+                  if
+                    (not (src_used.(off + i) || dst_used.(off + j)))
+                    && pair_ok t ~slot ~src:i ~dst:j
+                    && (match taken with
+                       | Some tbl -> not (Hashtbl.mem tbl (k, i, j))
+                       | None -> true)
+                  then begin
+                    let tr =
+                      { Simulator.src = i; dst = j; coflow = k; fabric = f }
+                    in
+                    let core = counts_toward_core t tr in
+                    if (not core) || !core_left > 0 then begin
+                      src_used.(off + i) <- true;
+                      dst_used.(off + j) <- true;
+                      if core then decr core_left;
+                      (match taken with
+                      | Some tbl -> Hashtbl.replace tbl (k, i, j) ()
+                      | None -> ());
+                      transfers := tr :: !transfers
+                    end
+                  end))
+          priority)
+    (Simulator.net sim |> Net.by_rate);
   !transfers
 
 let run ?(max_slots = 10_000_000) t ~priority =

@@ -19,6 +19,7 @@ type t
 
 val create :
   ?topo:Switchsim.Fabric.topology ->
+  ?net:Switchsim.Net.t ->
   plan:Fault_plan.t ->
   ports:int ->
   (int * Matrix.Mat.t) list ->
@@ -26,8 +27,13 @@ val create :
 (** Build the faulted simulator.  With [topo], core-capacity degradation
     tightens the fabric's inter-rack budget; without it, a degraded core
     caps the total transfers of a slot (aggregate switch degradation).
-    @raise Invalid_argument if the plan fails {!Fault_plan.validate} or the
-    topology geometry disagrees with [ports]. *)
+    With [net] (mutually exclusive with [topo]) the simulator runs on the
+    given multi-fabric topology and the plan may contain
+    {!Fault_plan.Fabric_down} events, which the validate hook enforces and
+    {!greedy_policy} routes around.
+    @raise Invalid_argument if the plan fails {!Fault_plan.validate}, the
+    topology geometry disagrees with [ports], or both [topo] and [net] are
+    given. *)
 
 val sim : t -> Switchsim.Simulator.t
 
@@ -60,7 +66,10 @@ val check_slot :
 
 val greedy_policy :
   t -> int array -> Switchsim.Simulator.t -> Switchsim.Simulator.transfer list
-(** Fault-aware maximal matching in the given coflow priority order. *)
+(** Fault-aware maximal matching in the given coflow priority order; on a
+    multi-fabric net the sweep runs once per surviving fabric, fastest
+    first, never serving the same (coflow, src, dst) entry twice in one
+    slot. *)
 
 val run : ?max_slots:int -> t -> priority:int array -> unit
 (** Tick + greedy-serve until completion.  @raise Failure when [max_slots]

@@ -11,6 +11,8 @@ type config = {
   lp_retries : int;
   lp_warm_start : bool;
   degrade_live_above : int;
+  degrade_notch : (unit -> int) option;
+  net : Net.t option;
   fault_intensity : float;
   fault_script : (epoch:int -> coflows:int -> Faults.Fault_plan.t) option;
   max_slots : int;
@@ -24,6 +26,8 @@ let default_config =
     lp_retries = 1;
     lp_warm_start = true;
     degrade_live_above = 48;
+    degrade_notch = None;
+    net = None;
     fault_intensity = 0.0;
     fault_script = None;
     max_slots = 10_000_000;
@@ -60,6 +64,7 @@ type stats = {
   tier_slots : (Core.Resilient.tier * int) list;
   degradations : int;
   slo_degradations : int;
+  reaction_degradations : int;
   lp_failures : int;
   lp_iterations : int;
   deadline_misses : int;
@@ -124,6 +129,8 @@ let c_idle_jumps = Obs.Counter.make "service.idle_jumps"
 let c_degradations = Obs.Counter.make "service.degradations"
 
 let c_degrade_slo = Obs.Counter.make "service.degrade.slo"
+
+let c_degrade_reaction = Obs.Counter.make "service.degrade.reaction"
 
 let c_degrade_outage = Obs.Counter.make "service.degrade.outage"
 
@@ -219,6 +226,7 @@ type st = {
   s_tier_slots : int array;
   mutable s_degradations : int;
   mutable s_slo_degradations : int;
+  mutable s_reaction_degradations : int;
   mutable s_lp_failures : int;
   mutable s_lp_iterations : int;
   mutable s_deadline_misses : int;
@@ -253,8 +261,23 @@ let plan_epoch cfg ~epoch_start ~entries ~plan ~warm ~st inst =
     degrade "outage_lp" c_degrade_outage;
     (Resilient.Rho, Ordering.by_load_over_weight inst)
   | `None ->
-    if n > cfg.degrade_live_above then begin
+    (* Alert-driven reaction: while the telemetry hook reports a raised
+       notch (the wait_p99 burn-rate rule is firing), the live-set bar
+       for skipping the LP halves per notch — degradation kicks in
+       earlier, the epoch plans on the cheap H_rho tier, and the bar
+       snaps back the moment the alert resolves (the hook is consulted
+       fresh every epoch). *)
+    let notch =
+      match cfg.degrade_notch with None -> 0 | Some f -> max 0 (f ())
+    in
+    let bar = max 1 (cfg.degrade_live_above asr min notch 30) in
+    if n > bar then begin
       st.s_slo_degradations <- st.s_slo_degradations + 1;
+      if n <= cfg.degrade_live_above then begin
+        (* only the notch put us over: count the reaction separately *)
+        st.s_reaction_degradations <- st.s_reaction_degradations + 1;
+        Obs.Counter.incr c_degrade_reaction
+      end;
       degrade "slo_pressure" c_degrade_slo;
       (Resilient.Rho, Ordering.by_load_over_weight inst)
     end
@@ -305,6 +328,11 @@ let run ?(plan_seed = 0) ?(batch = true) ?observer cfg src ~coflows:total =
   if total < 0 then invalid_arg "Epoch_loop.run: coflows must be >= 0";
   Obs.Span.with_ "service.run" @@ fun () ->
   let ports = Arrivals.ports src in
+  let fabrics = match cfg.net with None -> 1 | Some net -> Net.k net in
+  (match cfg.net with
+  | Some net when Net.ports net <> ports ->
+    invalid_arg "Epoch_loop.run: net ports disagree with the arrival source"
+  | _ -> ());
   let st =
     { s_arrived = 0;
       s_admitted = 0;
@@ -318,6 +346,7 @@ let run ?(plan_seed = 0) ?(batch = true) ?observer cfg src ~coflows:total =
       s_tier_slots = Array.make 3 0;
       s_degradations = 0;
       s_slo_degradations = 0;
+      s_reaction_degradations = 0;
       s_lp_failures = 0;
       s_lp_iterations = 0;
       s_deadline_misses = 0;
@@ -421,8 +450,8 @@ let run ?(plan_seed = 0) ?(batch = true) ?observer cfg src ~coflows:total =
         | None ->
           if cfg.fault_intensity > 0.0 then
             Some
-              (Fault_plan.random ~intensity:cfg.fault_intensity ~ports
-                 ~coflows:n ~horizon:cfg.epoch_length
+              (Fault_plan.random ~intensity:cfg.fault_intensity ~fabrics
+                 ~ports ~coflows:n ~horizon:cfg.epoch_length
                  (Random.State.make [| plan_seed; 0xFA; st.s_epochs |]))
           else None
       in
@@ -448,13 +477,13 @@ let run ?(plan_seed = 0) ?(batch = true) ?observer cfg src ~coflows:total =
                | _ -> true)
              (Fault_plan.events raw))
     in
-    let inj = Injector.create ~plan ~ports (Instance.demands inst) in
+    let inj = Injector.create ?net:cfg.net ~plan ~ports (Instance.demands inst) in
     let sim = Injector.sim inj in
     let tier, order = plan_epoch cfg ~epoch_start ~entries ~plan ~warm ~st inst in
     let tname = Resilient.tier_name tier in
     Fingerprint.str fp "T";
     Fingerprint.int fp (tier_index tier);
-    let checker = Audit.checker ~plan ~ports () in
+    let checker = Audit.checker ~fabrics ~plan ~ports () in
     let recorded = Array.make n false in
     let record_completion k c_abs =
       recorded.(k) <- true;
@@ -650,6 +679,7 @@ let run ?(plan_seed = 0) ?(batch = true) ?observer cfg src ~coflows:total =
         Resilient.all_tiers;
     degradations = st.s_degradations;
     slo_degradations = st.s_slo_degradations;
+    reaction_degradations = st.s_reaction_degradations;
     lp_failures = st.s_lp_failures;
     lp_iterations = st.s_lp_iterations;
     deadline_misses = st.s_deadline_misses;

@@ -57,6 +57,21 @@ type config = {
   degrade_live_above : int;
       (** SLO-aware degradation: skip the LP tier while the live set is
           larger than this (the solve would outlast the epoch) *)
+  degrade_notch : (unit -> int) option;
+      (** Alert-driven reaction hook, consulted once per epoch before
+          planning: each notch {e halves} the [degrade_live_above] bar for
+          that epoch, so a firing burn-rate alert (see
+          {!Telemetry.degrade_notch}) makes the loop degrade to the cheap
+          H_rho tier earlier, and the bar restores by itself the epoch
+          after the alert resolves.  [None] (the default) plans exactly as
+          before.  Reaction-driven degradations (epochs that would have
+          kept the LP at the unraised bar) are counted in
+          [stats.reaction_degradations] and [service.degrade.reaction]. *)
+  net : Switchsim.Net.t option;
+      (** serve on this multi-fabric topology ([None] = the classic
+          single non-blocking switch); epoch fault plans may then carry
+          {!Faults.Fault_plan.Fabric_down} events, which the injector
+          routes around and the per-epoch audit certifies per fabric *)
   fault_intensity : float;  (** {!Faults.Fault_plan.random} intensity *)
   fault_script : (epoch:int -> coflows:int -> Faults.Fault_plan.t) option;
       (** When set, each epoch's fault plan comes from this function
@@ -91,6 +106,9 @@ type stats = {
       (** slots served per tier, in {!Core.Resilient.all_tiers} order *)
   degradations : int;  (** epochs planned below the primary LP tier *)
   slo_degradations : int;  (** of which: SLO pressure (live set too big) *)
+  reaction_degradations : int;
+      (** of the SLO degradations: epochs pushed over the bar only by a
+          raised [degrade_notch] — the alert-driven reaction at work *)
   lp_failures : int;  (** LP attempts lost to budget *)
   lp_iterations : int;  (** pivots across successful epoch solves *)
   deadline_misses : int;  (** admitted coflows that finished past deadline *)

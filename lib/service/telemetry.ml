@@ -173,6 +173,14 @@ let finish t =
       close_out oc
   end
 
+(* One notch while the rule burns, zero otherwise.  The hook reads the
+   CURRENT alert state every time the loop consults it, so the bar is
+   raised on the first epoch after the rule fires and restored on the
+   first epoch after it resolves — no extra bookkeeping, no way for the
+   reaction to stick. *)
+let degrade_notch ?(rule = "wait_p99") t () =
+  match Slo.state t.slo rule with Slo.Firing -> 1 | _ -> 0
+
 let slo t = t.slo
 
 let watchdog t = t.wd

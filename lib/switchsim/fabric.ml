@@ -20,16 +20,14 @@ let core_usage t transfers =
     (fun acc tr -> if crosses_core t tr then acc + 1 else acc)
     0 transfers
 
-let create t demands =
-  let validate transfers =
-    let used = core_usage t transfers in
-    if used > t.core_capacity then
-      Error
-        (Printf.sprintf "core capacity exceeded: %d inter-rack transfers > %d"
-           used t.core_capacity)
-    else Ok ()
-  in
-  Simulator.create ~validate ~ports:t.ports demands
+let to_net t =
+  Net.two_tier ~ports:t.ports ~rack_size:t.rack_size
+    ~core_capacity:t.core_capacity
+
+(* The core budget is enforced by the simulator itself through the net —
+   the two-tier model is the k=1-with-core-budget special case of the
+   multi-fabric topology, not a separate validation path. *)
+let create t demands = Simulator.create ~net:(to_net t) ~ports:t.ports demands
 
 let greedy_policy t priority sim =
   let m = Simulator.ports sim in
@@ -47,7 +45,8 @@ let greedy_policy t priority sim =
                 dst_used.(j) <- true;
                 if inter then decr core_left;
                 transfers :=
-                  { Simulator.src = i; dst = j; coflow = k } :: !transfers
+                  { Simulator.src = i; dst = j; coflow = k; fabric = 0 }
+                  :: !transfers
               end
             end))
     priority;

@@ -29,9 +29,15 @@ val crosses_core : topology -> Simulator.transfer -> bool
 
 val core_usage : topology -> Simulator.transfer list -> int
 
+val to_net : topology -> Net.t
+(** The topology as a {!Net}: one rate-1 fabric carrying the rack
+    structure and core budget. *)
+
 val create :
   topology -> (int * Matrix.Mat.t) list -> Simulator.t
-(** A simulator whose slots are additionally constrained by the core. *)
+(** A simulator whose slots are additionally constrained by the core —
+    built on [to_net], so the budget is enforced by the simulator's own
+    per-fabric feasibility check. *)
 
 val greedy_policy :
   topology -> int array -> Simulator.t -> Simulator.transfer list

@@ -12,8 +12,8 @@ let record ?(max_slots = 10_000_000) sim ~policy =
   done;
   { ports = Simulator.ports sim; slots = Array.of_list (List.rev !log) }
 
-let replay t demands =
-  let sim = Simulator.create ~ports:t.ports demands in
+let replay ?net t demands =
+  let sim = Simulator.create ?net ~ports:t.ports demands in
   Array.iter (fun transfers -> Simulator.step sim transfers) t.slots;
   sim
 
@@ -25,9 +25,16 @@ let to_csv t =
   Array.iteri
     (fun slot transfers ->
       List.iter
-        (fun { Simulator.src; dst; coflow } ->
-          Buffer.add_string b
-            (Printf.sprintf "%d,%d,%d,%d\n" (slot + 1) src dst coflow))
+        (fun { Simulator.src; dst; coflow; fabric } ->
+          (* single-fabric rows keep the legacy 4-column shape; a nonzero
+             fabric rides along as a fifth column *)
+          if fabric = 0 then
+            Buffer.add_string b
+              (Printf.sprintf "%d,%d,%d,%d\n" (slot + 1) src dst coflow)
+          else
+            Buffer.add_string b
+              (Printf.sprintf "%d,%d,%d,%d,%d\n" (slot + 1) src dst coflow
+                 fabric))
         (List.rev transfers))
     t.slots;
   Buffer.contents b
@@ -51,23 +58,32 @@ let of_csv text =
     let slots = Array.make nslots [] in
     List.iteri
       (fun idx row ->
-        match String.split_on_char ',' row with
-        | [ slot; src; dst; coflow ] -> (
+        let bad () =
+          failwith
+            (Printf.sprintf "Recorder.of_csv: bad row %d: %S" (idx + 3) row)
+        in
+        let cols, fabric =
+          match String.split_on_char ',' row with
+          | [ _; _; _; _ ] as cols -> (cols, Some 0)
+          | [ slot; src; dst; coflow; fabric ] ->
+            ([ slot; src; dst; coflow ], int_of_string_opt fabric)
+          | _ -> bad ()
+        in
+        match (cols, fabric) with
+        | [ slot; src; dst; coflow ], Some f -> (
           match
             ( int_of_string_opt slot,
               int_of_string_opt src,
               int_of_string_opt dst,
               int_of_string_opt coflow )
           with
-          | Some s, Some i, Some j, Some k when s >= 1 && s <= nslots ->
+          | Some s, Some i, Some j, Some k when s >= 1 && s <= nslots && f >= 0
+            ->
             slots.(s - 1) <-
-              { Simulator.src = i; dst = j; coflow = k } :: slots.(s - 1)
-          | _ ->
-            failwith
-              (Printf.sprintf "Recorder.of_csv: bad row %d: %S" (idx + 3) row))
-        | _ ->
-          failwith
-            (Printf.sprintf "Recorder.of_csv: bad row %d: %S" (idx + 3) row))
+              { Simulator.src = i; dst = j; coflow = k; fabric = f }
+              :: slots.(s - 1)
+          | _ -> bad ())
+        | _ -> bad ())
       rows;
     { ports; slots = Array.map List.rev slots }
   | _ -> failwith "Recorder.of_csv: missing metadata or header"

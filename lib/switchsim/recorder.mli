@@ -19,8 +19,9 @@ val record :
 (** Drive [policy] to completion (like {!Simulator.run}) while logging
     every slot. *)
 
-val replay : t -> (int * Matrix.Mat.t) list -> Simulator.t
-(** Re-execute the log against a fresh simulator over the given demands.
+val replay : ?net:Net.t -> t -> (int * Matrix.Mat.t) list -> Simulator.t
+(** Re-execute the log against a fresh simulator over the given demands
+    (on [net] when the log was recorded on a multi-fabric topology).
     @raise Simulator.Invalid_slot if any slot is infeasible — e.g. the log
     was edited, or belongs to a different instance.  The returned simulator
     holds the completion times. *)
@@ -28,7 +29,9 @@ val replay : t -> (int * Matrix.Mat.t) list -> Simulator.t
 val to_csv : t -> string
 (** Header [slot,src,dst,coflow], one row per transfer; idle slots appear
     only through gaps in the slot column, so the line
-    [# ports=P slots=S] records the geometry. *)
+    [# ports=P slots=S] records the geometry.  A transfer routed over a
+    nonzero fabric carries it as a fifth column; single-fabric logs keep
+    the legacy 4-column shape byte for byte. *)
 
 val of_csv : string -> t
 (** @raise Failure on malformed input. *)

@@ -1,11 +1,14 @@
 open Matrix
 
-type transfer = { src : int; dst : int; coflow : int }
+type transfer = { src : int; dst : int; coflow : int; fabric : int }
 
 exception Invalid_slot of string
 
 type t = {
   ports : int;
+  net : Net.t;
+  kf : int; (* Net.k net *)
+  rates : int array; (* per-fabric rate, indexed by fabric *)
   validate : transfer list -> (unit, string) result;
   releases : int array;
   demand : Smat.t array; (* mutated in place as units move *)
@@ -19,13 +22,23 @@ type t = {
   mutable clock : int;
   mutable busy : int;
   mutable moved : int;
-  (* scratch buffers reused across slots *)
+  (* scratch buffers reused across slots; fabric f's port p lives at
+     index [f * ports + p], so one fill clears every fabric *)
   src_used : bool array;
   dst_used : bool array;
 }
 
-let create ?(validate = fun _ -> Ok ()) ~ports demands =
+let create ?(validate = fun _ -> Ok ()) ?net ~ports demands =
   if ports <= 0 then invalid_arg "Simulator.create: ports must be positive";
+  let net =
+    match net with
+    | None -> Net.single ~ports
+    | Some n ->
+      if Net.ports n <> ports then
+        invalid_arg "Simulator.create: net port count mismatch";
+      n
+  in
+  let kf = Net.k net in
   let n = List.length demands in
   let releases = Array.make n 0 in
   let demand = Array.make n (Smat.make ports) in
@@ -45,6 +58,9 @@ let create ?(validate = fun _ -> Ok ()) ~ports demands =
     (fun k l -> if l = 0 then completed.(k) <- 0 else incr unfinished)
     left;
   { ports;
+    net;
+    kf;
+    rates = Array.init kf (Net.rate net);
     validate;
     releases;
     demand;
@@ -56,11 +72,20 @@ let create ?(validate = fun _ -> Ok ()) ~ports demands =
     clock = 0;
     busy = 0;
     moved = 0;
-    src_used = Array.make ports false;
-    dst_used = Array.make ports false;
+    src_used = Array.make (kf * ports) false;
+    dst_used = Array.make (kf * ports) false;
   }
 
 let ports t = t.ports
+
+let net t = t.net
+
+let num_fabrics t = t.kf
+
+let fabric_rate t f =
+  if f < 0 || f >= t.kf then
+    invalid_arg "Simulator.fabric_rate: fabric out of range";
+  t.rates.(f)
 
 let num_coflows t = Array.length t.releases
 
@@ -232,9 +257,11 @@ let trace_completion t k =
 
 (* Commit [n] consecutive slots that all serve the same transfer list.
 
-   Slot-by-slot equivalence rests on one enforced invariant: every served
-   pair must hold at least [n] units, so no entry reaches zero strictly
-   inside the batch.  Then no coflow can complete mid-batch (a completion
+   Slot-by-slot equivalence rests on one enforced invariant: no served
+   pair's entry may reach zero strictly inside the batch — on fabric [f]
+   a pair drains [rate f] units per slot, so every served pair must hold
+   strictly more than [(n-1) * rate] units (at rate 1 this is the classic
+   [have >= n]).  Then no coflow can complete mid-batch (a completion
    requires its last served entries to hit zero), first service happens in
    the first slot of the batch, and completions happen exactly at the
    batch's final slot — the same slots, totals and histogram observations
@@ -245,20 +272,77 @@ let step_n t transfers n =
   (match t.validate transfers with
   | Ok () -> ()
   | Error msg -> raise (Invalid_slot msg));
-  Array.fill t.src_used 0 t.ports false;
-  Array.fill t.dst_used 0 t.ports false;
+  (* per-fabric core budgets from the topology (the two-tier
+     oversubscription, now a per-fabric option of the net) *)
+  for f = 0 to t.kf - 1 do
+    match Net.core_capacity t.net f with
+    | None -> ()
+    | Some cap ->
+      let used =
+        List.fold_left
+          (fun acc tr ->
+            if
+              tr.fabric = f
+              && Net.crosses_core t.net ~fabric:f ~src:tr.src ~dst:tr.dst
+            then acc + 1
+            else acc)
+          0 transfers
+      in
+      if used > cap then
+        raise
+          (Invalid_slot
+             (if t.kf = 1 then
+                Printf.sprintf
+                  "core capacity exceeded: %d inter-rack transfers > %d" used
+                  cap
+              else
+                Printf.sprintf
+                  "fabric %d: core capacity exceeded: %d inter-rack transfers \
+                   > %d"
+                  f used cap))
+  done;
+  Array.fill t.src_used 0 (t.kf * t.ports) false;
+  Array.fill t.dst_used 0 (t.kf * t.ports) false;
+  (* the same (coflow, src, dst) entry may be drained by at most one
+     fabric per slot — parallel drains of one entry would race the demand
+     decrement; only possible (and only checked) when k > 1 *)
+  let seen_pair =
+    if t.kf > 1 then Some (Hashtbl.create (2 * List.length transfers))
+    else None
+  in
   List.iter
-    (fun { src; dst; coflow } ->
+    (fun { src; dst; coflow; fabric } ->
+      if fabric < 0 || fabric >= t.kf then
+        raise (Invalid_slot (Printf.sprintf "fabric out of range: %d" fabric));
       if src < 0 || src >= t.ports || dst < 0 || dst >= t.ports then
         raise (Invalid_slot (Printf.sprintf "port out of range: %d->%d" src dst));
       if coflow < 0 || coflow >= num_coflows t then
         raise (Invalid_slot (Printf.sprintf "unknown coflow %d" coflow));
-      if t.src_used.(src) then
-        raise (Invalid_slot (Printf.sprintf "ingress %d used twice" src));
-      if t.dst_used.(dst) then
-        raise (Invalid_slot (Printf.sprintf "egress %d used twice" dst));
-      t.src_used.(src) <- true;
-      t.dst_used.(dst) <- true;
+      let fb = fabric * t.ports in
+      if t.src_used.(fb + src) then
+        raise
+          (Invalid_slot
+             (if t.kf = 1 then Printf.sprintf "ingress %d used twice" src
+              else
+                Printf.sprintf "fabric %d: ingress %d used twice" fabric src));
+      if t.dst_used.(fb + dst) then
+        raise
+          (Invalid_slot
+             (if t.kf = 1 then Printf.sprintf "egress %d used twice" dst
+              else Printf.sprintf "fabric %d: egress %d used twice" fabric dst));
+      t.src_used.(fb + src) <- true;
+      t.dst_used.(fb + dst) <- true;
+      (match seen_pair with
+      | None -> ()
+      | Some tbl ->
+        let key = (coflow, src, dst) in
+        if Hashtbl.mem tbl key then
+          raise
+            (Invalid_slot
+               (Printf.sprintf
+                  "coflow %d pair (%d, %d) served on two fabrics in one slot"
+                  coflow src dst));
+        Hashtbl.add tbl key ());
       if t.releases.(coflow) > t.clock then
         raise
           (Invalid_slot
@@ -270,13 +354,16 @@ let step_n t transfers n =
           (Invalid_slot
              (Printf.sprintf "coflow %d has no demand on (%d, %d)" coflow src
                 dst));
-      if have < n then
+      let rate = t.rates.(fabric) in
+      if have <= (n - 1) * rate then
         raise
           (Invalid_slot
              (Printf.sprintf
                 "coflow %d holds %d < %d units on (%d, %d): batch would cross \
                  a zero"
-                coflow have n src dst)))
+                coflow have
+                (((n - 1) * rate) + 1)
+                src dst)))
     transfers;
   (* commit *)
   let tracing = Obs.Trace.enabled () in
@@ -285,10 +372,12 @@ let step_n t transfers n =
   t.clock <- t.clock + n;
   if transfers <> [] then t.busy <- t.busy + n;
   List.iter
-    (fun { src; dst; coflow } ->
-      Smat.add_entry t.demand.(coflow) src dst (-n);
-      t.left.(coflow) <- t.left.(coflow) - n;
-      t.moved <- t.moved + n;
+    (fun { src; dst; coflow; fabric } ->
+      let have = Smat.get t.demand.(coflow) src dst in
+      let moved = min (n * t.rates.(fabric)) have in
+      Smat.add_entry t.demand.(coflow) src dst (-moved);
+      t.left.(coflow) <- t.left.(coflow) - moved;
+      t.moved <- t.moved + moved;
       if t.first_served.(coflow) < 0 then begin
         t.first_served.(coflow) <- start + 1;
         if tracing then trace_first_service ~slot:(start + 1) coflow
@@ -337,11 +426,12 @@ let run ?(max_slots = 10_000_000) t ~policy =
        histograms are on: the disabled hot path stays one atomic load *)
     let t0 = if Obs.Histogram.enabled () then Obs.Clock.now_ns () else 0 in
     let transfers = policy t in
+    let before = t.moved in
     step t transfers;
     if t0 > 0 then
       Obs.Histogram.observe h_service (Obs.Clock.elapsed_ns ~since:t0);
     Obs.Counter.incr c_slots;
-    Obs.Counter.incr c_units ~by:(List.length transfers)
+    Obs.Counter.incr c_units ~by:(t.moved - before)
   done
 
 (* Event-driven run: the policy answers with the slot's transfers AND the
@@ -361,11 +451,12 @@ let run_batched ?(max_slots = 10_000_000) t ~policy =
     if n < 1 || n > !budget then
       invalid_arg "Simulator.run_batched: policy returned a bad batch size";
     budget := !budget - n;
+    let before = t.moved in
     step_n t transfers n;
     if t0 > 0 then
       Obs.Histogram.observe h_service (Obs.Clock.elapsed_ns ~since:t0);
     Obs.Counter.incr c_slots ~by:n;
-    Obs.Counter.incr c_units ~by:(n * List.length transfers);
+    Obs.Counter.incr c_units ~by:(t.moved - before);
     Obs.Counter.incr c_batch_steps;
     if n > 1 then Obs.Counter.incr c_batched_slots ~by:(n - 1)
   done

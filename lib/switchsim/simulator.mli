@@ -1,17 +1,24 @@
-(** Discrete-time simulator of the paper's network model: one giant
-    non-blocking [m x m] switch whose ingress and egress ports each move at
-    most one data unit per slot (constraints (2)–(5) of the paper).
+(** Discrete-time simulator of the network model.  The paper's model is
+    one giant non-blocking [m x m] switch whose ingress and egress ports
+    each move at most one data unit per slot (constraints (2)–(5) of the
+    paper); the general model ({!Net}) is [k] such switches in parallel
+    with per-fabric rates — a transfer on fabric [f] moves [rate f] units
+    per slot, and the one-transfer-per-port constraint holds per fabric.
+    A simulator built without an explicit net runs on [Net.single], which
+    is exactly the paper's model.
 
     The simulator is the ground truth for every experiment: schedulers are
     expressed as per-slot policies, the simulator validates each slot against
-    the matching and release-date constraints and records the exact
+    the matching, routing and release-date constraints and records the exact
     completion time of every coflow. *)
 
 type t
 
-type transfer = { src : int; dst : int; coflow : int }
-(** One data unit moved from ingress [src] to egress [dst] on behalf of
-    [coflow] during the current slot. *)
+type transfer = { src : int; dst : int; coflow : int; fabric : int }
+(** Data moved from ingress [src] to egress [dst] on behalf of [coflow]
+    during the current slot, routed over fabric [fabric] (0 on the
+    single-switch model): [min (rate fabric) (remaining src dst)] units
+    per slot. *)
 
 exception Invalid_slot of string
 (** Raised by {!step} when a proposed slot violates a constraint; the
@@ -19,20 +26,35 @@ exception Invalid_slot of string
 
 val create :
   ?validate:(transfer list -> (unit, string) result) ->
+  ?net:Net.t ->
   ports:int ->
   (int * Matrix.Mat.t) list ->
   t
 (** [create ~ports demands] with [demands = [(release_k, d_k); ...]]; coflow
     [k] (0-based, in list order) becomes serviceable at time [release_k].
 
-    [validate] adds topology-specific feasibility on top of the matching
-    constraints — e.g. {!Fabric} restricts the aggregate inter-rack traffic
-    of a slot to the core capacity.  A [Error msg] result makes {!step}
-    raise [Invalid_slot msg] without mutating state.
+    [net] is the topology (default [Net.single ~ports], the paper's
+    model); its port count must equal [ports].  Per-fabric core budgets
+    declared by the net are enforced by {!step} itself.
+
+    [validate] adds extra feasibility on top of the matching and topology
+    constraints — e.g. the fault injector restricts slots to the live
+    ports of its fault plan.  A [Error msg] result makes {!step} raise
+    [Invalid_slot msg] without mutating state.
 
     @raise Invalid_argument on dimension mismatch or negative release. *)
 
 val ports : t -> int
+
+val net : t -> Net.t
+(** The topology the simulator enforces. *)
+
+val num_fabrics : t -> int
+(** [Net.k (net t)]. *)
+
+val fabric_rate : t -> int -> int
+(** Units one transfer on the given fabric moves per slot.
+    @raise Invalid_argument when the fabric index is out of range. *)
 
 val num_coflows : t -> int
 
@@ -151,9 +173,12 @@ val first_service_time : t -> int -> int option
     are built on. *)
 
 val step : t -> transfer list -> unit
-(** Execute one slot.  Validates that (i) no port appears twice, (ii) every
-    transfer has positive remaining demand, (iii) every served coflow is
-    released.  Advances the clock even when the list is empty (idle slot).
+(** Execute one slot.  Validates that (i) no port appears twice on any one
+    fabric, (ii) every transfer has positive remaining demand, (iii) every
+    served coflow is released, (iv) every fabric index is in range and no
+    (coflow, src, dst) entry is drained by two fabrics in the same slot,
+    (v) each oversubscribed fabric's inter-rack transfers fit its core
+    budget.  Each transfer moves [min (rate fabric) remaining] units.  Advances the clock even when the list is empty (idle slot).
 
     When {!Obs.Trace} is enabled, every step additionally emits the
     per-coflow lifecycle events (release opens a ["wait"] slice, first
@@ -165,8 +190,9 @@ val step : t -> transfer list -> unit
 val step_batch : t -> transfer list -> slots:int -> unit
 (** [step_batch sim transfers ~slots] commits [slots >= 1] consecutive
     slots that all serve the same transfer list, in one O(transfers)
-    update.  Beyond {!step}'s checks, every served pair must hold at least
-    [slots] units — no entry may reach zero strictly inside the batch, so
+    update.  Beyond {!step}'s checks, every served pair must hold strictly
+    more than [(slots - 1) * rate] units ([>= slots] at rate 1) — no entry
+    may reach zero strictly inside the batch, so
     no completion, first service or structural change can fall between the
     batch's first and last slot and the observable outcome (clock,
     completion slots, first-service slots, totals, histograms) is identical

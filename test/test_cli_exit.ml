@@ -47,8 +47,11 @@ let test_experiments_misuse () =
   let t = check_exit experiments_exe [ "--jobs"; "0" ] 124 in
   Alcotest.(check bool) "names the offender" true (contains "jobs" t);
   let t = check_exit experiments_exe [ "--only"; "E99" ] 124 in
-  Alcotest.(check bool) "explains the id range" true (contains "E1..E20" t);
+  Alcotest.(check bool) "explains the id range" true (contains "E1..E21" t);
+  (* one bad id poisons the whole comma-separated list *)
+  ignore (check_exit experiments_exe [ "--only"; "E21,E99" ] 124);
   ignore (check_exit experiments_exe [ "--scale"; "sideways" ] 124);
+  ignore (check_exit experiments_exe [ "--csv"; "/no/such/dir" ] 124);
   (* the term takes no positional arguments: trailing garbage is misuse *)
   ignore (check_exit experiments_exe [ "--scale"; "quick"; "leftover" ] 124)
 
@@ -81,6 +84,29 @@ let test_service_smoke () =
   in
   Alcotest.(check bool) "reports passing gates" true (contains "PASS" t)
 
+(* a real quick E21 run: the hetero arena and its fault leg must pass
+   their own gates (audit-clean, outage-clean) and land hetero.json *)
+
+let test_experiments_hetero_smoke () =
+  let dir = Filename.temp_file "cli_e21" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+  @@ fun () ->
+  let t =
+    check_exit experiments_exe
+      [ "--only"; "E21"; "--scale"; "quick"; "--csv"; dir ]
+      0
+  in
+  Alcotest.(check bool) "fault leg drained on the survivor" true
+    (contains "outage-clean=true" t && contains "audit=true" t);
+  let json = Filename.concat dir "hetero.json" in
+  Alcotest.(check bool) "hetero.json written" true (Sys.file_exists json)
+
 let () =
   Alcotest.run "cli-exit"
     [ ( "misuse",
@@ -89,6 +115,8 @@ let () =
           Alcotest.test_case "bench main" `Quick test_bench_misuse;
         ] );
       ( "smoke",
-        [ Alcotest.test_case "coflow_service passes" `Quick test_service_smoke ]
-      );
+        [ Alcotest.test_case "coflow_service passes" `Quick test_service_smoke;
+          Alcotest.test_case "E21 hetero quick run" `Quick
+            test_experiments_hetero_smoke;
+        ] );
     ]

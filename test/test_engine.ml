@@ -148,7 +148,7 @@ let prop_greedy_matching_valid_and_maximal =
       let src_used = Array.make ports false in
       let dst_used = Array.make ports false in
       List.iter
-        (fun { Switchsim.Simulator.src; dst; coflow } ->
+        (fun { Switchsim.Simulator.src; dst; coflow; _ } ->
           (* a matching: each port claimed at most once *)
           assert (not src_used.(src));
           assert (not dst_used.(dst));
@@ -170,6 +170,55 @@ let prop_greedy_matching_valid_and_maximal =
         priority;
       true)
 
+(* ---------- k=1 / rate=1 Net equivalence ---------- *)
+
+(* The multi-fabric refactor claims [Net.single] recovers the paper's
+   model bit for bit.  Prove it two ways: the pre-refactor goldens above
+   re-run through an explicit single-fabric net, and a property over the
+   same generator comparing the default path (which is itself Net.single
+   under the hood — no legacy path survives) against explicit nets. *)
+
+let run_on ?net inst policy =
+  let ports = Instance.ports inst in
+  let sim = Switchsim.Simulator.create ?net ~ports (Instance.demands inst) in
+  Engine.run ~sim inst policy
+
+let test_golden_through_explicit_net () =
+  let inst = Lazy.force golden_instance in
+  let net = Switchsim.Net.single ~ports:(Instance.ports inst) in
+  let r =
+    run_on ~net inst
+      (Policy.of_priority ~describe:"greedy hrho"
+         (Ordering.by_load_over_weight inst))
+  in
+  (* the same numbers the pre-refactor golden asserts above pin down *)
+  Alcotest.(check (float 0.0)) "twct via Net.single" 150715.0 r.Engine.twct;
+  check_int "slots via Net.single" 1395 r.Engine.slots
+
+let prop_single_net_equivalence =
+  QCheck.Test.make
+    ~name:"k=1/rate=1 nets are decision-identical to the default path"
+    ~count:40
+    QCheck.(triple (int_range 2 6) (int_range 1 6) (int_range 0 100_000))
+    (fun (ports, coflows, seed) ->
+      let inst = random_instance ~ports ~coflows seed in
+      let policy =
+        Policy.of_priority ~describe:"greedy"
+          (Ordering.by_load_over_weight inst)
+      in
+      let base = run_on inst policy in
+      List.for_all
+        (fun net ->
+          let r = run_on ~net inst policy in
+          r.Engine.twct = base.Engine.twct
+          && r.Engine.slots = base.Engine.slots
+          && r.Engine.completion = base.Engine.completion)
+        [ Switchsim.Net.single ~ports;
+          Switchsim.Net.uniform ~ports ~rates:[ 1 ];
+          (* a non-blocking core budget is vacuous: still the same model *)
+          Switchsim.Net.two_tier ~ports ~rack_size:ports ~core_capacity:ports;
+        ])
+
 let () =
   Alcotest.run "engine"
     [ ( "golden",
@@ -190,4 +239,9 @@ let () =
       ( "policy",
         [ QCheck_alcotest.to_alcotest prop_greedy_matching_valid_and_maximal ]
       );
+      ( "net-equivalence",
+        [ Alcotest.test_case "goldens through Net.single" `Quick
+            test_golden_through_explicit_net;
+          QCheck_alcotest.to_alcotest prop_single_net_equivalence;
+        ] );
     ]

@@ -378,6 +378,66 @@ let test_fabric_rows () =
         (r.Exp_fabric.utilization > 0.0 && r.Exp_fabric.utilization <= 1.0))
     rows
 
+let test_fabric_regression () =
+  (* Golden values captured when the E15 sweep moved onto the Net path
+     (k = 1 with a core budget): any drift in the oversubscribed special
+     case — demand routing, core accounting, batching — shifts these. *)
+  let rows = Exp_fabric.run tiny_cfg in
+  List.iter2
+    (fun (label, twct, makespan) r ->
+      Alcotest.(check string) "label" label r.Exp_fabric.label;
+      Alcotest.(check (float 0.0)) (label ^ " twct") twct r.Exp_fabric.twct;
+      check_int (label ^ " makespan") makespan r.Exp_fabric.makespan)
+    [ ("non-blocking", 20904.0, 894);
+      ("2:1 oversubscribed", 25275.0, 1046);
+      ("4:1 oversubscribed", 38804.0, 1689);
+      ("10:1 oversubscribed", 70503.0, 3255);
+    ]
+    rows
+
+(* ---------- E21: heterogeneous fabrics ---------- *)
+
+let test_hetero_legs_and_fault () =
+  let t = Exp_hetero.run tiny_cfg in
+  check_int "seven legs" 7 (List.length t.Exp_hetero.legs);
+  (* run already asserts no policy beats each leg's bound and that the
+     fault leg drained on the survivor; re-check the shape here *)
+  List.iter
+    (fun leg ->
+      Alcotest.(check bool)
+        (leg.Exp_hetero.l_label ^ " has the arena plus Chen-hetero")
+        true
+        (List.length leg.Exp_hetero.l_rows >= 2);
+      Alcotest.(check bool) (leg.Exp_hetero.l_label ^ " bound positive") true
+        (leg.Exp_hetero.l_bound > 0.0))
+    t.Exp_hetero.legs;
+  (* more aggregate rate = smaller rate-aware isolation bound *)
+  let bound label =
+    let leg =
+      List.find (fun l -> l.Exp_hetero.l_label = label) t.Exp_hetero.legs
+    in
+    leg.Exp_hetero.l_bound
+  in
+  Alcotest.(check bool) "bound shrinks with capacity" true
+    (bound "k=2 1:1" < bound "k=1" && bound "k=4 1:1" < bound "k=2 1:1"
+    && bound "k=2 10:1" < bound "k=2 4:1");
+  let f = t.Exp_hetero.fault in
+  Alcotest.(check bool) "fault leg certified" true
+    (f.Exp_hetero.f_completed && f.Exp_hetero.f_audit_ok
+    && f.Exp_hetero.f_outage_clean && f.Exp_hetero.f_served_during_outage
+    && f.Exp_hetero.f_replans >= 2)
+
+let test_hetero_json () =
+  let t = Exp_hetero.run tiny_cfg in
+  let j = Exp_hetero.json t in
+  (match Obs.Json.parse (String.trim j) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "E21 json unparseable: %s" e);
+  Alcotest.(check bool) "tagged E21" true
+    (Astring.String.is_infix ~affix:"\"experiment\":\"E21\"" j);
+  Alcotest.(check bool) "fault verdicts present" true
+    (Astring.String.is_infix ~affix:"\"outage_clean\":true" j)
+
 (* ---------- E18 scale: structural fallback labels ---------- *)
 
 let test_scale_fallback_is_labeled () =
@@ -682,7 +742,16 @@ let () =
       ("online", [ Alcotest.test_case "rows" `Quick test_online_rows ]);
       ("robust", [ Alcotest.test_case "rows" `Quick test_robust_rows ]);
       ("dag-exp", [ Alcotest.test_case "rows" `Quick test_dag_rows ]);
-      ("fabric-exp", [ Alcotest.test_case "rows" `Quick test_fabric_rows ]);
+      ( "fabric-exp",
+        [ Alcotest.test_case "rows" `Quick test_fabric_rows;
+          Alcotest.test_case "net-path regression goldens" `Quick
+            test_fabric_regression;
+        ] );
+      ( "hetero-exp",
+        [ Alcotest.test_case "legs and fault certification" `Quick
+            test_hetero_legs_and_fault;
+          Alcotest.test_case "json artifact" `Quick test_hetero_json;
+        ] );
       ( "scale-exp",
         [ Alcotest.test_case "fallback rows are labeled" `Quick
             test_scale_fallback_is_labeled;

@@ -7,7 +7,7 @@ open Faults
 
 let check_int = Alcotest.(check int)
 
-let t i j k = { Simulator.src = i; dst = j; coflow = k }
+let t i j k = { Simulator.src = i; dst = j; coflow = k; fabric = 0 }
 
 let fig1 () = Mat.of_arrays [| [| 1; 2 |]; [| 2; 1 |] |]
 
@@ -146,6 +146,180 @@ let test_plan_random () =
     (Fault_plan.to_string (gen 3 1.5));
   expect_invalid_arg "negative intensity" (fun () ->
       ignore (gen 4 (-0.5)))
+
+(* ---------- Fabric_down: whole-switch outages ---------- *)
+
+let tf i j k f = { Simulator.src = i; dst = j; coflow = k; fabric = f }
+
+let down ~fabric ~from_ ~until =
+  Fault_plan.make [ Fault_plan.Fabric_down { fabric; from_; until } ]
+
+let test_plan_fabric_down () =
+  let p = down ~fabric:1 ~from_:2 ~until:5 in
+  (* a single-fabric net has no fabric 1 — and cannot lose fabric 0 *)
+  Alcotest.(check bool) "rejected at k=1" true
+    (Result.is_error (Fault_plan.validate ~ports:2 ~coflows:1 p));
+  Alcotest.(check bool) "accepted at k=2" true
+    (Result.is_ok (Fault_plan.validate ~fabrics:2 ~ports:2 ~coflows:1 p));
+  Alcotest.(check bool) "the only fabric cannot go down" true
+    (Result.is_error
+       (Fault_plan.validate ~ports:2 ~coflows:1
+          (down ~fabric:0 ~from_:0 ~until:1)));
+  (* half-open interval queries *)
+  Alcotest.(check bool) "down inside" true
+    (Fault_plan.fabric_down p ~slot:2 1);
+  Alcotest.(check bool) "up at until" false
+    (Fault_plan.fabric_down p ~slot:5 1);
+  Alcotest.(check bool) "other fabric unaffected" false
+    (Fault_plan.fabric_down p ~slot:2 0);
+  (* boundaries drive re-planning *)
+  Alcotest.(check bool) "boundaries carry the window" true
+    (List.mem 2 (Fault_plan.boundaries p)
+    && List.mem 5 (Fault_plan.boundaries p));
+  (* text round-trip *)
+  let p' = Fault_plan.of_string (Fault_plan.to_string p) in
+  Alcotest.(check string) "text roundtrip" (Fault_plan.to_string p)
+    (Fault_plan.to_string p');
+  Alcotest.(check bool) "roundtrip still queries" true
+    (Fault_plan.fabric_down p' ~slot:4 1)
+
+let test_plan_random_fabrics () =
+  let gen ?fabrics intensity seed =
+    Fault_plan.random ?fabrics ~intensity ~ports:8 ~coflows:20 ~horizon:50
+      (Random.State.make [| seed |])
+  in
+  (* single-fabric plans are byte-identical whether or not the caller
+     passes ~fabrics:1 — the soak baselines depend on this *)
+  Alcotest.(check string) "fabrics:1 is byte-compatible"
+    (Fault_plan.to_string (gen 1.0 7))
+    (Fault_plan.to_string (gen ~fabrics:1 1.0 7));
+  (* at high intensity on a multi-fabric net an outage appears, and it
+     validates against that fabric count *)
+  let p = gen ~fabrics:4 1.0 7 in
+  Alcotest.(check bool) "fabric outage drawn" true
+    (List.exists
+       (function Fault_plan.Fabric_down _ -> true | _ -> false)
+       (Fault_plan.events p));
+  Alcotest.(check bool) "validates at k=4" true
+    (Result.is_ok (Fault_plan.validate ~fabrics:4 ~ports:8 ~coflows:20 p));
+  (* below the gate no whole-fabric outage is drawn *)
+  Alcotest.(check bool) "gated below 0.5" false
+    (List.exists
+       (function Fault_plan.Fabric_down _ -> true | _ -> false)
+       (Fault_plan.events (gen ~fabrics:4 0.4 7)))
+
+let test_injector_fabric_down () =
+  let net = Net.uniform ~ports:2 ~rates:[ 4; 1 ] in
+  let plan = down ~fabric:0 ~from_:0 ~until:2 in
+  let inj = Injector.create ~net ~plan ~ports:2 [ (0, fig1 ()) ] in
+  let sim = Injector.sim inj in
+  Injector.tick inj;
+  (* the fast fabric is down: serving on it is rejected outright *)
+  expect_invalid_slot "downed fabric rejected" (fun () ->
+      Simulator.step sim [ tf 0 1 0 0 ]);
+  (* the survivor carries the slot, and greedy routes onto it *)
+  let ts = Injector.greedy_policy inj [| 0 |] sim in
+  Alcotest.(check bool) "greedy avoids the dead fabric" true
+    (ts <> [] && List.for_all (fun { Simulator.fabric; _ } -> fabric = 1) ts);
+  Simulator.step sim ts;
+  (* outage lifts at slot 2: the fast fabric serves again *)
+  Injector.tick inj;
+  let ts = Injector.greedy_policy inj [| 0 |] sim in
+  Simulator.step sim ts;
+  Injector.tick inj;
+  let ts = Injector.greedy_policy inj [| 0 |] sim in
+  Alcotest.(check bool) "fast fabric back in rotation" true
+    (List.exists (fun { Simulator.fabric; _ } -> fabric = 0) ts);
+  Simulator.step sim ts
+
+let test_injector_net_topo_exclusive () =
+  let net = Net.uniform ~ports:2 ~rates:[ 1 ] in
+  let topo = Fabric.topology ~ports:2 ~rack_size:1 ~core_capacity:1 in
+  expect_invalid_arg "both net and topo" (fun () ->
+      ignore
+        (Injector.create ~net ~topo ~plan:Fault_plan.empty ~ports:2
+           [ (0, fig1 ()) ]))
+
+let test_audit_fabric_roundtrip () =
+  (* the 4th transfer token appears only for nonzero fabrics, so
+     single-fabric logs keep their legacy bytes *)
+  let a =
+    Audit.make ~ports:2
+      [ { Audit.tier = "rho"; transfers = [ tf 0 1 0 1; tf 1 0 0 0 ] } ]
+  in
+  let text = Audit.to_string a in
+  let a' = Audit.of_string text in
+  Alcotest.(check string) "canonical bytes" text (Audit.to_string a');
+  Alcotest.(check bool) "fabric column only when nonzero" true
+    (Astring.String.is_infix ~affix:"0 1 0 1" text
+    && not (Astring.String.is_infix ~affix:"1 0 0 0 " text))
+
+let test_audit_fabric_constraints () =
+  let plan = down ~fabric:0 ~from_:0 ~until:1 in
+  (* riding the downed fabric is caught by the independent re-check *)
+  let bad =
+    Audit.make ~ports:2 [ { Audit.tier = "rho"; transfers = [ tf 0 1 0 0 ] } ]
+  in
+  (match Audit.check ~fabrics:2 ~plan bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "downed-fabric transfer certified");
+  (* the same pair on two fabrics in one slot is double service *)
+  let dup =
+    Audit.make ~ports:2
+      [ { Audit.tier = "rho"; transfers = [ tf 0 1 0 0; tf 0 1 0 1 ] } ]
+  in
+  (match Audit.check ~fabrics:2 ~plan:Fault_plan.empty dup with
+  | Error m ->
+    Alcotest.(check bool) "names the double service" true
+      (Astring.String.is_infix ~affix:"two fabrics" m)
+  | Ok () -> Alcotest.fail "double service certified");
+  (* a fabric index outside the net is rejected *)
+  let oob =
+    Audit.make ~ports:2 [ { Audit.tier = "rho"; transfers = [ tf 0 1 0 5 ] } ]
+  in
+  (match Audit.check ~fabrics:2 ~plan:Fault_plan.empty oob with
+  | Error m ->
+    Alcotest.(check bool) "names the range" true
+      (Astring.String.is_infix ~affix:"out of range" m)
+  | Ok () -> Alcotest.fail "out-of-range fabric certified");
+  (* the same log with distinct pairs on both fabrics is clean *)
+  let ok =
+    Audit.make ~ports:2
+      [ { Audit.tier = "rho"; transfers = [ tf 0 1 0 0; tf 1 0 0 1 ] } ]
+  in
+  match Audit.check ~fabrics:2 ~plan:Fault_plan.empty ok with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("clean two-fabric slot rejected: " ^ m)
+
+let test_resilient_fabric_down_replans () =
+  (* mid-run loss of the fast fabric: residuals drain on the survivor,
+     with a replan at each outage boundary *)
+  let st = Random.State.make [| 77 |] in
+  let inst = Workload.Fb_like.generate ~ports:6 ~coflows:10 st in
+  let net = Net.uniform ~ports:6 ~rates:[ 4; 1 ] in
+  let plan = down ~fabric:0 ~from_:3 ~until:9 in
+  let config =
+    { Core.Resilient.default_config with
+      Core.Resilient.primary = Core.Resilient.Rho
+    }
+  in
+  let r = Core.Resilient.run ~config ~net ~plan inst in
+  Alcotest.(check bool) "completed" true
+    (Array.for_all (fun c -> c >= 0) r.Core.Resilient.completion);
+  Alcotest.(check bool) "replanned at both boundaries" true
+    (r.Core.Resilient.replans >= 2);
+  (match Audit.check ~fabrics:2 ~plan r.Core.Resilient.audit with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("audit rejected: " ^ m));
+  (* nothing rode fabric 0 inside the window *)
+  let audit = r.Core.Resilient.audit in
+  for s = 3 to min 8 (Audit.num_slots audit - 1) do
+    let { Audit.transfers; _ } = Audit.slot audit s in
+    List.iter
+      (fun { Simulator.fabric; _ } ->
+        if fabric = 0 then Alcotest.failf "slot %d rode the dead fabric" s)
+      transfers
+  done
 
 (* ---------- injector enforcement ---------- *)
 
@@ -614,6 +788,9 @@ let () =
           Alcotest.test_case "bad text" `Quick test_plan_bad_text;
           Alcotest.test_case "file roundtrip" `Quick test_plan_file_roundtrip;
           Alcotest.test_case "random plans" `Quick test_plan_random;
+          Alcotest.test_case "fabric down" `Quick test_plan_fabric_down;
+          Alcotest.test_case "random fabric outages" `Quick
+            test_plan_random_fabrics;
         ] );
       ( "injector",
         [ Alcotest.test_case "dead port" `Quick test_injector_dead_port;
@@ -632,6 +809,9 @@ let () =
           Alcotest.test_case "run completes" `Quick
             test_injector_run_completes;
           Alcotest.test_case "run budget" `Quick test_injector_run_budget;
+          Alcotest.test_case "fabric down" `Quick test_injector_fabric_down;
+          Alcotest.test_case "net/topo exclusive" `Quick
+            test_injector_net_topo_exclusive;
         ] );
       ( "audit",
         [ Alcotest.test_case "roundtrip" `Quick test_audit_roundtrip;
@@ -648,6 +828,10 @@ let () =
             test_audit_checker_validation;
           Alcotest.test_case "core cap violation" `Quick
             test_audit_core_cap_violation;
+          Alcotest.test_case "fabric roundtrip" `Quick
+            test_audit_fabric_roundtrip;
+          Alcotest.test_case "fabric constraints" `Quick
+            test_audit_fabric_constraints;
         ] );
       ( "resilient",
         [ Alcotest.test_case "fault-free all-lp" `Quick
@@ -665,6 +849,8 @@ let () =
           Alcotest.test_case "rho primary" `Quick
             test_resilient_rho_primary_skips_lp;
           Alcotest.test_case "max_slots" `Quick test_resilient_max_slots;
+          Alcotest.test_case "fabric down replans" `Quick
+            test_resilient_fabric_down_replans;
         ] );
       ( "lp-deadline",
         [ Alcotest.test_case "zero deadline" `Quick test_simplex_zero_deadline ]

@@ -210,8 +210,8 @@ let two_coflow_sim () =
     ]
 
 let transfers_0 =
-  [ { Simulator.src = 0; dst = 0; coflow = 0 };
-    { Simulator.src = 1; dst = 1; coflow = 0 };
+  [ { Simulator.src = 0; dst = 0; coflow = 0; fabric = 0 };
+    { Simulator.src = 1; dst = 1; coflow = 0; fabric = 0 };
   ]
 
 let test_batch_equals_repeated_step () =

@@ -7,7 +7,7 @@ let fig1 () = Mat.of_arrays [| [| 1; 2 |]; [| 2; 1 |] |]
 
 let check_int = Alcotest.(check int)
 
-let t i j k = { Simulator.src = i; dst = j; coflow = k }
+let t i j k = { Simulator.src = i; dst = j; coflow = k; fabric = 0 }
 
 let test_create () =
   let sim = Simulator.create ~ports:2 [ (0, fig1 ()) ] in
@@ -304,6 +304,144 @@ let test_fabric_nonblocking_equals_plain_greedy () =
   let c = Simulator.completion_time_exn sim 0 in
   Alcotest.(check bool) "bounded" true (c >= Mat.load d && c <= Mat.total d)
 
+(* ---------- Net: multi-fabric topology ---------- *)
+
+let tf i j k f = { Simulator.src = i; dst = j; coflow = k; fabric = f }
+
+let test_net_accessors () =
+  let n = Net.uniform ~ports:6 ~rates:[ 2; 5; 1; 5 ] in
+  check_int "ports" 6 (Net.ports n);
+  check_int "k" 4 (Net.k n);
+  check_int "rate 1" 5 (Net.rate n 1);
+  check_int "total rate" 13 (Net.total_rate n);
+  (* fastest first, rate ties broken by ascending index *)
+  Alcotest.(check (array int)) "by_rate" [| 1; 3; 0; 2 |] (Net.by_rate n);
+  Alcotest.(check bool) "not single" false (Net.is_single n);
+  Alcotest.(check bool) "single" true (Net.is_single (Net.single ~ports:4));
+  Alcotest.(check bool) "uniform [1] is single" true
+    (Net.is_single (Net.uniform ~ports:4 ~rates:[ 1 ]))
+
+let test_net_two_tier () =
+  let n = Net.two_tier ~ports:6 ~rack_size:2 ~core_capacity:1 in
+  check_int "rack of 3" 1 (Net.rack_of n ~fabric:0 3);
+  Alcotest.(check bool) "local" false
+    (Net.crosses_core n ~fabric:0 ~src:0 ~dst:1);
+  Alcotest.(check bool) "inter" true
+    (Net.crosses_core n ~fabric:0 ~src:0 ~dst:2);
+  Alcotest.(check (option int)) "budget" (Some 1) (Net.core_capacity n 0);
+  Alcotest.(check (option int)) "non-blocking budget" None
+    (Net.core_capacity (Net.single ~ports:6) 0);
+  Alcotest.(check bool) "oversubscribed is not single" false (Net.is_single n)
+
+let test_net_validation () =
+  let invalid f =
+    try
+      ignore (f ());
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  invalid (fun () -> Net.make ~ports:0 [ Net.fabric 1 ]);
+  invalid (fun () -> Net.make ~ports:4 []);
+  invalid (fun () -> Net.fabric 0);
+  invalid (fun () -> Net.fabric ~core_capacity:2 1);
+  invalid (fun () -> Net.make ~ports:4 [ Net.fabric ~rack_size:8 ~core_capacity:1 1 ]);
+  invalid (fun () -> Net.fabric_of (Net.single ~ports:4) 1)
+
+let test_multi_fabric_rate_decrement () =
+  (* a rate-4 fabric moves min(4, remaining) per served slot *)
+  let d = Mat.make 2 in
+  Mat.set d 0 1 6;
+  let net = Net.uniform ~ports:2 ~rates:[ 4 ] in
+  let sim = Simulator.create ~net ~ports:2 [ (0, d) ] in
+  Simulator.step sim [ tf 0 1 0 0 ];
+  check_int "first slot moves 4" 4 (Simulator.units_moved sim);
+  check_int "remaining 2" 2 (Simulator.remaining_at sim 0 0 1);
+  Simulator.step sim [ tf 0 1 0 0 ];
+  check_int "second slot moves the tail" 6 (Simulator.units_moved sim);
+  Alcotest.(check bool) "complete" true (Simulator.all_complete sim)
+
+let test_multi_fabric_port_exclusivity () =
+  (* within one fabric a port carries one transfer; the same port is free
+     on the other fabric in the same slot *)
+  let d = Mat.make 2 in
+  Mat.set d 0 0 1;
+  Mat.set d 0 1 1;
+  let net = Net.uniform ~ports:2 ~rates:[ 1; 1 ] in
+  let sim = Simulator.create ~net ~ports:2 [ (0, d) ] in
+  (try
+     Simulator.step sim [ tf 0 0 0 0; tf 0 1 0 0 ];
+     Alcotest.fail "expected Invalid_slot"
+   with Simulator.Invalid_slot _ -> ());
+  Simulator.step sim [ tf 0 0 0 0; tf 0 1 0 1 ];
+  check_int "both fabrics served src 0" 2 (Simulator.units_moved sim)
+
+let test_multi_fabric_out_of_range () =
+  let d = Mat.make 2 in
+  Mat.set d 0 1 1;
+  let net = Net.uniform ~ports:2 ~rates:[ 1; 1 ] in
+  let sim = Simulator.create ~net ~ports:2 [ (0, d) ] in
+  try
+    Simulator.step sim [ tf 0 1 0 2 ];
+    Alcotest.fail "expected Invalid_slot"
+  with Simulator.Invalid_slot _ -> ()
+
+let test_multi_fabric_batch_rate_aware () =
+  (* 9 units on a rate-4 fabric: the pair survives 3 slots (the third
+     zeroes it exactly at the batch boundary) *)
+  let d = Mat.make 2 in
+  Mat.set d 0 1 9;
+  let net = Net.uniform ~ports:2 ~rates:[ 4 ] in
+  let sim = Simulator.create ~net ~ports:2 [ (0, d) ] in
+  Simulator.step_batch sim [ tf 0 1 0 0 ] ~slots:3;
+  check_int "all 9 units moved" 9 (Simulator.units_moved sim);
+  Alcotest.(check bool) "complete" true (Simulator.all_complete sim);
+  check_int "three slots" 3 (Simulator.now sim)
+
+(* Regression (suspected ordering hole, now pinned): the core-budget
+   early-stop in Fabric.greedy_policy must not starve a rack-local pair
+   that the scan reaches after rejecting a core-crossing pair — the
+   budget only gates inter-rack claims, never the scan itself. *)
+let test_fabric_greedy_no_rack_local_starvation () =
+  let topo = Fabric.topology ~ports:4 ~rack_size:2 ~core_capacity:1 in
+  let d = Mat.make 4 in
+  Mat.set d 0 2 1;
+  (* inter-rack: claims the whole core budget *)
+  Mat.set d 1 3 1;
+  (* inter-rack: must be rejected, ports 1 and 3 stay free *)
+  Mat.set d 2 3 1;
+  (* rack-local, scanned after the rejection: must still be served *)
+  let sim = Fabric.create topo [ (0, d) ] in
+  let ts = Fabric.greedy_policy topo [| 0 |] sim in
+  Alcotest.(check bool) "rack-local pair served" true
+    (List.exists
+       (fun { Simulator.src; dst; _ } -> src = 2 && dst = 3)
+       ts);
+  Alcotest.(check bool) "core pair served" true
+    (List.exists
+       (fun { Simulator.src; dst; _ } -> src = 0 && dst = 2)
+       ts);
+  check_int "exactly the two admissible pairs" 2 (List.length ts);
+  (* and the same slot is feasible for the simulator's own validation *)
+  Simulator.step sim ts;
+  check_int "both units moved" 2 (Simulator.units_moved sim)
+
+(* the bitset sweep must agree: Policy.greedy_matching on the equivalent
+   two-tier net admits the same rack-local pair *)
+let test_policy_matching_no_rack_local_starvation () =
+  let d = Mat.make 4 in
+  Mat.set d 0 2 1;
+  Mat.set d 1 3 1;
+  Mat.set d 2 3 1;
+  let net = Net.two_tier ~ports:4 ~rack_size:2 ~core_capacity:1 in
+  let sim = Simulator.create ~net ~ports:4 [ (0, d) ] in
+  let ts = Core.Policy.greedy_matching sim ~priority:[| 0 |] in
+  Alcotest.(check bool) "rack-local pair served" true
+    (List.exists
+       (fun { Simulator.src; dst; _ } -> src = 2 && dst = 3)
+       ts);
+  check_int "two pairs" 2 (List.length ts);
+  Simulator.step sim ts
+
 (* ---------- recorder ---------- *)
 
 let greedy_single_policy s =
@@ -479,5 +617,22 @@ let () =
             test_fabric_greedy_respects_core;
           Alcotest.test_case "non-blocking degenerates" `Quick
             test_fabric_nonblocking_equals_plain_greedy;
+          Alcotest.test_case "core budget never starves rack-local" `Quick
+            test_fabric_greedy_no_rack_local_starvation;
+        ] );
+      ( "net",
+        [ Alcotest.test_case "accessors" `Quick test_net_accessors;
+          Alcotest.test_case "two-tier" `Quick test_net_two_tier;
+          Alcotest.test_case "validation" `Quick test_net_validation;
+          Alcotest.test_case "rate-weighted decrement" `Quick
+            test_multi_fabric_rate_decrement;
+          Alcotest.test_case "per-fabric port exclusivity" `Quick
+            test_multi_fabric_port_exclusivity;
+          Alcotest.test_case "fabric out of range" `Quick
+            test_multi_fabric_out_of_range;
+          Alcotest.test_case "rate-aware batch" `Quick
+            test_multi_fabric_batch_rate_aware;
+          Alcotest.test_case "bitset sweep never starves rack-local" `Quick
+            test_policy_matching_no_rack_local_starvation;
         ] );
     ]

@@ -397,6 +397,125 @@ let test_scripted_fault_raises_alert () =
     [ ".jsonl"; ".prom"; ".alerts.json" ];
   Sys.remove base
 
+(* ---------- alert-driven reaction (Epoch_loop.degrade_notch) ---------- *)
+
+(* a hand-built epoch view: only the wait percentile matters to the
+   wait_p99 burn signal, everything else is a quiet epoch *)
+let synthetic_view ~epoch ~wait_p99 =
+  { Epoch_loop.ev_epoch = epoch;
+    ev_start = epoch * 16;
+    ev_now = (epoch + 1) * 16;
+    ev_slots = 16;
+    ev_tier = Core.Resilient.Lp;
+    ev_live_before = 2;
+    ev_live_after = 2;
+    ev_backlog = 100 - epoch;
+    ev_units_served = 64;
+    ev_demand_surplus = 0;
+    ev_port_spread = 1;
+    ev_fault_events = 0;
+    ev_arrived = epoch + 2;
+    ev_admitted = epoch + 2;
+    ev_rejected_queue = 0;
+    ev_rejected_deadline = 0;
+    ev_completed = epoch;
+    ev_deadline_misses = 0;
+    ev_degradations = 0;
+    ev_lp_failures = 0;
+    ev_twct = 0.0;
+    ev_bound_sum = 0.0;
+    ev_wait_p50 = wait_p99 / 2;
+    ev_wait_p99 = wait_p99;
+    ev_max_live = 2;
+    ev_violation = false;
+    ev_decision_fingerprint = string_of_int epoch;
+  }
+
+let test_reaction_notch_follows_alert () =
+  let t = telem () in
+  (* wait budget is 2048: feed hot epochs (4x budget) until the rule
+     fires, then cool epochs until it resolves, checking the notch at
+     each stage *)
+  let notch = Telemetry.degrade_notch t in
+  check_int "quiet at start" 0 (notch ());
+  for e = 0 to 5 do
+    Telemetry.observer t (synthetic_view ~epoch:e ~wait_p99:8192)
+  done;
+  Alcotest.(check bool) "rule fired" true
+    (List.mem "wait_p99" (Slo.firing (Telemetry.slo t)));
+  check_int "one notch while firing" 1 (notch ());
+  for e = 6 to 12 do
+    Telemetry.observer t (synthetic_view ~epoch:e ~wait_p99:0)
+  done;
+  Alcotest.(check bool) "rule resolved" true
+    (List.exists
+       (fun tr -> tr.Slo.t_rule = "wait_p99" && tr.Slo.t_to = Slo.Resolved)
+       (Slo.transitions (Telemetry.slo t)));
+  check_int "notch restored on resolve" 0 (notch ())
+
+(* A scripted overload: a flood of arrivals against few ports, with the
+   live-set bar high enough that the un-reacted loop keeps paying for
+   in-epoch LP solves over the whole backlog.  With the reaction wired,
+   the firing wait_p99 rule halves the bar, the loop degrades to the
+   load-over-weight order (which serves light coflows first — exactly
+   the order that drains first-service waits fastest), and the overload
+   clears sooner.  [lp_deadline = None] keeps both runs deterministic,
+   so the comparison is replay-stable. *)
+let run_overload ~react =
+  let tel =
+    Telemetry.create
+      ~config:{ Telemetry.default_config with Telemetry.wait_budget = 24 }
+      ()
+  in
+  let cfg =
+    { Epoch_loop.default_config with
+      Epoch_loop.epoch_length = 16;
+      lp_deadline = None;
+      degrade_live_above = 16;
+      degrade_notch = (if react then Some (Telemetry.degrade_notch tel) else None);
+      admission =
+        { Admission.default_config with
+          Admission.max_live = 64;
+          deadline_factor = 0.0;
+        };
+    }
+  in
+  let src =
+    Arrivals.create ~random_weights:true ~ports:6 ~seed:11
+      (Arrivals.Poisson { mean_gap = 0.5 })
+  in
+  let stats = Epoch_loop.run ~observer:(Telemetry.observer tel) cfg src ~coflows:48 in
+  (stats, tel)
+
+let test_reaction_recovers_faster () =
+  let off, tel_off = run_overload ~react:false in
+  let on_, tel_on = run_overload ~react:true in
+  (* both runs see the same overload and the alert fires in both *)
+  let fired tel =
+    List.exists
+      (fun tr -> tr.Slo.t_rule = "wait_p99" && tr.Slo.t_to = Slo.Firing)
+      (Slo.transitions (Telemetry.slo tel))
+  in
+  Alcotest.(check bool) "alert fired without reaction" true (fired tel_off);
+  Alcotest.(check bool) "alert fired with reaction" true (fired tel_on);
+  check_int "no reaction degradations when unwired" 0
+    off.Epoch_loop.reaction_degradations;
+  Alcotest.(check bool) "reaction engaged" true
+    (on_.Epoch_loop.reaction_degradations > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "overload drains in fewer slots with reaction (%d vs %d)"
+       on_.Epoch_loop.slots off.Epoch_loop.slots)
+    true
+    (on_.Epoch_loop.slots < off.Epoch_loop.slots);
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 wait no worse with reaction (%d vs %d)"
+       on_.Epoch_loop.wait_p99 off.Epoch_loop.wait_p99)
+    true
+    (on_.Epoch_loop.wait_p99 <= off.Epoch_loop.wait_p99);
+  (* same decisions admitted/completed either way: the reaction changes
+     the serving order, not the admission policy *)
+  check_int "same completions" off.Epoch_loop.completed on_.Epoch_loop.completed
+
 (* ---------- properties ---------- *)
 
 let seed_arb = QCheck.int_range 0 1000
@@ -464,6 +583,12 @@ let () =
           Alcotest.test_case "prometheus exposition" `Quick
             test_prom_exposition;
           Alcotest.test_case "profile diff json" `Quick test_profile_diff_json;
+        ] );
+      ( "reaction",
+        [ Alcotest.test_case "notch follows the alert state" `Quick
+            test_reaction_notch_follows_alert;
+          Alcotest.test_case "overload recovers faster with reaction on"
+            `Quick test_reaction_recovers_faster;
         ] );
       ( "telemetry",
         [ Alcotest.test_case "observer does not perturb" `Quick
